@@ -1,0 +1,189 @@
+// Command decouple is the analysis CLI: it lists the paper's systems,
+// prints any published decoupling table, runs the verdict and coalition
+// analysis, and answers collusion what-ifs.
+//
+// Usage:
+//
+//	decouple list
+//	decouple tables                 # every published table
+//	decouple show <system-id>       # table + verdict
+//	decouple analyze                # all systems, one verdict per line
+//	decouple collude <system-id> <entity> [<entity>...]
+//
+// System ids: digitalcash, mixnet, privacypass, odns, pgpp, mpr, ppm,
+// vpn, ech.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"decoupling/internal/core"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if code := run(os.Stdout, flag.Args()); code != 0 {
+		os.Exit(code)
+	}
+}
+
+// run dispatches a command, writing output to w. It returns the exit
+// code; errors are printed to stderr.
+func run(w io.Writer, args []string) int {
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "list":
+		err = list(w)
+	case "tables":
+		err = tables(w)
+	case "show":
+		if len(args) != 2 {
+			err = fmt.Errorf("usage: decouple show <system-id>")
+		} else {
+			err = show(w, args[1])
+		}
+	case "analyze":
+		err = analyzeAll(w)
+	case "collude":
+		if len(args) < 3 {
+			err = fmt.Errorf("usage: decouple collude <system-id> <entity> [<entity>...]")
+		} else {
+			err = collude(w, args[1], args[2:])
+		}
+	default:
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "decouple:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `decouple — analyze systems with the Decoupling Principle
+
+  decouple list                                list the paper's systems
+  decouple tables                              print every published table
+  decouple show <system-id>                    print a system's table and verdict
+  decouple analyze                             verdicts for every system
+  decouple collude <system-id> <entity>...     can this coalition re-couple?
+`)
+}
+
+func sortedIDs() []string {
+	reg := core.Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func list(w io.Writer) error {
+	reg := core.Registry()
+	for _, id := range sortedIDs() {
+		s := reg[id]
+		fmt.Fprintf(w, "%-12s §%-6s %s\n", id, s.Section, s.Name)
+	}
+	return nil
+}
+
+func tables(w io.Writer) error {
+	for _, id := range sortedIDs() {
+		if err := show(w, id); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func lookup(id string) (*core.System, error) {
+	s, ok := core.Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown system %q (try: %s)", id, strings.Join(sortedIDs(), ", "))
+	}
+	return s, nil
+}
+
+func show(w io.Writer, id string) error {
+	s, err := lookup(id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s (paper §%s)\n\n", s.Name, s.Section)
+	fmt.Fprint(w, core.RenderTable(s))
+	v, err := core.Analyze(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%s\n", v)
+	if s.Notes != "" {
+		fmt.Fprintf(w, "\n%s\n", s.Notes)
+	}
+	return nil
+}
+
+func analyzeAll(w io.Writer) error {
+	reg := core.Registry()
+	for _, id := range sortedIDs() {
+		v, err := core.Analyze(reg[id])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %s\n", id, v)
+	}
+	return nil
+}
+
+func collude(w io.Writer, id string, members []string) error {
+	s, err := lookup(id)
+	if err != nil {
+		return err
+	}
+	// Reduce the system to the given coalition by marking everyone else
+	// (except the user) as absent, then re-analyze with only those
+	// entities as potential colluders.
+	var coalition []core.Entity
+	for _, name := range members {
+		e := s.Entity(name)
+		if e == nil {
+			return fmt.Errorf("system %q has no entity %q", id, name)
+		}
+		if e.User {
+			return fmt.Errorf("%q is the user; collusion is among service entities", name)
+		}
+		coalition = append(coalition, *e)
+	}
+	reduced := &core.System{
+		Name:          s.Name + " (coalition)",
+		Section:       s.Section,
+		SharedSecrets: s.SharedSecrets,
+	}
+	reduced.Entities = append(reduced.Entities, *s.User())
+	reduced.Entities = append(reduced.Entities, coalition...)
+	v, err := core.Analyze(reduced)
+	if err != nil {
+		return err
+	}
+	if v.Degree > 0 && v.Degree <= len(coalition) {
+		fmt.Fprintf(w, "YES — {%s} can re-couple identity with data (min sub-coalition: %s)\n",
+			strings.Join(members, ", "), strings.Join(v.MinCoalition, "+"))
+	} else {
+		fmt.Fprintf(w, "NO — {%s} cannot re-couple identity with data\n", strings.Join(members, ", "))
+	}
+	return nil
+}

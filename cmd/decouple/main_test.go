@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runOut(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	code := run(&buf, args)
+	return buf.String(), code
+}
+
+func TestList(t *testing.T) {
+	out, code := runOut(t, "list")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"digitalcash", "mixnet", "privacypass", "odns", "pgpp", "mpr", "ppm", "vpn", "ech"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestShow(t *testing.T) {
+	out, code := runOut(t, "show", "vpn")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "(▲, ●)") || !strings.Contains(out, "NOT DECOUPLED") {
+		t.Errorf("show vpn output:\n%s", out)
+	}
+}
+
+func TestShowUnknown(t *testing.T) {
+	if _, code := runOut(t, "show", "nonsense"); code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	out, code := runOut(t, "analyze")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.Count(out, "DECOUPLED") != 9 {
+		t.Errorf("analyze lines:\n%s", out)
+	}
+}
+
+func TestTables(t *testing.T) {
+	out, code := runOut(t, "tables")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.Count(out, "paper §") != 9 {
+		t.Errorf("tables output missing systems:\n%s", out)
+	}
+}
+
+func TestCollude(t *testing.T) {
+	out, code := runOut(t, "collude", "mixnet", "Mix 1", "Receiver")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.HasPrefix(out, "NO") {
+		t.Errorf("mix1+receiver should not re-couple:\n%s", out)
+	}
+	out, code = runOut(t, "collude", "mpr", "Relay 1", "Relay 2")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.HasPrefix(out, "YES") {
+		t.Errorf("relay1+relay2 should re-couple:\n%s", out)
+	}
+}
+
+func TestColludeErrors(t *testing.T) {
+	if _, code := runOut(t, "collude", "mpr", "Nobody"); code != 1 {
+		t.Errorf("unknown entity exit = %d", code)
+	}
+	if _, code := runOut(t, "collude", "mpr", "User"); code != 1 {
+		t.Errorf("user-in-coalition exit = %d", code)
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	if _, code := runOut(t); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+	if _, code := runOut(t, "bogus-command"); code != 2 {
+		t.Errorf("bad-command exit = %d, want 2", code)
+	}
+}

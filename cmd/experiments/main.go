@@ -1,0 +1,59 @@
+// Command experiments runs the complete E1-E12 reproduction suite and
+// prints a paper-vs-measured report (the content of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments E4 E7      # run selected experiment ids
+//
+// Exit status is nonzero if any experiment fails to reproduce.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"decoupling/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+// run executes the selected experiments (all when args is empty),
+// writing the report to out and diagnostics to errw, and returns the
+// process exit code.
+func run(out, errw io.Writer, args []string) int {
+	want := map[string]bool{}
+	for _, a := range args {
+		want[a] = true
+	}
+	failures := 0
+	ran := 0
+	for _, exp := range experiments.All() {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		r, err := exp.Run()
+		if err != nil {
+			fmt.Fprintf(errw, "experiments: %v\n", err)
+			return 1
+		}
+		ran++
+		fmt.Fprintln(out, r.Render())
+		if !r.Pass {
+			failures++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintln(errw, "experiments: no matching experiment ids")
+		return 2
+	}
+	if failures > 0 {
+		fmt.Fprintf(errw, "experiments: %d experiment(s) failed to reproduce\n", failures)
+		return 1
+	}
+	fmt.Fprintf(out, "all %d experiments reproduce the paper\n", ran)
+	return 0
+}

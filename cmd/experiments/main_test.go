@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"E8"}); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errw.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "E8") || !strings.Contains(s, "[PASS]") {
+		t.Errorf("output:\n%s", s)
+	}
+	if !strings.Contains(s, "all 1 experiments reproduce the paper") {
+		t.Errorf("missing summary line:\n%s", s)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"E99"}); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunMultipleIDs(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"E9", "E13"}); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errw.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "E9") || !strings.Contains(s, "E13") {
+		t.Errorf("output missing experiments:\n%s", s)
+	}
+}

@@ -1,0 +1,122 @@
+// Package decoupling is the public API of this reproduction of
+// "The Decoupling Principle: A Practical Privacy Framework" (Schmitt,
+// Iyengar, Wood, Raghavan — HotNets '22).
+//
+// The paper's principle: to ensure privacy, divide information
+// architecturally and institutionally so that each entity holds only
+// what it needs — always separate who you are (▲/△) from what you do
+// (●/⊙). A system is decoupled iff only the user holds (▲, ●).
+//
+// This package re-exports the analysis framework (knowledge tuples,
+// verdicts, collusion analysis) and the registry of the paper's eight
+// analyzed systems. The working implementations of those systems —
+// digital cash, mix-nets, Privacy Pass, ODNS/ODoH, PGPP, Multi-Party
+// Relays, PPM/Prio, plus the VPN and ECH cautionary tales — live under
+// internal/ and are exercised by the experiment suite
+// (internal/experiments, cmd/experiments), which measures each entity's
+// knowledge empirically and checks it against the published tables.
+//
+// Quickstart:
+//
+//	sys := decoupling.NewSystem("My Service", "",
+//		decoupling.User("Client"),
+//		decoupling.Party("Frontend", decoupling.SensID(), decoupling.NonSensData()),
+//		decoupling.Party("Backend", decoupling.NonSensID(), decoupling.SensData()),
+//	)
+//	verdict, err := decoupling.Analyze(sys)
+package decoupling
+
+import (
+	"decoupling/internal/core"
+)
+
+// Re-exported analysis types. See internal/core for full documentation.
+type (
+	// System is a decoupling-analysis target: a set of entities, one of
+	// which is the user.
+	System = core.System
+	// Entity is one party and its knowledge tuple.
+	Entity = core.Entity
+	// Tuple is an entity's knowledge: identity and data components.
+	Tuple = core.Tuple
+	// Component is one tuple entry (kind, label, sensitivity level).
+	Component = core.Component
+	// Verdict is the result of Analyze.
+	Verdict = core.Verdict
+	// SharedSecret models threshold structures (e.g. PPM shares).
+	SharedSecret = core.SharedSecret
+)
+
+// Component constructors in the paper's notation.
+var (
+	// SensID returns ▲ (optionally labeled: SensID("H") is ▲_H).
+	SensID = core.SensID
+	// NonSensID returns △.
+	NonSensID = core.NonSensID
+	// SensData returns ●.
+	SensData = core.SensData
+	// NonSensData returns ⊙.
+	NonSensData = core.NonSensData
+	// PartialData returns ⊙/● (partially sensitive data).
+	PartialData = core.PartialData
+)
+
+// Analyze applies the Decoupling Principle to a system: the §2.4
+// verdict plus the minimal colluding coalition able to re-couple
+// identity with data.
+func Analyze(s *System) (Verdict, error) { return core.Analyze(s) }
+
+// RenderTable renders a system's analysis in the paper's table layout.
+func RenderTable(s *System) string { return core.RenderTable(s) }
+
+// RenderComparison renders expected-vs-measured tuples side by side.
+func RenderComparison(expected, measured *System) string {
+	return core.RenderComparison(expected, measured)
+}
+
+// CompareTuples diffs two systems' tuples; empty means exact agreement.
+func CompareTuples(expected, measured *System) []string {
+	return core.CompareTuples(expected, measured)
+}
+
+// User constructs the user entity (who trivially holds (▲, ●)).
+func User(name string) Entity {
+	return Entity{Name: name, User: true, Knows: Tuple{SensID(), SensData()}}
+}
+
+// Party constructs a non-user entity with the given knowledge.
+func Party(name string, knows ...Component) Entity {
+	return Entity{Name: name, Knows: Tuple(knows)}
+}
+
+// NewSystem assembles a system for analysis. section may reference a
+// paper section or be empty.
+func NewSystem(name, section string, entities ...Entity) *System {
+	return &System{Name: name, Section: section, Entities: entities}
+}
+
+// Paper-system constructors: the eight Section 3 analyses as published.
+var (
+	// DigitalCash is the §3.1.1 blind-signature e-cash table.
+	DigitalCash = core.DigitalCash
+	// Mixnet is the §3.1.2 table with n mixes (Figure 1).
+	Mixnet = core.Mixnet
+	// PrivacyPass is the §3.2.1 table (Figure 2).
+	PrivacyPass = core.PrivacyPass
+	// ObliviousDNS is the §3.2.2 table (covers ODNS and ODoH).
+	ObliviousDNS = core.ObliviousDNS
+	// PGPP is the §3.2.3 table with the ▲_H/▲_N decomposition.
+	PGPP = core.PGPP
+	// MPR is the §3.2.4 Multi-Party Relay table.
+	MPR = core.MPR
+	// PPM is the §3.2.5 private aggregate statistics table with n
+	// aggregators.
+	PPM = core.PPM
+	// VPN is the §3.3 centralized-VPN cautionary tale.
+	VPN = core.VPN
+	// ECH is the §3.3 Encrypted ClientHello cautionary tale.
+	ECH = core.ECH
+)
+
+// Registry returns all paper systems keyed by short id.
+func Registry() map[string]*System { return core.Registry() }

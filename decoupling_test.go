@@ -1,0 +1,72 @@
+package decoupling_test
+
+import (
+	"strings"
+	"testing"
+
+	"decoupling"
+)
+
+func TestQuickstartAPI(t *testing.T) {
+	sys := decoupling.NewSystem("My Service", "",
+		decoupling.User("Client"),
+		decoupling.Party("Frontend", decoupling.SensID(), decoupling.NonSensData()),
+		decoupling.Party("Backend", decoupling.NonSensID(), decoupling.SensData()),
+	)
+	v, err := decoupling.Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Decoupled {
+		t.Errorf("two-party split should be decoupled: %s", v)
+	}
+	if v.Degree != 2 {
+		t.Errorf("degree = %d, want 2", v.Degree)
+	}
+}
+
+func TestCoupledServiceDetected(t *testing.T) {
+	sys := decoupling.NewSystem("Monolith", "",
+		decoupling.User("Client"),
+		decoupling.Party("Server", decoupling.SensID(), decoupling.SensData()),
+	)
+	v, err := decoupling.Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Decoupled {
+		t.Error("monolith reported decoupled")
+	}
+}
+
+func TestRegistryAndRendering(t *testing.T) {
+	reg := decoupling.Registry()
+	if len(reg) != 9 {
+		t.Errorf("registry has %d systems, want 9", len(reg))
+	}
+	for id, sys := range reg {
+		out := decoupling.RenderTable(sys)
+		if !strings.Contains(out, "|") {
+			t.Errorf("%s: table did not render:\n%s", id, out)
+		}
+		if _, err := decoupling.Analyze(sys); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestPaperConstructorsMatchRegistry(t *testing.T) {
+	if decoupling.PrivacyPass().Name != decoupling.Registry()["privacypass"].Name {
+		t.Error("constructor and registry disagree")
+	}
+	if got := decoupling.Mixnet(4); len(got.Entities) != 6 {
+		t.Errorf("Mixnet(4) has %d entities, want sender+4 mixes+receiver", len(got.Entities))
+	}
+}
+
+func TestCompareTuplesExposed(t *testing.T) {
+	a, b := decoupling.VPN(), decoupling.VPN()
+	if diffs := decoupling.CompareTuples(a, b); len(diffs) != 0 {
+		t.Errorf("identical systems diff: %v", diffs)
+	}
+}

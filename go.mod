@@ -1,0 +1,3 @@
+module decoupling
+
+go 1.22

@@ -1,0 +1,329 @@
+// Package adversary implements the attacks the paper's analysis is
+// defined against: collusion between entities (§4.1, §5.2), passive
+// traffic analysis by timing and size (§4.3), and the information
+// metrics used to quantify partial knowledge (anonymity sets, entropy).
+//
+// The collusion engine works over ledger observations: a coalition can
+// join two facts only if a chain of shared linkage handles connects
+// them. This is the operational meaning of decoupling — a mix
+// re-encrypts and so breaks the handle chain; a VPN terminates both
+// sides of a session and so holds records that share the session
+// handle, linking everything it carries.
+package adversary
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"decoupling/internal/core"
+	"decoupling/internal/ledger"
+)
+
+// LinkResult reports whether a coalition can tie one subject's sensitive
+// identity to their sensitive data.
+type LinkResult struct {
+	Subject       string
+	IdentityValue string
+	DataValue     string
+	Linked        bool
+}
+
+// unionFind is a tiny string-keyed disjoint-set.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: map[string]string{}} }
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *unionFind) union(a, b string) { u.parent[u.find(a)] = u.find(b) }
+
+// LinkSubjects runs the coalition linkage attack: given all recorded
+// observations and the names of colluding entities, it determines for
+// each subject whether the coalition can connect a sensitive identity
+// observation to a sensitive (or partial) data observation through a
+// chain of shared linkage handles. Records that share no handle are two
+// unrelated rows even inside one entity's database: a VPN couples its
+// clients because both sides of a session carry the same session
+// handle, not merely because both rows sit on the same disk.
+func LinkSubjects(obs []ledger.Observation, coalition []string) []LinkResult {
+	members := map[string]bool{}
+	for _, m := range coalition {
+		members[m] = true
+	}
+
+	uf := newUnionFind()
+	// Nodes: "obs:<i>" and "h:<handle>".
+	var pool []int
+	for i, o := range obs {
+		if !members[o.Observer] {
+			continue
+		}
+		pool = append(pool, i)
+		node := obsNode(i)
+		for _, h := range o.Handles {
+			uf.union(node, "h:"+h)
+		}
+	}
+
+	type side struct {
+		value string
+		node  string
+	}
+	idSides := map[string][]side{}
+	dataSides := map[string][]side{}
+	for _, i := range pool {
+		o := obs[i]
+		if o.Subject == "" {
+			continue
+		}
+		switch {
+		case o.Kind == core.Identity && o.Level == core.Sensitive:
+			idSides[o.Subject] = append(idSides[o.Subject], side{o.Value, obsNode(i)})
+		case o.Kind == core.Data && o.Level >= core.Partial:
+			dataSides[o.Subject] = append(dataSides[o.Subject], side{o.Value, obsNode(i)})
+		}
+	}
+
+	subjects := make([]string, 0, len(idSides))
+	for s := range idSides {
+		subjects = append(subjects, s)
+	}
+	sort.Strings(subjects)
+
+	var results []LinkResult
+	for _, s := range subjects {
+		r := LinkResult{Subject: s}
+		if len(idSides[s]) > 0 {
+			r.IdentityValue = idSides[s][0].value
+		}
+	outer:
+		for _, id := range idSides[s] {
+			for _, d := range dataSides[s] {
+				if uf.find(id.node) == uf.find(d.node) {
+					r.Linked = true
+					r.IdentityValue = id.value
+					r.DataValue = d.value
+					break outer
+				}
+			}
+		}
+		if !r.Linked && len(dataSides[s]) > 0 {
+			r.DataValue = dataSides[s][0].value
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+func obsNode(i int) string {
+	// Small manual itoa avoids fmt in the hot path.
+	if i == 0 {
+		return "obs:0"
+	}
+	var digits [20]byte
+	pos := len(digits)
+	for i > 0 {
+		pos--
+		digits[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return "obs:" + string(digits[pos:])
+}
+
+// LinkageRate returns the fraction of subjects the coalition linked.
+func LinkageRate(results []LinkResult) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	linked := 0
+	for _, r := range results {
+		if r.Linked {
+			linked++
+		}
+	}
+	return float64(linked) / float64(len(results))
+}
+
+// Event is a timed protocol event attributed (by ground truth) to a
+// subject — a message entering or leaving an anonymity system.
+type Event struct {
+	Time    time.Duration
+	Subject string
+}
+
+// TimingCorrelate mounts the rank-order timing attack: the adversary
+// observes when messages enter and when they exit and pairs them by
+// arrival order (the optimal strategy against a FIFO relay). It returns
+// how many pairings identify the correct subject. Batch-and-shuffle
+// forwarding (Chaum's defense, §3.1.2) degrades this toward random
+// guessing within each batch.
+func TimingCorrelate(entries, exits []Event) (correct, total int) {
+	es := append([]Event(nil), entries...)
+	xs := append([]Event(nil), exits...)
+	sort.SliceStable(es, func(i, j int) bool { return es[i].Time < es[j].Time })
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i].Time < xs[j].Time })
+	n := len(es)
+	if len(xs) < n {
+		n = len(xs)
+	}
+	for i := 0; i < n; i++ {
+		if es[i].Subject == xs[i].Subject {
+			correct++
+		}
+	}
+	return correct, n
+}
+
+// SizeLink counts how many entry events can be uniquely matched to an
+// exit event by payload size alone. Fixed-size cells (Tor's defense,
+// §4.3) drive uniqueness to zero.
+func SizeLink(entrySizes, exitSizes map[string]int) (unique int) {
+	// entrySizes/exitSizes map subject -> observed size.
+	bySize := map[int][]string{}
+	for s, size := range exitSizes {
+		bySize[size] = append(bySize[size], s)
+	}
+	for subject, size := range entrySizes {
+		candidates := bySize[size]
+		if len(candidates) == 1 && candidates[0] == subject {
+			unique++
+		}
+	}
+	return unique
+}
+
+// Entropy returns the Shannon entropy (bits) of a count distribution.
+func Entropy(counts map[string]int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// NormalizedEntropy returns Entropy divided by its maximum (log2 of the
+// support size), in [0, 1]; 1 means the distribution is uniform.
+func NormalizedEntropy(counts map[string]int) float64 {
+	n := 0
+	for _, c := range counts {
+		if c > 0 {
+			n++
+		}
+	}
+	if n <= 1 {
+		return 0
+	}
+	return Entropy(counts) / math.Log2(float64(n))
+}
+
+// AnonymitySet computes, for each subject, the number of candidate
+// subjects an observer cannot distinguish them from, given the
+// observer's view as a map from subject to the observable value (e.g.
+// pseudonym, exit address). Subjects sharing a value form one set.
+func AnonymitySet(view map[string]string) map[string]int {
+	sizes := map[string]int{}
+	for _, v := range view {
+		sizes[v]++
+	}
+	out := map[string]int{}
+	for s, v := range view {
+		out[s] = sizes[v]
+	}
+	return out
+}
+
+// Round is one mix batch as a passive observer sees it: who sent into
+// the mix and who received out of it during the round. Contents are
+// unreadable; membership is not.
+type Round struct {
+	Senders   []string
+	Receivers []string
+}
+
+// StatisticalDisclosure mounts the long-term intersection attack
+// against a batching mix (Danezis' statistical disclosure, the
+// strongest of the §4.3 "limits of what is feasible to infer" class):
+// over many rounds, the receivers co-occurring with a target sender
+// stand out statistically from the background. It returns receivers
+// ranked by score = P(receiver | target sends) - P(receiver overall).
+// Batching hides WHICH message in a round is the target's, but not THAT
+// the target participated — only cover traffic (chaff) or per-round
+// receiver diversity dilutes this signal.
+func StatisticalDisclosure(rounds []Round, target string) []ScoredReceiver {
+	withTarget := map[string]int{}
+	overall := map[string]int{}
+	targetRounds, totalRounds := 0, 0
+	for _, r := range rounds {
+		totalRounds++
+		participated := false
+		for _, s := range r.Senders {
+			if s == target {
+				participated = true
+				break
+			}
+		}
+		if participated {
+			targetRounds++
+		}
+		seen := map[string]bool{}
+		for _, rc := range r.Receivers {
+			if seen[rc] {
+				continue
+			}
+			seen[rc] = true
+			overall[rc]++
+			if participated {
+				withTarget[rc]++
+			}
+		}
+	}
+	if targetRounds == 0 || totalRounds == 0 {
+		return nil
+	}
+	var out []ScoredReceiver
+	for rc, n := range overall {
+		pAll := float64(n) / float64(totalRounds)
+		pWith := float64(withTarget[rc]) / float64(targetRounds)
+		out = append(out, ScoredReceiver{Receiver: rc, Score: pWith - pAll})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Receiver < out[j].Receiver
+	})
+	return out
+}
+
+// ScoredReceiver is one candidate communication partner with its
+// disclosure score.
+type ScoredReceiver struct {
+	Receiver string
+	Score    float64
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestComponentSymbols(t *testing.T) {
+	cases := []struct {
+		c    Component
+		want string
+	}{
+		{SensID(), "▲"},
+		{NonSensID(), "△"},
+		{SensData(), "●"},
+		{NonSensData(), "⊙"},
+		{PartialData(), "⊙/●"},
+		{SensID("H"), "▲_H"},
+		{NonSensID("N"), "△_N"},
+	}
+	for _, c := range cases {
+		if got := c.c.Symbol(); got != c.want {
+			t.Errorf("Symbol(%+v) = %q, want %q", c.c, got, c.want)
+		}
+	}
+}
+
+func TestTupleSymbol(t *testing.T) {
+	tp := Tuple{SensID("H"), NonSensID("N"), NonSensData()}
+	if got := tp.Symbol(); got != "(▲_H, △_N, ⊙)" {
+		t.Errorf("Symbol = %q", got)
+	}
+}
+
+func TestCoupled(t *testing.T) {
+	cases := []struct {
+		name string
+		t    Tuple
+		want bool
+	}{
+		{"user", Tuple{SensID(), SensData()}, true},
+		{"vpn server", Tuple{SensID(), SensData()}, true},
+		{"issuer", Tuple{SensID(), NonSensData()}, false},
+		{"origin", Tuple{NonSensID(), SensData()}, false},
+		{"relay2 partial counts", Tuple{SensID(), PartialData()}, true},
+		{"partial without identity", Tuple{NonSensID(), PartialData()}, false},
+		{"pgpp gw", Tuple{SensID("H"), NonSensID("N"), NonSensData()}, false},
+		{"empty", Tuple{}, false},
+	}
+	for _, c := range cases {
+		if got := c.t.Coupled(); got != c.want {
+			t.Errorf("%s: Coupled(%s) = %v, want %v", c.name, c.t.Symbol(), got, c.want)
+		}
+	}
+}
+
+func TestMergeTakesMaxLevel(t *testing.T) {
+	a := Tuple{SensID(), NonSensData()}
+	b := Tuple{NonSensID(), SensData()}
+	m := a.Merge(b)
+	if !m.Coupled() {
+		t.Errorf("merge of (▲,⊙) and (△,●) = %s, expected coupled", m.Symbol())
+	}
+	if len(m) != 2 {
+		t.Errorf("merge produced %d components, want 2", len(m))
+	}
+}
+
+func TestMergeKeepsLabelsDistinct(t *testing.T) {
+	a := Tuple{SensID("H"), NonSensID("N")}
+	b := Tuple{SensID("N")}
+	m := a.Merge(b)
+	if len(m) != 2 {
+		t.Fatalf("merge = %s, want two labeled identity components", m.Symbol())
+	}
+	want := Tuple{SensID("H"), SensID("N")}
+	if !m.Equal(want) {
+		t.Errorf("merge = %s, want %s", m.Symbol(), want.Symbol())
+	}
+}
+
+// Property: Merge is commutative and idempotent with respect to Equal.
+func TestMergeProperties(t *testing.T) {
+	gen := func(seed int64) Tuple {
+		// Small deterministic tuple generator over seeds.
+		var tp Tuple
+		for i := 0; i < 3; i++ {
+			bitsv := seed >> (4 * i)
+			c := Component{
+				Kind:  Kind(bitsv & 1),
+				Level: Level(uint64(bitsv>>1) % 3),
+			}
+			if bitsv&8 != 0 {
+				c.Label = "H"
+			}
+			tp = append(tp, c)
+		}
+		return tp
+	}
+	f := func(s1, s2 int64) bool {
+		a, b := gen(s1), gen(s2)
+		if !a.Merge(b).Equal(b.Merge(a)) {
+			return false
+		}
+		return a.Merge(a).Equal(a.Merge(Tuple{}).Merge(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualIgnoresOrder(t *testing.T) {
+	a := Tuple{SensID(), SensData()}
+	b := Tuple{SensData(), SensID()}
+	if !a.Equal(b) {
+		t.Error("order-insensitive equality failed")
+	}
+	c := Tuple{SensID(), NonSensData()}
+	if a.Equal(c) {
+		t.Error("tuples with different levels compared equal")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := &System{Name: "x", Entities: []Entity{{Name: "only"}}}
+	if err := s.Validate(); err == nil {
+		t.Error("system without user validated")
+	}
+	s = &System{Name: "x", Entities: []Entity{
+		{Name: "u", User: true}, {Name: "u"},
+	}}
+	if err := s.Validate(); err == nil {
+		t.Error("system with duplicate entity validated")
+	}
+	s = &System{Entities: []Entity{{Name: "u", User: true}}}
+	if err := s.Validate(); err == nil {
+		t.Error("unnamed system validated")
+	}
+	if err := VPN().Validate(); err != nil {
+		t.Errorf("VPN model: %v", err)
+	}
+}
+
+func TestRegistryAllValidate(t *testing.T) {
+	for id, s := range Registry() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+		if s.Section == "" {
+			t.Errorf("%s: missing paper section", id)
+		}
+	}
+}
+
+func TestRenderTableShape(t *testing.T) {
+	out := RenderTable(PrivacyPass())
+	if !strings.Contains(out, "Client") || !strings.Contains(out, "(▲, ●)") {
+		t.Errorf("rendered table missing expected cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("table has %d lines, want 3 (header, rule, row)", len(lines))
+	}
+}
+
+func TestRenderComparison(t *testing.T) {
+	expected := PrivacyPass()
+	measured := PrivacyPass()
+	measured.Entity("Issuer").Knows = Tuple{SensID(), SensData()}
+	out := RenderComparison(expected, measured)
+	if !strings.Contains(out, "paper") || !strings.Contains(out, "measured") {
+		t.Errorf("comparison missing row labels:\n%s", out)
+	}
+}
+
+func TestCompareTuples(t *testing.T) {
+	expected := PrivacyPass()
+	measured := PrivacyPass()
+	if diffs := CompareTuples(expected, measured); len(diffs) != 0 {
+		t.Errorf("identical systems diff: %v", diffs)
+	}
+	measured.Entity("Issuer").Knows = Tuple{SensID(), SensData()}
+	diffs := CompareTuples(expected, measured)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "Issuer") {
+		t.Errorf("diffs = %v", diffs)
+	}
+	measured.Entities = measured.Entities[:2] // drop Origin
+	diffs = CompareTuples(expected, measured)
+	if len(diffs) != 2 {
+		t.Errorf("diffs after dropping entity = %v", diffs)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Invariant properties of Analyze, checked over all registry systems
+// and randomized variations.
+
+// TestAnalyzeOrderInvariant: shuffling entity order never changes the
+// verdict or degree.
+func TestAnalyzeOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for id, sys := range Registry() {
+		base := mustAnalyze(t, sys)
+		for trial := 0; trial < 5; trial++ {
+			shuffled := &System{
+				Name: sys.Name, Section: sys.Section, SharedSecrets: sys.SharedSecrets,
+				Entities: append([]Entity(nil), sys.Entities...),
+			}
+			rng.Shuffle(len(shuffled.Entities), func(i, j int) {
+				shuffled.Entities[i], shuffled.Entities[j] = shuffled.Entities[j], shuffled.Entities[i]
+			})
+			got := mustAnalyze(t, shuffled)
+			if got.Decoupled != base.Decoupled || got.Degree != base.Degree {
+				t.Errorf("%s: shuffled verdict (%v, %d) != base (%v, %d)",
+					id, got.Decoupled, got.Degree, base.Decoupled, base.Degree)
+			}
+		}
+	}
+}
+
+// TestAnalyzeIgnoresHarmlessBystander: adding an isolated (△, ⊙) entity
+// never changes the verdict or degree.
+func TestAnalyzeIgnoresHarmlessBystander(t *testing.T) {
+	for id, sys := range Registry() {
+		base := mustAnalyze(t, sys)
+		extended := &System{
+			Name: sys.Name, Section: sys.Section, SharedSecrets: sys.SharedSecrets,
+			Entities: append(append([]Entity(nil), sys.Entities...), Entity{
+				Name:  "Bystander",
+				Knows: Tuple{NonSensID(), NonSensData()},
+				Links: []string{"bystander-only-handle"},
+			}),
+		}
+		got := mustAnalyze(t, extended)
+		if got.Decoupled != base.Decoupled || got.Degree != base.Degree {
+			t.Errorf("%s: bystander changed verdict (%v, %d) -> (%v, %d)",
+				id, base.Decoupled, base.Degree, got.Decoupled, got.Degree)
+		}
+	}
+}
+
+// TestAnalyzeMonotoneInKnowledge: raising any entity's knowledge level
+// can only make the system easier to attack — the degree never
+// increases, and a decoupled verdict can only flip to not-decoupled,
+// never the reverse.
+func TestAnalyzeMonotoneInKnowledge(t *testing.T) {
+	for id, sys := range Registry() {
+		base := mustAnalyze(t, sys)
+		for i, e := range sys.Entities {
+			if e.User {
+				continue
+			}
+			upgraded := &System{
+				Name: sys.Name, Section: sys.Section, SharedSecrets: sys.SharedSecrets,
+				Entities: append([]Entity(nil), sys.Entities...),
+			}
+			knows := append(Tuple(nil), e.Knows...)
+			for j := range knows {
+				knows[j].Level = Sensitive
+			}
+			upgraded.Entities[i].Knows = knows
+			got := mustAnalyze(t, upgraded)
+			if base.Degree > 0 && (got.Degree == 0 || got.Degree > base.Degree) {
+				t.Errorf("%s: upgrading %q raised degree %d -> %d",
+					id, e.Name, base.Degree, got.Degree)
+			}
+			if !base.Decoupled && got.Decoupled {
+				t.Errorf("%s: upgrading %q flipped verdict to decoupled", id, e.Name)
+			}
+		}
+	}
+}
+
+// TestAnalyzeCoalitionIsActuallyMinimal: no proper subset of the
+// reported minimum coalition re-couples.
+func TestAnalyzeCoalitionIsActuallyMinimal(t *testing.T) {
+	for id, sys := range Registry() {
+		v := mustAnalyze(t, sys)
+		if v.Degree <= 1 {
+			continue
+		}
+		members := make([]Entity, 0, len(v.MinCoalition))
+		for _, name := range v.MinCoalition {
+			members = append(members, *sys.Entity(name))
+		}
+		// Leave out each member in turn: the remainder must not couple.
+		for skip := range members {
+			var sub []Entity
+			for i, m := range members {
+				if i != skip {
+					sub = append(sub, m)
+				}
+			}
+			if coalitionCoupled(sys, sub) {
+				t.Errorf("%s: coalition %v is not minimal (works without %s)",
+					id, v.MinCoalition, members[skip].Name)
+			}
+		}
+		// And the full reported coalition must couple.
+		if !coalitionCoupled(sys, members) {
+			t.Errorf("%s: reported min coalition %v does not actually couple", id, v.MinCoalition)
+		}
+	}
+}
+
+// TestUserNeverInCoalition: the coalition search is over service
+// entities only.
+func TestUserNeverInCoalition(t *testing.T) {
+	for id, sys := range Registry() {
+		v := mustAnalyze(t, sys)
+		user := sys.User().Name
+		for _, m := range v.MinCoalition {
+			if m == user {
+				t.Errorf("%s: user %q appears in the coalition", id, user)
+			}
+		}
+	}
+}

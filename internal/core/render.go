@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// RenderTable renders a system's decoupling analysis in the layout the
+// paper uses: one column per entity, a single row of knowledge tuples.
+//
+//	| Client | Issuer | Origin |
+//	|--------|--------|--------|
+//	| (▲, ●) | (▲, ⊙) | (△, ●) |
+func RenderTable(s *System) string {
+	headers := make([]string, len(s.Entities))
+	cells := make([]string, len(s.Entities))
+	for i, e := range s.Entities {
+		headers[i] = e.Name
+		cells[i] = e.Knows.Symbol()
+	}
+	return renderRows(headers, [][]string{cells})
+}
+
+// RenderComparison renders expected (paper) and measured (implementation)
+// tuples side by side, one row each.
+func RenderComparison(expected, measured *System) string {
+	headers := make([]string, 0, len(expected.Entities)+1)
+	headers = append(headers, "")
+	exp := []string{"paper"}
+	mea := []string{"measured"}
+	for _, e := range expected.Entities {
+		headers = append(headers, e.Name)
+		exp = append(exp, e.Knows.Symbol())
+		cell := "—"
+		if m := measured.Entity(e.Name); m != nil {
+			cell = m.Knows.Symbol()
+		}
+		mea = append(mea, cell)
+	}
+	return renderRows(headers, [][]string{exp, mea})
+}
+
+// displayWidth approximates terminal columns for the mixed ASCII/symbol
+// strings in these tables; the paper's symbols are single-cell runes.
+func displayWidth(s string) int { return utf8.RuneCountInString(s) }
+
+func pad(s string, w int) string {
+	return s + strings.Repeat(" ", w-displayWidth(s))
+}
+
+func renderRows(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = displayWidth(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if w := displayWidth(c); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, c := range cells {
+			fmt.Fprintf(&b, " %s |", pad(c, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

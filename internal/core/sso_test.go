@@ -1,0 +1,76 @@
+package core
+
+import "testing"
+
+// The paper's §2.2 observes that authentication infrastructure is
+// simultaneously decentralized and centralized — "such as OAuth and
+// SSO, with a view into the uses of a huge range of services" — and
+// that auth often creates "a non-repudiable record of who used a
+// network service when, how, and even why". These tests show the
+// framework expressing that observation: a centralized identity
+// provider couples who-you-are with a cross-service activity record,
+// and the Privacy Pass-style fix (per-service unlinkable credentials)
+// removes the coupling.
+
+func ssoModel() *System {
+	return &System{
+		Name:    "Centralized SSO",
+		Section: "2.2",
+		Entities: []Entity{
+			{Name: "User", User: true, Knows: Tuple{SensID(), SensData()}},
+			// The IdP authenticates the user (▲) and, by issuing a token
+			// per relying party, records which services they use when —
+			// a sensitive activity stream (●).
+			{Name: "Identity Provider", Knows: Tuple{SensID(), SensData()},
+				Links: []string{"login", "rp-1", "rp-2"}},
+			{Name: "Service A", Knows: Tuple{SensID(), SensData()}, Links: []string{"rp-1"}},
+			{Name: "Service B", Knows: Tuple{SensID(), SensData()}, Links: []string{"rp-2"}},
+		},
+	}
+}
+
+func anonymousCredentialModel() *System {
+	return &System{
+		Name:    "SSO via unlinkable credentials",
+		Section: "2.2/3.2.1",
+		Entities: []Entity{
+			{Name: "User", User: true, Knows: Tuple{SensID(), SensData()}},
+			// The issuer authenticates (▲) but issues blind credentials:
+			// it learns nothing about which services are visited (⊙).
+			{Name: "Credential Issuer", Knows: Tuple{SensID(), NonSensData()},
+				Links: []string{"issuance"}},
+			// Services see activity (●) from pseudonymous credential
+			// holders (△) and cannot link across services.
+			{Name: "Service A", Knows: Tuple{NonSensID(), SensData()}, Links: []string{"rp-1"}},
+			{Name: "Service B", Knows: Tuple{NonSensID(), SensData()}, Links: []string{"rp-2"}},
+		},
+	}
+}
+
+func TestSSOIsCoupledAtTheIdP(t *testing.T) {
+	v := mustAnalyze(t, ssoModel())
+	if v.Decoupled {
+		t.Error("centralized SSO reported decoupled")
+	}
+	found := false
+	for _, e := range v.CoupledEntities {
+		if e == "Identity Provider" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("IdP not flagged as coupled: %v", v.CoupledEntities)
+	}
+}
+
+func TestUnlinkableCredentialsDecoupleSSO(t *testing.T) {
+	v := mustAnalyze(t, anonymousCredentialModel())
+	if !v.Decoupled {
+		t.Errorf("credential-based SSO not decoupled: %s", v)
+	}
+	// Blind issuance severs the issuer from the services: no coalition
+	// links identity to activity.
+	if v.Degree != 0 {
+		t.Errorf("degree = %d (coalition %v), want 0 — blind credentials leave no join key", v.Degree, v.MinCoalition)
+	}
+}

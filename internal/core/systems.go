@@ -1,0 +1,282 @@
+package core
+
+import "fmt"
+
+// This file encodes the paper's Section 3 decoupling-analysis tables as
+// static System models. They are the ground truth that the running
+// implementations (internal/digitalcash, internal/odoh, ...) are checked
+// against: each experiment derives an empirical table from an
+// instrumented run and diffs it against the corresponding model here.
+//
+// Linkage handles in these models reflect what the paper's prose argues:
+// adjacent protocol hops share a handle (they saw the same connection or
+// the same bytes), while blind-signature issuance/redemption pairs and
+// share uploads deliberately share nothing.
+
+// DigitalCash is the §3.1.1 blind-signature digital-currency analysis:
+//
+//	| Buyer  | Signer (Bank) | Verifier (Bank) | Seller |
+//	| (▲, ●) | (▲, ⊙)        | (△, ⊙/●)        | (△, ●) |
+func DigitalCash() *System {
+	return &System{
+		Name:    "Digital Cash (blind signatures)",
+		Section: "3.1.1",
+		Entities: []Entity{
+			{Name: "Buyer", User: true, Knows: Tuple{SensID(), SensData()}},
+			// The signer authenticates the withdrawing customer (▲) but
+			// signs only a blinded serial (⊙).
+			{Name: "Signer (Bank)", User: false, Knows: Tuple{SensID(), NonSensData()},
+				Links: []string{"withdrawal"}},
+			// The verifier sees the coin and, at deposit, some purchase
+			// context (⊙/●) but only the seller's identity, not the
+			// buyer's (△).
+			{Name: "Verifier (Bank)", User: false, Knows: Tuple{NonSensID(), PartialData()},
+				Links: []string{"deposit"}},
+			{Name: "Seller", User: false, Knows: Tuple{NonSensID(), SensData()},
+				Links: []string{"purchase", "deposit"}},
+		},
+		Notes: "Blind signatures make withdrawal and spending unlinkable even if Signer and Verifier are the same organization.",
+	}
+}
+
+// Mixnet is the §3.1.2 (Figure 1) analysis with n mixes:
+//
+//	| Sender | Mix 1  | ... | Mix N  | Receiver |
+//	| (▲, ●) | (▲, ⊙) | ... | (△, ⊙) | (△, ●)   |
+func Mixnet(n int) *System {
+	if n < 1 {
+		n = 1
+	}
+	s := &System{
+		Name:    fmt.Sprintf("Mix-net (%d mixes)", n),
+		Section: "3.1.2",
+		Notes:   "Each mix decrypts one onion layer; only Mix 1 sees the sender's network identity, only the receiver sees the message.",
+	}
+	s.Entities = append(s.Entities, Entity{
+		Name: "Sender", User: true, Knows: Tuple{SensID(), SensData()},
+	})
+	for i := 1; i <= n; i++ {
+		e := Entity{
+			Name:  fmt.Sprintf("Mix %d", i),
+			Knows: Tuple{NonSensID(), NonSensData()},
+			Links: []string{fmt.Sprintf("hop%d", i), fmt.Sprintf("hop%d", i+1)},
+		}
+		if i == 1 {
+			// The first mix sees the sender's address.
+			e.Knows = Tuple{SensID(), NonSensData()}
+		}
+		s.Entities = append(s.Entities, e)
+	}
+	s.Entities = append(s.Entities, Entity{
+		Name:  "Receiver",
+		Knows: Tuple{NonSensID(), SensData()},
+		Links: []string{fmt.Sprintf("hop%d", n+1)},
+	})
+	return s
+}
+
+// PrivacyPass is the §3.2.1 (Figure 2) analysis:
+//
+//	| Client | Issuer | Origin |
+//	| (▲, ●) | (▲, ⊙) | (△, ●) |
+func PrivacyPass() *System {
+	return &System{
+		Name:    "Privacy Pass",
+		Section: "3.2.1",
+		Entities: []Entity{
+			{Name: "Client", User: true, Knows: Tuple{SensID(), SensData()}},
+			// The issuer authenticates the client (▲) but signs blinded
+			// tokens (⊙) and learns nothing of the origin.
+			{Name: "Issuer", Knows: Tuple{SensID(), NonSensData()},
+				Links: []string{"issuance"}},
+			// The origin sees the request (●) and a token that is
+			// unlinkable to any issuance (△).
+			{Name: "Origin", Knows: Tuple{NonSensID(), SensData()},
+				Links: []string{"redemption"}},
+		},
+		Notes: "Tokens transfer trust: issuance and redemption share no linkable handle, so even Issuer+Origin collusion cannot join them.",
+	}
+}
+
+// ObliviousDNS is the §3.2.2 analysis covering both ODNS and ODoH
+// (resolver = ODoH Oblivious Proxy, oblivious resolver = Oblivious
+// Target):
+//
+//	| Client | Resolver | Oblivious Resolver | Origin |
+//	| (▲, ●) | (▲, ⊙)   | (△, ●)             | (△, ●) |
+func ObliviousDNS() *System {
+	return &System{
+		Name:    "Oblivious DNS",
+		Section: "3.2.2",
+		Entities: []Entity{
+			{Name: "Client", User: true, Knows: Tuple{SensID(), SensData()}},
+			// The client's recursive resolver (ODoH proxy) sees who is
+			// asking (▲) but queries are encrypted (⊙).
+			{Name: "Resolver", Knows: Tuple{SensID(), NonSensData()},
+				Links: []string{"proxy-leg", "target-leg"}},
+			// The oblivious resolver decrypts and resolves the query (●)
+			// but sees only the proxy's address (△).
+			{Name: "Oblivious Resolver", Knows: Tuple{NonSensID(), SensData()},
+				Links: []string{"target-leg", "recursion"}},
+			{Name: "Origin", Knows: Tuple{NonSensID(), SensData()},
+				Links: []string{"recursion"}},
+		},
+		Notes: "Privacy holds as long as Resolver and Oblivious Resolver are non-colluding organizations.",
+	}
+}
+
+// PGPP is the §3.2.3 analysis, with the identity decomposed into the
+// human identity ▲_H and the network identity ▲_N (shuffled IMSIs are
+// the non-sensitive △_N):
+//
+//	| User           | PGPP-GW        | NGC            |
+//	| (▲_H, ▲_N, ●)  | (▲_H, △_N, ⊙)  | (△_H, △_N, ●)  |
+func PGPP() *System {
+	return &System{
+		Name:    "Pretty Good Phone Privacy",
+		Section: "3.2.3",
+		Entities: []Entity{
+			{Name: "User", User: true,
+				Knows: Tuple{SensID("H"), SensID("N"), SensData()}},
+			// The gateway bills and authenticates (knows the human, ▲_H)
+			// but issues blind tokens and never sees mobility data (⊙).
+			{Name: "PGPP-GW",
+				Knows: Tuple{SensID("H"), NonSensID("N"), NonSensData()},
+				Links: []string{"billing"}},
+			// The core sees connectivity and location events (●) keyed
+			// only by shuffled, non-sensitive identifiers (△_H, △_N).
+			{Name: "NGC",
+				Knows: Tuple{NonSensID("H"), NonSensID("N"), SensData()},
+				Links: []string{"attach"}},
+		},
+		Notes: "Billing/authentication decoupled from connectivity; blind token authentication makes billing and attach events unlinkable.",
+	}
+}
+
+// MPR is the §3.2.4 Multi-Party Relay (iCloud Private Relay-style)
+// analysis:
+//
+//	| User   | Relay 1 | Relay 2  | Origin |
+//	| (▲, ●) | (▲, ⊙)  | (△, ⊙/●) | (△, ●) |
+func MPR() *System {
+	return &System{
+		Name:    "Multi-Party Relay",
+		Section: "3.2.4",
+		Entities: []Entity{
+			{Name: "User", User: true, Knows: Tuple{SensID(), SensData()}},
+			{Name: "Relay 1", Knows: Tuple{SensID(), NonSensData()},
+				Links: []string{"client-conn", "inner-conn"}},
+			// Relay 2 may learn limited request information such as the
+			// origin FQDN (⊙/●) but sees the user only as a member of a
+			// network aggregate (△).
+			{Name: "Relay 2", Knows: Tuple{NonSensID(), PartialData()},
+				Links: []string{"inner-conn", "origin-conn"}},
+			{Name: "Origin", Knows: Tuple{NonSensID(), SensData()},
+				Links: []string{"origin-conn"}},
+		},
+		Notes: "Two nested HTTP CONNECT tunnels operated by distinct organizations.",
+	}
+}
+
+// PPM is the §3.2.5 private aggregate statistics analysis. The paper's
+// table shows one aggregator; n generalizes it (§4.2 discusses adding
+// aggregators against collusion). Aggregators hold shares that are
+// individually uniform but jointly reconstruct client inputs, expressed
+// with a SharedSecret over all aggregators.
+//
+//	| Client | Aggregator | Collector |
+//	| (▲, ●) | (▲, ⊙)     | (△, ⊙)    |
+func PPM(n int) *System {
+	if n < 1 {
+		n = 1
+	}
+	s := &System{
+		Name:    fmt.Sprintf("Private Aggregate Statistics (%d aggregators)", n),
+		Section: "3.2.5",
+		Notes:   "Multi-party computation between non-colluding aggregators; the collector sees only the aggregate.",
+	}
+	s.Entities = append(s.Entities, Entity{
+		Name: "Client", User: true, Knows: Tuple{SensID(), SensData()},
+	})
+	var holders []string
+	for i := 1; i <= n; i++ {
+		name := "Aggregator"
+		if n > 1 {
+			name = fmt.Sprintf("Aggregator %d", i)
+		}
+		holders = append(holders, name)
+		s.Entities = append(s.Entities, Entity{
+			Name:  name,
+			Knows: Tuple{SensID(), NonSensData()},
+			Links: []string{"upload", "aggregate"},
+		})
+	}
+	s.Entities = append(s.Entities, Entity{
+		Name:  "Collector",
+		Knows: Tuple{NonSensID(), NonSensData()},
+		Links: []string{"aggregate"},
+	})
+	s.SharedSecrets = []SharedSecret{{
+		Name:    "input shares",
+		Holders: holders,
+		Yields:  SensData(),
+	}}
+	return s
+}
+
+// VPN is the §3.3 cautionary-tale analysis:
+//
+//	| Client | VPN Server | Origin |
+//	| (▲, ●) | (▲, ●)     | (△, ●) |
+func VPN() *System {
+	return &System{
+		Name:    "Centralized VPN",
+		Section: "3.3",
+		Entities: []Entity{
+			{Name: "Client", User: true, Knows: Tuple{SensID(), SensData()}},
+			// The single trusted intermediary sees all user activity
+			// bundled with user identity: (▲, ●).
+			{Name: "VPN Server", Knows: Tuple{SensID(), SensData()},
+				Links: []string{"client-conn", "origin-conn"}},
+			{Name: "Origin", Knows: Tuple{NonSensID(), SensData()},
+				Links: []string{"origin-conn"}},
+		},
+		Notes: "Funneling all traffic through one trusted party creates a single locus of observation.",
+	}
+}
+
+// ECH is the §3.3 Encrypted ClientHello discussion: ECH hides the
+// handshake from the network but does not change what the terminating
+// TLS server sees, so the server remains (▲, ●).
+func ECH() *System {
+	return &System{
+		Name:    "TLS Encrypted ClientHello",
+		Section: "3.3",
+		Entities: []Entity{
+			{Name: "Client", User: true, Knows: Tuple{SensID(), SensData()}},
+			// With ECH the on-path network sees the client address (▲)
+			// but no longer the inner SNI (⊙).
+			{Name: "Network", Knows: Tuple{SensID(), NonSensData()},
+				Links: []string{"wire"}},
+			{Name: "TLS Server", Knows: Tuple{SensID(), SensData()},
+				Links: []string{"wire", "session"}},
+		},
+		Notes: "ECH falls short of fully applying the Decoupling Principle: the server still couples identity and data.",
+	}
+}
+
+// Registry returns all paper systems at their table-default parameters,
+// keyed by a short stable id used by cmd/decouple and the experiments.
+func Registry() map[string]*System {
+	return map[string]*System{
+		"digitalcash": DigitalCash(),
+		"mixnet":      Mixnet(3),
+		"privacypass": PrivacyPass(),
+		"odns":        ObliviousDNS(),
+		"pgpp":        PGPP(),
+		"mpr":         MPR(),
+		"ppm":         PPM(2),
+		"vpn":         VPN(),
+		"ech":         ECH(),
+	}
+}

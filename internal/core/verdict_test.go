@@ -1,0 +1,160 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustAnalyze(t *testing.T, s *System) Verdict {
+	t.Helper()
+	v, err := Analyze(s)
+	if err != nil {
+		t.Fatalf("Analyze(%s): %v", s.Name, err)
+	}
+	return v
+}
+
+// TestPaperVerdicts pins the headline result for every Section 3 table:
+// which systems are decoupled and which are the cautionary tales.
+func TestPaperVerdicts(t *testing.T) {
+	cases := []struct {
+		sys       *System
+		decoupled bool
+		degree    int
+	}{
+		{DigitalCash(), true, 0},  // blind signatures: unlinkable even under full collusion
+		{Mixnet(1), true, 2},      // single mix: mix+receiver collusion couples
+		{Mixnet(3), true, 4},      // all mixes plus receiver must collude
+		{PrivacyPass(), true, 0},  // issuance/redemption unlinkable
+		{ObliviousDNS(), true, 2}, // resolver + oblivious resolver
+		{PGPP(), true, 0},         // blind token auth: billing/attach unlinkable
+		{MPR(), true, 2},          // relay 1 + relay 2
+		{PPM(2), true, 2},         // both aggregators recombine shares
+		{PPM(5), true, 5},         // all five must collude
+		{VPN(), false, 1},         // single locus of observation
+		{ECH(), false, 1},         // TLS server still coupled
+	}
+	for _, c := range cases {
+		v := mustAnalyze(t, c.sys)
+		if v.Decoupled != c.decoupled {
+			t.Errorf("%s: decoupled = %v, want %v", c.sys.Name, v.Decoupled, c.decoupled)
+		}
+		if v.Degree != c.degree {
+			t.Errorf("%s: degree = %d (coalition %v), want %d", c.sys.Name, v.Degree, v.MinCoalition, c.degree)
+		}
+	}
+}
+
+func TestVPNCoupledEntity(t *testing.T) {
+	v := mustAnalyze(t, VPN())
+	if !reflect.DeepEqual(v.CoupledEntities, []string{"VPN Server"}) {
+		t.Errorf("CoupledEntities = %v", v.CoupledEntities)
+	}
+	if !reflect.DeepEqual(v.MinCoalition, []string{"VPN Server"}) {
+		t.Errorf("MinCoalition = %v", v.MinCoalition)
+	}
+}
+
+func TestMixnetPartialCollusionInsufficient(t *testing.T) {
+	// Mix 1 + Receiver collude but lack the intermediate mixes: their
+	// handles do not chain, so they cannot join identity with data.
+	if coalitionCoupled(Mixnet(3), []Entity{
+		*Mixnet(3).Entity("Mix 1"),
+		*Mixnet(3).Entity("Receiver"),
+	}) {
+		t.Error("mix 1 + receiver coupled without the intermediate mixes")
+	}
+	// The complete chain does couple.
+	s := Mixnet(2)
+	if !coalitionCoupled(s, []Entity{
+		*s.Entity("Mix 1"), *s.Entity("Mix 2"), *s.Entity("Receiver"),
+	}) {
+		t.Error("complete mix chain plus receiver did not couple")
+	}
+}
+
+func TestMixnetDegreeGrowsWithHops(t *testing.T) {
+	prev := 0
+	for n := 1; n <= 5; n++ {
+		v := mustAnalyze(t, Mixnet(n))
+		if v.Degree <= prev {
+			t.Errorf("Mixnet(%d) degree %d did not grow (prev %d)", n, v.Degree, prev)
+		}
+		prev = v.Degree
+	}
+}
+
+func TestPPMSingleAggregatorIsNaive(t *testing.T) {
+	// §3.2.5: with one server acting as aggregator and collector, that
+	// server alone can reconstruct inputs — the naive non-private design.
+	v := mustAnalyze(t, PPM(1))
+	if v.Degree != 1 {
+		t.Errorf("PPM(1) degree = %d, want 1 (single server reconstructs alone)", v.Degree)
+	}
+}
+
+func TestPPMCollectorNotInCoalition(t *testing.T) {
+	v := mustAnalyze(t, PPM(3))
+	for _, m := range v.MinCoalition {
+		if m == "Collector" {
+			t.Error("collector should not be needed to re-couple; aggregators suffice")
+		}
+	}
+}
+
+func TestSharedSecretRequiresAllHolders(t *testing.T) {
+	s := PPM(3)
+	members := []Entity{*s.Entity("Aggregator 1"), *s.Entity("Aggregator 2")}
+	if coalitionCoupled(s, members) {
+		t.Error("two of three aggregators reconstructed shares")
+	}
+	members = append(members, *s.Entity("Aggregator 3"))
+	if !coalitionCoupled(s, members) {
+		t.Error("all three aggregators failed to reconstruct")
+	}
+}
+
+func TestEntitiesWithoutLinksAreConservativelyLinkable(t *testing.T) {
+	s := &System{
+		Name: "unmodeled links",
+		Entities: []Entity{
+			{Name: "User", User: true, Knows: Tuple{SensID(), SensData()}},
+			{Name: "A", Knows: Tuple{SensID(), NonSensData()}},    // no Links declared
+			{Name: "B", Knows: Tuple{NonSensID(), SensData()}},    // no Links declared
+			{Name: "C", Knows: Tuple{NonSensID(), NonSensData()}}, // irrelevant
+		},
+	}
+	v := mustAnalyze(t, s)
+	if v.Degree != 2 {
+		t.Errorf("degree = %d, want 2 (A+B conservatively linkable)", v.Degree)
+	}
+}
+
+func TestAnalyzeRejectsInvalidSystem(t *testing.T) {
+	if _, err := Analyze(&System{Name: "no user"}); err == nil {
+		t.Error("Analyze accepted a system without a user")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	v := mustAnalyze(t, MPR())
+	s := v.String()
+	if !strings.Contains(s, "DECOUPLED") || !strings.Contains(s, "degree 2") {
+		t.Errorf("String() = %q", s)
+	}
+	v2 := mustAnalyze(t, VPN())
+	if !strings.Contains(v2.String(), "NOT DECOUPLED") {
+		t.Errorf("String() = %q", v2.String())
+	}
+}
+
+func BenchmarkAnalyzeMixnet5(b *testing.B) {
+	s := Mixnet(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

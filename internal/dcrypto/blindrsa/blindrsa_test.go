@@ -1,0 +1,166 @@
+package blindrsa
+
+import (
+	"bytes"
+	"crypto/rsa"
+	"sync"
+	"testing"
+)
+
+// testKey caches one RSA key across tests; key generation dominates
+// otherwise.
+var (
+	testKeyOnce sync.Once
+	testKeyVal  *rsa.PrivateKey
+)
+
+func testKey(t testing.TB) *rsa.PrivateKey {
+	testKeyOnce.Do(func() {
+		k, err := GenerateKey(1024)
+		if err != nil {
+			t.Fatalf("generating test key: %v", err)
+		}
+		testKeyVal = k
+	})
+	return testKeyVal
+}
+
+func issue(t testing.TB, key *rsa.PrivateKey, msg []byte) []byte {
+	t.Helper()
+	blinded, st, err := Blind(&key.PublicKey, msg)
+	if err != nil {
+		t.Fatalf("Blind: %v", err)
+	}
+	blindSig, err := BlindSign(key, blinded)
+	if err != nil {
+		t.Fatalf("BlindSign: %v", err)
+	}
+	sig, err := Finalize(&key.PublicKey, st, blindSig)
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return sig
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	key := testKey(t)
+	msg := []byte("one digital coin, serial 42")
+	sig := issue(t, key, msg)
+	if err := Verify(&key.PublicKey, msg, sig); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongMessage(t *testing.T) {
+	key := testKey(t)
+	sig := issue(t, key, []byte("message A"))
+	if err := Verify(&key.PublicKey, []byte("message B"), sig); err == nil {
+		t.Error("signature verified against wrong message")
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	key := testKey(t)
+	msg := []byte("tamper target")
+	sig := issue(t, key, msg)
+	sig[0] ^= 1
+	if err := Verify(&key.PublicKey, msg, sig); err == nil {
+		t.Error("tampered signature verified")
+	}
+}
+
+// TestBlindingHidesMessage checks the unlinkability mechanism: two
+// blindings of the same message are distinct (randomized), so the signer
+// cannot even detect repeat messages, let alone read them.
+func TestBlindingHidesMessage(t *testing.T) {
+	key := testKey(t)
+	msg := []byte("the same message")
+	b1, _, err := Blind(&key.PublicKey, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := Blind(&key.PublicKey, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b1, b2) {
+		t.Error("two blindings of the same message are identical; signer could link them")
+	}
+}
+
+// TestFinalizeDetectsCorruptSigner ensures the client notices a signer
+// returning garbage rather than accepting an invalid token.
+func TestFinalizeDetectsCorruptSigner(t *testing.T) {
+	key := testKey(t)
+	blinded, st, err := Blind(&key.PublicKey, []byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindSig, err := BlindSign(key, blinded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindSig[3] ^= 0xFF
+	if _, err := Finalize(&key.PublicKey, st, blindSig); err == nil {
+		t.Error("Finalize accepted corrupted blind signature")
+	}
+}
+
+func TestBlindSignRejectsOutOfRange(t *testing.T) {
+	key := testKey(t)
+	tooBig := make([]byte, (key.N.BitLen()+7)/8+1)
+	for i := range tooBig {
+		tooBig[i] = 0xFF
+	}
+	if _, err := BlindSign(key, tooBig); err == nil {
+		t.Error("BlindSign accepted out-of-range value")
+	}
+}
+
+func TestCrossKeyVerificationFails(t *testing.T) {
+	key := testKey(t)
+	other, err := GenerateKey(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("issued under key 1")
+	sig := issue(t, key, msg)
+	if err := Verify(&other.PublicKey, msg, sig); err == nil {
+		t.Error("signature verified under unrelated key")
+	}
+}
+
+// TestSignaturesAreDeterministicPerMessage: after unblinding, the
+// signature is the plain FDH-RSA signature, so two independent issuances
+// of the same message yield the same final signature. This is what makes
+// double-spend detection by serial possible in digitalcash.
+func TestSignaturesAreDeterministicPerMessage(t *testing.T) {
+	key := testKey(t)
+	msg := []byte("serial 7")
+	s1 := issue(t, key, msg)
+	s2 := issue(t, key, msg)
+	if !bytes.Equal(s1, s2) {
+		t.Error("unblinded signatures differ for identical message")
+	}
+}
+
+func BenchmarkIssue(b *testing.B) {
+	key := testKey(b)
+	msg := []byte("benchmark token")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		issue(b, key, msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	key := testKey(b)
+	msg := []byte("benchmark token")
+	sig := issue(b, key, msg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(&key.PublicKey, msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package field
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+var bigP = new(big.Int).SetUint64(P)
+
+func bigMod(x *big.Int) Elem {
+	return Elem(new(big.Int).Mod(x, bigP).Uint64())
+}
+
+// TestMulMatchesBigInt cross-checks the Mersenne multiplication against
+// math/big over random inputs (property-based).
+func TestMulMatchesBigInt(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := Reduce(a), Reduce(b)
+		got := Mul(x, y)
+		want := bigMod(new(big.Int).Mul(
+			new(big.Int).SetUint64(uint64(x)),
+			new(big.Int).SetUint64(uint64(y)),
+		))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := Reduce(a), Reduce(b)
+		return Sub(Add(x, y), y) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulInvIdentity(t *testing.T) {
+	f := func(a uint64) bool {
+		x := Reduce(a)
+		if x == 0 {
+			return Inv(x) == 0
+		}
+		return Mul(x, Inv(x)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want Elem
+	}{
+		{0, 0},
+		{P - 1, Elem(P - 1)},
+		{P, 0},
+		{P + 1, 1},
+		{^uint64(0), Elem((^uint64(0))>>61 + (^uint64(0))&P - P)},
+	}
+	for _, c := range cases {
+		if got := Reduce(c.in); got != c.want {
+			t.Errorf("Reduce(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	// 2^61 mod (2^61-1) == 1
+	if got := Pow(2, 61); got != 1 {
+		t.Errorf("2^61 = %d, want 1", got)
+	}
+	if got := Pow(3, 0); got != 1 {
+		t.Errorf("x^0 = %d, want 1", got)
+	}
+	if got := Pow(0, 5); got != 0 {
+		t.Errorf("0^5 = %d, want 0", got)
+	}
+}
+
+func TestSplitRecombine(t *testing.T) {
+	v := Vector{1, 2, 3, Elem(P - 1), 0, 12345}
+	for _, n := range []int{1, 2, 3, 7} {
+		shares, err := v.Split(n)
+		if err != nil {
+			t.Fatalf("Split(%d): %v", n, err)
+		}
+		if len(shares) != n {
+			t.Fatalf("Split(%d) produced %d shares", n, len(shares))
+		}
+		back, err := Recombine(shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range v {
+			if back[i] != v[i] {
+				t.Errorf("n=%d element %d: recombined %d, want %d", n, i, back[i], v[i])
+			}
+		}
+	}
+}
+
+// TestSharesLookRandom: a single share of a constant vector should not be
+// constant (overwhelming probability) — a smoke check of the hiding
+// property.
+func TestSharesLookRandom(t *testing.T) {
+	v := NewVector(64) // all zeros
+	shares, err := v.Split(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allZero := true
+	for _, e := range shares[0] {
+		if e != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		t.Error("first share of zero vector is all zeros; shares are not hiding")
+	}
+	// And the two shares must differ from each other elementwise in general.
+	same := 0
+	for i := range shares[0] {
+		if shares[0][i] == shares[1][i] {
+			same++
+		}
+	}
+	if same == len(shares[0]) {
+		t.Error("shares are identical")
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	v := Vector{1}
+	if _, err := v.Split(0); err == nil {
+		t.Error("Split(0) succeeded")
+	}
+	if _, err := Recombine(nil); err == nil {
+		t.Error("Recombine(nil) succeeded")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	v := Vector{0, 1, Elem(P - 1), 99999}
+	got, err := UnmarshalVector(v.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Errorf("element %d: %d != %d", i, got[i], v[i])
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	if _, err := UnmarshalVector(make([]byte, 7)); err == nil {
+		t.Error("accepted length not multiple of 8")
+	}
+	bad := make([]byte, 8)
+	for i := range bad {
+		bad[i] = 0xFF
+	}
+	if _, err := UnmarshalVector(bad); err == nil {
+		t.Error("accepted out-of-range element")
+	}
+}
+
+func TestRandomInRange(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		r, err := Random()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(r) >= P {
+			t.Fatalf("Random() = %d out of range", r)
+		}
+	}
+}
+
+func TestAddIntoPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddInto did not panic on length mismatch")
+		}
+	}()
+	NewVector(2).AddInto(NewVector(3))
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := Elem(123456789), Elem(987654321)
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkSplit2x1024(b *testing.B) {
+	v := NewVector(1024)
+	for i := range v {
+		v[i] = Elem(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Split(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

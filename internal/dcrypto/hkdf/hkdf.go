@@ -1,0 +1,62 @@
+// Package hkdf implements the HMAC-based Extract-and-Expand Key
+// Derivation Function (HKDF) from RFC 5869, instantiated with SHA-256.
+//
+// It is the key-schedule workhorse for the HPKE implementation in
+// internal/dcrypto/hpke and is written against the standard library only
+// (crypto/hmac, crypto/sha256).
+package hkdf
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+)
+
+// Size is the output size in bytes of the underlying hash (SHA-256).
+const Size = sha256.Size
+
+// MaxOutput is the maximum number of bytes Expand can produce
+// (255 * HashLen per RFC 5869 §2.3).
+const MaxOutput = 255 * Size
+
+// Extract performs the HKDF-Extract step: PRK = HMAC-Hash(salt, ikm).
+// A nil or empty salt is replaced by a string of HashLen zero bytes,
+// exactly as RFC 5869 §2.2 specifies.
+func Extract(salt, ikm []byte) []byte {
+	if len(salt) == 0 {
+		salt = make([]byte, Size)
+	}
+	m := hmac.New(sha256.New, salt)
+	m.Write(ikm)
+	return m.Sum(nil)
+}
+
+// Expand performs the HKDF-Expand step, deriving length bytes of output
+// keying material from the pseudorandom key prk and the context info.
+// It panics if length exceeds MaxOutput, mirroring the RFC's hard limit;
+// callers in this module always request fixed, small lengths.
+func Expand(prk, info []byte, length int) []byte {
+	if length < 0 || length > MaxOutput {
+		panic(fmt.Sprintf("hkdf: requested output length %d out of range [0,%d]", length, MaxOutput))
+	}
+	var (
+		out  = make([]byte, 0, length)
+		prev []byte
+		ctr  byte
+	)
+	for len(out) < length {
+		ctr++
+		m := hmac.New(sha256.New, prk)
+		m.Write(prev)
+		m.Write(info)
+		m.Write([]byte{ctr})
+		prev = m.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length]
+}
+
+// Key is a convenience wrapper running Extract then Expand.
+func Key(salt, ikm, info []byte, length int) []byte {
+	return Expand(Extract(salt, ikm), info, length)
+}

@@ -1,0 +1,90 @@
+package hkdf
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex fixture: %v", err)
+	}
+	return b
+}
+
+// TestRFC5869Case1 checks the first official SHA-256 test vector.
+func TestRFC5869Case1(t *testing.T) {
+	ikm := mustHex(t, "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	salt := mustHex(t, "000102030405060708090a0b0c")
+	info := mustHex(t, "f0f1f2f3f4f5f6f7f8f9")
+	wantPRK := mustHex(t, "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+	wantOKM := mustHex(t, "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+
+	prk := Extract(salt, ikm)
+	if !bytes.Equal(prk, wantPRK) {
+		t.Errorf("Extract = %x, want %x", prk, wantPRK)
+	}
+	okm := Expand(prk, info, 42)
+	if !bytes.Equal(okm, wantOKM) {
+		t.Errorf("Expand = %x, want %x", okm, wantOKM)
+	}
+}
+
+// TestRFC5869Case3 checks the zero-length salt/info vector, exercising
+// the nil-salt default path.
+func TestRFC5869Case3(t *testing.T) {
+	ikm := mustHex(t, "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	wantOKM := mustHex(t, "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
+
+	okm := Key(nil, ikm, nil, 42)
+	if !bytes.Equal(okm, wantOKM) {
+		t.Errorf("Key = %x, want %x", okm, wantOKM)
+	}
+}
+
+func TestExpandLengths(t *testing.T) {
+	prk := Extract(nil, []byte("ikm"))
+	for _, n := range []int{0, 1, 31, 32, 33, 64, 255, 1000, MaxOutput} {
+		out := Expand(prk, []byte("info"), n)
+		if len(out) != n {
+			t.Errorf("Expand length %d: got %d bytes", n, len(out))
+		}
+	}
+}
+
+func TestExpandPrefixConsistency(t *testing.T) {
+	prk := Extract(nil, []byte("ikm"))
+	long := Expand(prk, []byte("x"), 96)
+	short := Expand(prk, []byte("x"), 17)
+	if !bytes.Equal(long[:17], short) {
+		t.Error("shorter expansion is not a prefix of longer expansion")
+	}
+}
+
+func TestExpandPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Expand did not panic for out-of-range length")
+		}
+	}()
+	Expand(Extract(nil, []byte("ikm")), nil, MaxOutput+1)
+}
+
+func TestDistinctInfoDistinctOutput(t *testing.T) {
+	prk := Extract(nil, []byte("ikm"))
+	a := Expand(prk, []byte("a"), 32)
+	b := Expand(prk, []byte("b"), 32)
+	if bytes.Equal(a, b) {
+		t.Error("different info produced identical output")
+	}
+}
+
+func BenchmarkKey32(b *testing.B) {
+	ikm := []byte("benchmark input keying material")
+	for i := 0; i < b.N; i++ {
+		Key(nil, ikm, []byte("info"), 32)
+	}
+}

@@ -1,0 +1,156 @@
+package dns
+
+import (
+	"fmt"
+	"testing"
+
+	"decoupling/internal/dnswire"
+)
+
+func stripingEcosystem(t testing.TB, k int) ([]*Resolver, []string) {
+	t.Helper()
+	z := NewZone("test")
+	var names []string
+	for i := 0; i < 24; i++ {
+		n := fmt.Sprintf("site%02d.test", i)
+		names = append(names, n)
+		if err := z.Add(dnswire.A(n, 300, [4]byte{10, 0, 0, byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	auth := &AuthServer{Name: "auth", Zones: []*Zone{z}}
+	resolvers := make([]*Resolver, k)
+	for i := range resolvers {
+		resolvers[i] = NewResolver(fmt.Sprintf("resolver-%d", i), []Authority{auth}, nil, nil)
+	}
+	return resolvers, names
+}
+
+func TestStripedResolutionWorks(t *testing.T) {
+	for _, strat := range []Strategy{StripeRandom, StripeRoundRobin, StripeByName} {
+		resolvers, names := stripingEcosystem(t, 4)
+		c, err := NewStripedClient("alice", resolvers, strat, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, n := range names {
+			resp := c.Resolve(dnswire.NewQuery(uint16(i), n, dnswire.TypeA))
+			if resp.RCode != dnswire.RCodeNoError || len(resp.Answers) != 1 {
+				t.Fatalf("%v: resolve %s failed: %+v", strat, n, resp)
+			}
+		}
+	}
+}
+
+func TestRoundRobinIsEven(t *testing.T) {
+	resolvers, names := stripingEcosystem(t, 4)
+	c, _ := NewStripedClient("alice", resolvers, StripeRoundRobin, 1)
+	for i := 0; i < 2; i++ {
+		for j, n := range names {
+			c.Resolve(dnswire.NewQuery(uint16(j), n, dnswire.TypeA))
+		}
+	}
+	for i, n := range c.Distribution() {
+		if n != 12 {
+			t.Errorf("resolver %d got %d queries, want 12", i, n)
+		}
+	}
+}
+
+func TestByNameIsSticky(t *testing.T) {
+	resolvers, _ := stripingEcosystem(t, 4)
+	c, _ := NewStripedClient("alice", resolvers, StripeByName, 1)
+	// The same name always hits the same resolver.
+	for i := 0; i < 10; i++ {
+		c.Resolve(dnswire.NewQuery(uint16(i), "site01.test", dnswire.TypeA))
+	}
+	nonZero := 0
+	for _, n := range c.Distribution() {
+		if n > 0 {
+			nonZero++
+		}
+	}
+	if nonZero != 1 {
+		t.Errorf("sticky name spread over %d resolvers", nonZero)
+	}
+	// And caching pays off: 1 miss, 9 hits at that resolver.
+	var hits, misses uint64
+	for _, r := range resolvers {
+		h, m := r.CacheStats()
+		hits += h
+		misses += m
+	}
+	if hits != 9 || misses != 1 {
+		t.Errorf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestProfileCompletenessFallsWithK(t *testing.T) {
+	prev := 2.0
+	for _, k := range []int{1, 2, 4, 8} {
+		resolvers, names := stripingEcosystem(t, k)
+		c, _ := NewStripedClient("alice", resolvers, StripeRandom, 42)
+		for pass := 0; pass < 2; pass++ {
+			for j, n := range names {
+				c.Resolve(dnswire.NewQuery(uint16(j), n, dnswire.TypeA))
+			}
+		}
+		fracs := ProfileCompleteness("alice", resolvers, names)
+		avg := 0.0
+		for _, f := range fracs {
+			avg += f
+		}
+		avg /= float64(k)
+		if k == 1 && avg != 1.0 {
+			t.Errorf("k=1 completeness = %.3f, want 1.0", avg)
+		}
+		if avg >= prev {
+			t.Errorf("k=%d completeness %.3f did not fall below %.3f", k, avg, prev)
+		}
+		prev = avg
+	}
+}
+
+func TestByNamePartitionsNamespace(t *testing.T) {
+	// With by-name striping, each resolver sees a disjoint set of
+	// names: completeness fractions sum to exactly 1.
+	resolvers, names := stripingEcosystem(t, 4)
+	c, _ := NewStripedClient("alice", resolvers, StripeByName, 1)
+	for j, n := range names {
+		c.Resolve(dnswire.NewQuery(uint16(j), n, dnswire.TypeA))
+	}
+	fracs := ProfileCompleteness("alice", resolvers, names)
+	sum := 0.0
+	for _, f := range fracs {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("by-name completeness fractions sum to %.3f, want 1.0", sum)
+	}
+}
+
+func TestStripedClientErrors(t *testing.T) {
+	if _, err := NewStripedClient("x", nil, StripeRandom, 1); err != ErrNoResolvers {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestProfileCompletenessEmptyTruth(t *testing.T) {
+	resolvers, _ := stripingEcosystem(t, 2)
+	fracs := ProfileCompleteness("alice", resolvers, nil)
+	for _, f := range fracs {
+		if f != 0 {
+			t.Errorf("empty truth produced nonzero completeness %v", f)
+		}
+	}
+}
+
+func BenchmarkStripedResolve(b *testing.B) {
+	resolvers, names := stripingEcosystem(b, 4)
+	c, _ := NewStripedClient("bench", resolvers, StripeByName, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Resolve(dnswire.NewQuery(uint16(i), names[i%len(names)], dnswire.TypeA))
+	}
+}

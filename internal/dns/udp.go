@@ -1,0 +1,142 @@
+package dns
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"decoupling/internal/dnswire"
+)
+
+// This file puts the resolver on a real UDP socket, RFC 1035 transport
+// style: wire-format queries in, wire-format responses out, one
+// datagram each. It is the "baseline DNS" deployment surface — the one
+// whose operator logs couple who with what — and exists so the
+// oblivious systems' improvements are measured against a resolver that
+// actually serves packets, not a function call.
+
+// maxUDPMessage is the classic DNS UDP payload ceiling.
+const maxUDPMessage = 4096
+
+// ErrTimeout is returned when a UDP query receives no answer in time.
+var ErrTimeout = errors.New("dns: query timed out")
+
+// UDPServer serves a Resolver over a UDP socket.
+type UDPServer struct {
+	Resolver *Resolver
+
+	pc     net.PacketConn
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	served int
+}
+
+// NewUDPServer wraps a resolver for UDP service.
+func NewUDPServer(r *Resolver) *UDPServer { return &UDPServer{Resolver: r} }
+
+// Start binds a fresh loopback UDP port and serves until Close.
+func (s *UDPServer) Start() (addr string, err error) {
+	s.pc, err = net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("dns: udp listen: %w", err)
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s.pc.LocalAddr().String(), nil
+}
+
+// Close stops the server.
+func (s *UDPServer) Close() error {
+	err := s.pc.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Served reports answered datagram count.
+func (s *UDPServer) Served() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+func (s *UDPServer) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, maxUDPMessage)
+	for {
+		n, peer, err := s.pc.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		query, err := dnswire.Decode(buf[:n])
+		if err != nil {
+			continue // RFC behaviour for garbage: drop
+		}
+		// The resolver observes the peer address — the identity a real
+		// resolver operator logs.
+		resp := s.Resolver.Resolve(peer.String(), query)
+		wire, err := resp.Encode()
+		if err != nil {
+			continue
+		}
+		if len(wire) > maxUDPMessage {
+			// Truncate: signal TCP retry the classic way.
+			trunc := query.Reply()
+			trunc.Truncated = true
+			if wire, err = trunc.Encode(); err != nil {
+				continue
+			}
+		}
+		if _, err := s.pc.WriteTo(wire, peer); err != nil {
+			continue
+		}
+		s.mu.Lock()
+		s.served++
+		s.mu.Unlock()
+	}
+}
+
+// QueryUDP sends one query to a UDP resolver and waits for the answer.
+// onDial, if set, receives the client's local address before the query
+// is sent (the classification ground-truth hook, as elsewhere).
+func QueryUDP(serverAddr string, q *dnswire.Message, timeout time.Duration, onDial func(localAddr string)) (*dnswire.Message, error) {
+	conn, err := net.Dial("udp", serverAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dns: udp dial: %w", err)
+	}
+	defer conn.Close()
+	if onDial != nil {
+		onDial(conn.LocalAddr().String())
+	}
+	wire, err := q.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	if timeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, maxUDPMessage)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return nil, ErrTimeout
+			}
+			return nil, err
+		}
+		resp, err := dnswire.Decode(buf[:n])
+		if err != nil {
+			continue // stray datagram
+		}
+		if resp.ID != q.ID {
+			continue // not ours
+		}
+		return resp, nil
+	}
+}

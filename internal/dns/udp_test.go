@@ -1,0 +1,182 @@
+package dns
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"decoupling/internal/core"
+	"decoupling/internal/dnswire"
+	"decoupling/internal/ledger"
+)
+
+func udpEcosystem(t *testing.T, lg *ledger.Ledger) (*UDPServer, string) {
+	t.Helper()
+	z := NewZone("udp.test")
+	for i := 0; i < 4; i++ {
+		if err := z.Add(dnswire.A(fmt.Sprintf("h%d.udp.test", i), 300, [4]byte{10, 9, 8, byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	auth := &AuthServer{Name: "auth", Zones: []*Zone{z}}
+	r := NewResolver("Resolver", []Authority{auth}, lg, nil)
+	srv := NewUDPServer(r)
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func TestUDPQueryRoundTrip(t *testing.T) {
+	srv, addr := udpEcosystem(t, nil)
+	resp, err := QueryUDP(addr, dnswire.NewQuery(42, "h2.udp.test", dnswire.TypeA), time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 42 || resp.RCode != dnswire.RCodeNoError || len(resp.Answers) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Answers[0].Data[3] != 2 {
+		t.Errorf("A rdata = %v", resp.Answers[0].Data)
+	}
+	if srv.Served() != 1 {
+		t.Errorf("served = %d", srv.Served())
+	}
+}
+
+func TestUDPNXDomainAndGarbage(t *testing.T) {
+	srv, addr := udpEcosystem(t, nil)
+	resp, err := QueryUDP(addr, dnswire.NewQuery(7, "missing.udp.test", dnswire.TypeA), time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+	// Garbage datagrams are dropped silently, not answered.
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("not dns"))
+	conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 64)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("garbage datagram got an answer")
+	}
+	if srv.Served() != 1 {
+		t.Errorf("served = %d after garbage", srv.Served())
+	}
+}
+
+func TestUDPTimeout(t *testing.T) {
+	// A UDP socket with nothing behind it: the query must time out.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	_, err = QueryUDP(pc.LocalAddr().String(), dnswire.NewQuery(1, "x.test", dnswire.TypeA), 150*time.Millisecond, nil)
+	if err != ErrTimeout {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestUDPMismatchedIDIgnored(t *testing.T) {
+	// A fake server answering with the wrong transaction id first: the
+	// client must skip it and accept the matching one.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() {
+		buf := make([]byte, maxUDPMessage)
+		n, peer, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		q, err := dnswire.Decode(buf[:n])
+		if err != nil {
+			return
+		}
+		// Wrong id (spoof attempt), then the real answer.
+		spoof := q.Reply()
+		spoof.ID = q.ID + 1
+		w, _ := spoof.Encode()
+		pc.WriteTo(w, peer)
+		real := q.Reply()
+		real.Answers = append(real.Answers, dnswire.A(q.Questions[0].Name, 60, [4]byte{1, 2, 3, 4}))
+		w, _ = real.Encode()
+		pc.WriteTo(w, peer)
+	}()
+	resp, err := QueryUDP(pc.LocalAddr().String(), dnswire.NewQuery(9, "spoof.test", dnswire.TypeA), time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 9 || len(resp.Answers) != 1 {
+		t.Errorf("accepted wrong response: %+v", resp)
+	}
+}
+
+// TestUDPBaselineCoupling: over a real socket, the resolver operator's
+// log couples the client's actual UDP endpoint with the plaintext query
+// — the §3.2.2 baseline, on the wire.
+func TestUDPBaselineCoupling(t *testing.T) {
+	cls := ledger.NewClassifier()
+	lg := ledger.New(cls, nil)
+	_, addr := udpEcosystem(t, lg)
+	cls.RegisterData("h1.udp.test.", "alice", "", core.Sensitive)
+	_, err := QueryUDP(addr, dnswire.NewQuery(3, "h1.udp.test", dnswire.TypeA), time.Second, func(localAddr string) {
+		cls.RegisterIdentity(localAddr, "alice", "", core.Sensitive)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := lg.DeriveTuple("Resolver", core.Tuple{core.NonSensID(), core.NonSensData()})
+	if !tuple.Coupled() {
+		t.Errorf("UDP resolver tuple = %s, expected coupled (▲, ●)", tuple.Symbol())
+	}
+}
+
+func TestUDPConcurrentClients(t *testing.T) {
+	_, addr := udpEcosystem(t, nil)
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			resp, err := QueryUDP(addr, dnswire.NewQuery(uint16(100+i), fmt.Sprintf("h%d.udp.test", i%4), dnswire.TypeA), time.Second, nil)
+			if err == nil && resp.RCode != dnswire.RCodeNoError {
+				err = fmt.Errorf("rcode %v", resp.RCode)
+			}
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("concurrent query: %v", err)
+		}
+	}
+}
+
+func BenchmarkUDPQuery(b *testing.B) {
+	z := NewZone("udp.test")
+	z.Add(dnswire.A("h0.udp.test", 300, [4]byte{10, 9, 8, 0}))
+	auth := &AuthServer{Name: "auth", Zones: []*Zone{z}}
+	srv := NewUDPServer(NewResolver("res", []Authority{auth}, nil, nil))
+	addr, err := srv.Start()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := QueryUDP(addr, dnswire.NewQuery(uint16(i), "h0.udp.test", dnswire.TypeA), time.Second, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package ech models TLS Encrypted ClientHello (the paper's second
+// §3.3 example of falling short of the Decoupling Principle). ECH
+// encrypts the sensitive parts of the ClientHello — most importantly
+// the inner SNI — to the client-facing server's published HPKE key, so
+// an on-path network observer sees only a public outer name. But ECH
+// does not change what the terminating server sees: it still couples
+// the client's address with their destination and request.
+//
+// The model is message-level rather than a full TLS stack: a handshake
+// carries a real HPKE-encrypted inner ClientHello, a passive Network
+// entity records what crosses the wire, and a Server entity records
+// what it terminates. That is exactly the granularity at which the
+// paper's argument lives.
+package ech
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"decoupling/internal/dcrypto/hpke"
+	"decoupling/internal/ledger"
+)
+
+// Entity names for the analysis.
+const (
+	NetworkName = "Network"
+	ServerName  = "TLS Server"
+)
+
+// PublicName is the outer SNI every ECH connection shows the network.
+const PublicName = "public.client-facing.example"
+
+const echInfo = "decoupling ech client hello"
+
+// ErrDecrypt is returned when the server cannot open the inner hello.
+var ErrDecrypt = errors.New("ech: cannot decrypt inner client hello")
+
+// ClientHello is the observable handshake opener.
+type ClientHello struct {
+	// OuterSNI is what the wire shows: the real name without ECH, the
+	// public name with it.
+	OuterSNI string
+	// EncryptedInner is the HPKE-sealed inner hello (nil without ECH).
+	EncryptedInner []byte
+}
+
+// Server is the client-facing TLS terminator (for this model, also the
+// backend).
+type Server struct {
+	kp *hpke.KeyPair
+	lg *ledger.Ledger
+
+	handled int
+}
+
+// NewServer creates a server with a published ECH key config.
+func NewServer(lg *ledger.Ledger) (*Server, error) {
+	kp, err := hpke.GenerateKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("ech: server key: %w", err)
+	}
+	return &Server{kp: kp, lg: lg}, nil
+}
+
+// ECHConfig returns the public key clients seal inner hellos to.
+func (s *Server) ECHConfig() []byte { return s.kp.PublicKey() }
+
+// Handled reports completed handshakes.
+func (s *Server) Handled() int { return s.handled }
+
+// Network is the passive on-path observer.
+type Network struct {
+	lg *ledger.Ledger
+}
+
+// NewNetwork creates the observer.
+func NewNetwork(lg *ledger.Ledger) *Network { return &Network{lg: lg} }
+
+// observe records what the wire shows for one connection.
+func (n *Network) observe(clientAddr string, hello *ClientHello) {
+	if n.lg == nil {
+		return
+	}
+	h := ledger.ConnHandle(clientAddr, "wire")
+	n.lg.SawIdentity(NetworkName, clientAddr, h)
+	n.lg.SawData(NetworkName, "sni:"+hello.OuterSNI, h)
+}
+
+// BuildHello constructs a ClientHello for innerSNI. With useECH the
+// inner name travels encrypted and the outer name is the public name.
+func BuildHello(echConfig []byte, innerSNI string, useECH bool) (*ClientHello, error) {
+	if !useECH {
+		return &ClientHello{OuterSNI: innerSNI}, nil
+	}
+	inner := make([]byte, 0, 2+len(innerSNI))
+	inner = binary.BigEndian.AppendUint16(inner, uint16(len(innerSNI)))
+	inner = append(inner, innerSNI...)
+	enc, ct, err := hpke.Seal(echConfig, []byte(echInfo), nil, inner)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientHello{OuterSNI: PublicName, EncryptedInner: append(enc, ct...)}, nil
+}
+
+// Connect runs one handshake + request: the network observes the wire,
+// the server terminates and observes the session. Returns the SNI the
+// server routed to.
+func Connect(net *Network, srv *Server, clientAddr, innerSNI, request string, useECH bool) (string, error) {
+	hello, err := BuildHello(srv.ECHConfig(), innerSNI, useECH)
+	if err != nil {
+		return "", err
+	}
+	return srv.Terminate(net, clientAddr, hello, request)
+}
+
+// Terminate processes one ClientHello as the server: the network
+// observes the wire form, then the server decrypts the inner hello (if
+// present) and records its session view.
+func (srv *Server) Terminate(net *Network, clientAddr string, hello *ClientHello, request string) (string, error) {
+	net.observe(clientAddr, hello)
+
+	routed := hello.OuterSNI
+	if hello.EncryptedInner != nil {
+		if len(hello.EncryptedInner) < hpke.NEnc+16 {
+			return "", ErrDecrypt
+		}
+		plain, err := hpke.Open(hello.EncryptedInner[:hpke.NEnc], srv.kp, []byte(echInfo), nil, hello.EncryptedInner[hpke.NEnc:])
+		if err != nil {
+			return "", ErrDecrypt
+		}
+		if len(plain) < 2 {
+			return "", ErrDecrypt
+		}
+		n := int(binary.BigEndian.Uint16(plain))
+		if len(plain) < 2+n {
+			return "", ErrDecrypt
+		}
+		routed = string(plain[2 : 2+n])
+	}
+
+	if srv.lg != nil {
+		// ECH changes nothing here: the terminating server sees the
+		// client, the real name, and the request, on one session.
+		h := ledger.ConnHandle(clientAddr, "session")
+		srv.lg.SawIdentity(ServerName, clientAddr, h)
+		srv.lg.SawData(ServerName, "sni:"+routed, h)
+		srv.lg.SawData(ServerName, request, h)
+	}
+	srv.handled++
+	return routed, nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs the full E1-E12 suite: every paper table
+// must reproduce exactly and every figure-equivalent must have the
+// paper's shape. This is the repository's headline integration test.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite skipped in -short mode")
+	}
+	for _, exp := range All() {
+		r, err := exp.Run()
+		if err != nil {
+			t.Fatalf("experiment runner error: %v", err)
+		}
+		if r.ID != exp.ID {
+			t.Errorf("declared id %s, result id %s", exp.ID, r.ID)
+		}
+		if r.Section == "" || r.Title == "" {
+			t.Errorf("%s missing metadata", r.ID)
+		}
+		t.Run(r.ID, func(t *testing.T) {
+			if !r.Pass {
+				t.Errorf("%s (%s) failed:\n%s", r.ID, r.Title, r.Render())
+			}
+		})
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r, err := E8VPN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{"E8", "3.3", "paper", "measured", "NOT DECOUPLED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	tab := Table{
+		Title:   "t",
+		Columns: []string{"a", "long column"},
+		Rows:    [][]string{{"1", "2"}, {"333333", "4"}},
+	}
+	out := renderTable(tab)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[2]) || len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestExperimentIDsAreOrdered(t *testing.T) {
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	all := All()
+	if len(all) != len(wantIDs) {
+		t.Fatalf("experiments = %d, want %d", len(all), len(wantIDs))
+	}
+	for i, exp := range all {
+		if exp.ID != wantIDs[i] {
+			t.Errorf("experiment %d id = %s, want %s", i, exp.ID, wantIDs[i])
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package ledger_test
+
+import (
+	"fmt"
+
+	"decoupling/internal/core"
+	"decoupling/internal/ledger"
+)
+
+// Example shows the measurement discipline end to end: the experiment
+// registers ground truth, protocol code records what each entity
+// actually parses, and the derived tuples answer "who knew what".
+func Example() {
+	cls := ledger.NewClassifier()
+	cls.RegisterIdentity("198.51.100.7", "alice", "", core.Sensitive)
+	cls.RegisterData("private-query.example", "alice", "", core.Sensitive)
+	lg := ledger.New(cls, nil)
+
+	// A proxy terminates alice's connection (sees her address) and
+	// forwards ciphertext; the backend decrypts the query but sees only
+	// the proxy as its peer.
+	session := ledger.ConnHandle("198.51.100.7", "proxy")
+	backendLeg := ledger.ConnHandle("proxy", "backend")
+	lg.SawIdentity("Proxy", "198.51.100.7", session)
+	lg.SawData("Proxy", "ciphertext:3fa9", session, backendLeg)
+	lg.SawIdentity("Backend", "proxy.internal", backendLeg)
+	lg.SawData("Backend", "private-query.example", backendLeg)
+
+	template := core.Tuple{core.NonSensID(), core.NonSensData()}
+	fmt.Println("Proxy:  ", lg.DeriveTuple("Proxy", template).Symbol())
+	fmt.Println("Backend:", lg.DeriveTuple("Backend", template).Symbol())
+	// Output:
+	// Proxy:   (▲, ⊙)
+	// Backend: (△, ●)
+}

@@ -1,0 +1,286 @@
+// Package ledger records what information each entity in a running
+// system actually observes, and derives empirical knowledge tuples from
+// those observations.
+//
+// This is how the reproduction makes the paper's tables falsifiable:
+// protocol implementations call Saw only from code paths where an entity
+// genuinely has a value in hand (an address on an accepted connection, a
+// name parsed out of a decrypted query), and the experiment — not the
+// protocol code — decides which values count as sensitive by registering
+// ground truth in a Classifier. An ODoH proxy that could read query
+// names would inevitably report them, the classifier would mark them
+// sensitive, and the derived tuple would diverge from the paper's table.
+//
+// Observations also carry linkage handles (connection ids, digests of
+// wire bytes). Entities that saw the same handle can join their records;
+// entities that only saw re-encrypted bytes cannot. The adversary
+// package builds its collusion analysis on exactly this.
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+
+	"decoupling/internal/core"
+)
+
+// Observation is a single "entity X saw value V" event.
+type Observation struct {
+	Observer string
+	Kind     core.Kind
+	Label    string     // tuple axis label, e.g. "" or "H"/"N" for PGPP
+	Level    core.Level // classification of the observed value
+	Subject  string     // ground-truth subject, if the value is registered
+	Value    string     // the value as observed
+	Handles  []string   // linkage handles attached by the observer
+	Time     time.Duration
+}
+
+// classEntry is the registered classification of one concrete value.
+type classEntry struct {
+	level   core.Level
+	subject string
+	label   string
+}
+
+// Classifier holds the experiment's ground truth: which concrete values
+// constitute sensitive identities or sensitive data, which subject each
+// belongs to, and which tuple axis (label) it falls on. Values never
+// registered are treated as non-sensitive with an empty label — an
+// opaque ciphertext carries no recognised information.
+type Classifier struct {
+	mu         sync.RWMutex
+	identities map[string]classEntry
+	data       map[string]classEntry
+}
+
+// NewClassifier returns an empty classifier.
+func NewClassifier() *Classifier {
+	return &Classifier{
+		identities: map[string]classEntry{},
+		data:       map[string]classEntry{},
+	}
+}
+
+// RegisterIdentity records that the concrete value (e.g. an address
+// string) is an identity of subject at the given level on axis label.
+func (c *Classifier) RegisterIdentity(value, subject, label string, level core.Level) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.identities[value] = classEntry{level: level, subject: subject, label: label}
+}
+
+// RegisterData records that the concrete value (e.g. a query name or
+// URL) is data of subject at the given level on axis label.
+func (c *Classifier) RegisterData(value, subject, label string, level core.Level) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data[value] = classEntry{level: level, subject: subject, label: label}
+}
+
+func (c *Classifier) classify(kind core.Kind, value string) classEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m := c.data
+	if kind == core.Identity {
+		m = c.identities
+	}
+	if e, ok := m[value]; ok {
+		return e
+	}
+	return classEntry{level: core.NonSensitive}
+}
+
+// Ledger accumulates observations for one experiment run. The zero
+// value is not usable; construct with New. Ledger is safe for
+// concurrent use — real-loopback systems observe from handler
+// goroutines.
+type Ledger struct {
+	classifier *Classifier
+	clock      func() time.Duration
+
+	mu  sync.Mutex
+	obs []Observation
+}
+
+// New creates a ledger bound to a classifier. clock may be nil, in which
+// case observations are timestamped zero; simulations pass their virtual
+// clock so timing attacks can be evaluated.
+func New(c *Classifier, clock func() time.Duration) *Ledger {
+	if c == nil {
+		c = NewClassifier()
+	}
+	return &Ledger{classifier: c, clock: clock}
+}
+
+// Classifier returns the bound classifier.
+func (l *Ledger) Classifier() *Classifier { return l.classifier }
+
+// Saw records that observer saw value of the given kind, with optional
+// linkage handles. Classification (level, subject, axis label) comes
+// from the classifier, never from the protocol code.
+func (l *Ledger) Saw(observer string, kind core.Kind, value string, handles ...string) {
+	e := l.classifier.classify(kind, value)
+	o := Observation{
+		Observer: observer,
+		Kind:     kind,
+		Label:    e.label,
+		Level:    e.level,
+		Subject:  e.subject,
+		Value:    value,
+		Handles:  append([]string(nil), handles...),
+	}
+	if l.clock != nil {
+		o.Time = l.clock()
+	}
+	l.mu.Lock()
+	l.obs = append(l.obs, o)
+	l.mu.Unlock()
+}
+
+// SawIdentity is shorthand for Saw with core.Identity.
+func (l *Ledger) SawIdentity(observer, value string, handles ...string) {
+	l.Saw(observer, core.Identity, value, handles...)
+}
+
+// SawData is shorthand for Saw with core.Data.
+func (l *Ledger) SawData(observer, value string, handles ...string) {
+	l.Saw(observer, core.Data, value, handles...)
+}
+
+// Observations returns a copy of all recorded observations in order.
+func (l *Ledger) Observations() []Observation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Observation(nil), l.obs...)
+}
+
+// ByObserver returns the observations recorded by one entity.
+func (l *Ledger) ByObserver(name string) []Observation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Observation
+	for _, o := range l.obs {
+		if o.Observer == name {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Len reports the number of recorded observations.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.obs)
+}
+
+// Handles returns the sorted distinct linkage handles an entity holds.
+func (l *Ledger) Handles(observer string) []string {
+	set := map[string]bool{}
+	for _, o := range l.ByObserver(observer) {
+		for _, h := range o.Handles {
+			set[h] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeriveTuple computes an entity's empirical knowledge tuple using the
+// template's axes: for each (kind, label) component in template, the
+// level is the maximum observed on that axis (NonSensitive if the entity
+// saw nothing there). Observations of Sensitive or Partial level on axes
+// absent from the template are appended, so unexpected leaks surface as
+// extra components rather than vanishing.
+func (l *Ledger) DeriveTuple(observer string, template core.Tuple) core.Tuple {
+	obs := l.ByObserver(observer)
+	type axis struct {
+		kind  core.Kind
+		label string
+	}
+	maxLevel := map[axis]core.Level{}
+	for _, o := range obs {
+		a := axis{o.Kind, o.Label}
+		if o.Level > maxLevel[a] {
+			maxLevel[a] = o.Level
+		}
+	}
+	covered := map[axis]bool{}
+	out := make(core.Tuple, 0, len(template))
+	for _, c := range template {
+		a := axis{c.Kind, c.Label}
+		covered[a] = true
+		out = append(out, core.Component{Kind: c.Kind, Label: c.Label, Level: maxLevel[a]})
+	}
+	// Surface unexpected sensitive/partial knowledge.
+	extras := make([]axis, 0)
+	for a, lvl := range maxLevel {
+		if !covered[a] && lvl > core.NonSensitive {
+			extras = append(extras, a)
+		}
+	}
+	sort.Slice(extras, func(i, j int) bool {
+		if extras[i].kind != extras[j].kind {
+			return extras[i].kind < extras[j].kind
+		}
+		return extras[i].label < extras[j].label
+	})
+	for _, a := range extras {
+		out = append(out, core.Component{Kind: a.kind, Label: a.label, Level: maxLevel[a]})
+	}
+	return out
+}
+
+// DeriveSystem builds a measured core.System shaped like expected: same
+// entities, tuples derived from observations, links set to each entity's
+// observed handles. The user entity keeps its modeled tuple (the user
+// trivially knows their own identity and data; implementations do not
+// instrument the user observing themself). Shared-secret structures are
+// copied from the expected model — they describe the protocol's algebra,
+// not an observation.
+func (l *Ledger) DeriveSystem(expected *core.System) *core.System {
+	out := &core.System{
+		Name:          expected.Name + " (measured)",
+		Section:       expected.Section,
+		SharedSecrets: expected.SharedSecrets,
+		Notes:         "derived from runtime observations",
+	}
+	for _, e := range expected.Entities {
+		ne := core.Entity{Name: e.Name, User: e.User}
+		if e.User {
+			ne.Knows = e.Knows
+		} else {
+			ne.Knows = l.DeriveTuple(e.Name, e.Knows)
+			ne.Links = l.Handles(e.Name)
+		}
+		out.Entities = append(out.Entities, ne)
+	}
+	return out
+}
+
+// Hash produces a stable linkage handle from wire bytes: two entities
+// that saw the same bytes (and only they) share the handle. Truncated
+// SHA-256, hex-encoded.
+func Hash(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:12])
+}
+
+// ConnHandle produces a linkage handle for a shared connection or
+// session named by both endpoints, e.g. ConnHandle("client7", "relay1").
+func ConnHandle(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}

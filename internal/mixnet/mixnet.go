@@ -1,0 +1,375 @@
+// Package mixnet implements Chaum's mix network (the paper's §3.1.2,
+// Figure 1): senders wrap messages in layered public-key encryption;
+// each mix strips one layer, collects messages into a batch, shuffles,
+// and forwards — decoupling who is sending from what is being received.
+//
+// The implementation runs over the deterministic simulator in
+// internal/simnet. Each layer is an HPKE sealed box, so the bytes on
+// every hop are cryptographically unrelated to the bytes on the next:
+// the linkage handles recorded in the ledger (digests of wire bytes)
+// therefore chain only between adjacent hops, which is precisely the
+// structure the paper's collusion argument relies on.
+//
+// Two Chaum defenses are modeled because §4.3 quantifies their cost:
+//
+//   - batch-and-shuffle forwarding (threshold + timeout) against timing
+//     correlation, and
+//   - fixed-size message padding against size correlation.
+package mixnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"decoupling/internal/dcrypto/hpke"
+	"decoupling/internal/ledger"
+	"decoupling/internal/simnet"
+)
+
+// Wire layer types.
+const (
+	layerRelay   byte = 0
+	layerDeliver byte = 1
+)
+
+// Wire tags: the first byte of every simnet payload distinguishes
+// forward onions from reply-block traffic (Chaum's untraceable return
+// addresses) and final reply deliveries.
+const (
+	tagOnion        byte = 0x4F // 'O'
+	tagReply        byte = 0x52 // 'R'
+	tagReplyDeliver byte = 0x44 // 'D'
+)
+
+var (
+	// ErrMalformedLayer is returned when a decrypted layer cannot be
+	// parsed.
+	ErrMalformedLayer = errors.New("mixnet: malformed onion layer")
+	// ErrPadOverflow is returned when a message exceeds the pad size.
+	ErrPadOverflow = errors.New("mixnet: message longer than pad size")
+)
+
+const hpkeInfo = "decoupling mixnet layer"
+
+// NodeInfo is the public routing descriptor of a mix or receiver.
+type NodeInfo struct {
+	Addr   simnet.Addr
+	PubKey []byte
+}
+
+// BuildOnion wraps message for delivery to the receiver through the
+// given route of mixes (first hop first). If padTo > 0 the innermost
+// plaintext is padded to exactly padTo bytes so all messages entering
+// the network are size-indistinguishable.
+//
+// Layer format (plaintext of each sealed box):
+//
+//	[type:1][addrlen:2][next addr][inner bytes...]
+//
+// where type==layerDeliver marks the receiver's own layer.
+func BuildOnion(route []NodeInfo, receiver NodeInfo, message []byte, padTo int) ([]byte, error) {
+	if len(route) == 0 {
+		return nil, errors.New("mixnet: empty route")
+	}
+	inner := message
+	if padTo > 0 {
+		if len(message)+4 > padTo {
+			return nil, ErrPadOverflow
+		}
+		padded := make([]byte, padTo)
+		binary.BigEndian.PutUint32(padded, uint32(len(message)))
+		copy(padded[4:], message)
+		inner = padded
+	}
+
+	// Innermost: sealed to the receiver.
+	plain := make([]byte, 0, 3+len(receiver.Addr)+len(inner))
+	plain = append(plain, layerDeliver)
+	plain = binary.BigEndian.AppendUint16(plain, uint16(len(receiver.Addr)))
+	plain = append(plain, receiver.Addr...)
+	plain = append(plain, inner...)
+	wire, err := seal(receiver.PubKey, plain)
+	if err != nil {
+		return nil, err
+	}
+
+	// Wrap outward: route[len-1] ... route[0]. Each layer names the
+	// *next* hop the decrypting mix must forward to.
+	next := receiver.Addr
+	for i := len(route) - 1; i >= 0; i-- {
+		plain = make([]byte, 0, 3+len(next)+len(wire))
+		plain = append(plain, layerRelay)
+		plain = binary.BigEndian.AppendUint16(plain, uint16(len(next)))
+		plain = append(plain, next...)
+		plain = append(plain, wire...)
+		wire, err = seal(route[i].PubKey, plain)
+		if err != nil {
+			return nil, err
+		}
+		next = route[i].Addr
+	}
+	return wire, nil
+}
+
+func seal(pub, plain []byte) ([]byte, error) {
+	enc, ct, err := hpke.Seal(pub, []byte(hpkeInfo), nil, plain)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(enc)+len(ct))
+	out = append(out, enc...)
+	return append(out, ct...), nil
+}
+
+func open(kp *hpke.KeyPair, wire []byte) ([]byte, error) {
+	if len(wire) < hpke.NEnc+16 {
+		return nil, ErrMalformedLayer
+	}
+	return hpke.Open(wire[:hpke.NEnc], kp, []byte(hpkeInfo), nil, wire[hpke.NEnc:])
+}
+
+func parseLayer(plain []byte) (typ byte, next simnet.Addr, inner []byte, err error) {
+	if len(plain) < 3 {
+		return 0, "", nil, ErrMalformedLayer
+	}
+	typ = plain[0]
+	n := int(binary.BigEndian.Uint16(plain[1:3]))
+	if len(plain) < 3+n {
+		return 0, "", nil, ErrMalformedLayer
+	}
+	return typ, simnet.Addr(plain[3 : 3+n]), plain[3+n:], nil
+}
+
+// Mix is one relay node. It batches incoming messages and flushes them
+// in shuffled order when the batch reaches Threshold messages or
+// Timeout elapses since the first queued message, whichever is first.
+type Mix struct {
+	Name string // ledger entity name, e.g. "Mix 1"
+	Addr simnet.Addr
+
+	// Threshold is the batch size that triggers a flush. 1 disables
+	// batching (the ablation baseline: a plain FIFO relay).
+	Threshold int
+	// Timeout bounds queueing delay; <= 0 means wait for a full batch.
+	Timeout time.Duration
+
+	kp *hpke.KeyPair
+	lg *ledger.Ledger
+
+	queue        []outbound
+	pendingFlush bool // a timeout flush is scheduled
+	flushes      int
+	dropped      int
+}
+
+type outbound struct {
+	next simnet.Addr
+	wire []byte
+	tag  byte
+}
+
+// NewMix creates a mix and registers it on the network.
+func NewMix(net *simnet.Network, name string, addr simnet.Addr, threshold int, timeout time.Duration, lg *ledger.Ledger) (*Mix, error) {
+	kp, err := hpke.GenerateKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("mixnet: mix key: %w", err)
+	}
+	m := &Mix{Name: name, Addr: addr, Threshold: threshold, Timeout: timeout, kp: kp, lg: lg}
+	net.Register(addr, m.handle)
+	return m, nil
+}
+
+// Info returns the mix's routing descriptor.
+func (m *Mix) Info() NodeInfo { return NodeInfo{Addr: m.Addr, PubKey: m.kp.PublicKey()} }
+
+// Stats reports flush and drop counts.
+func (m *Mix) Stats() (flushes, dropped int) { return m.flushes, m.dropped }
+
+func (m *Mix) handle(net *simnet.Network, msg simnet.Message) {
+	if len(msg.Payload) < 1 {
+		m.dropped++
+		return
+	}
+	switch msg.Payload[0] {
+	case tagOnion:
+		m.handleOnion(net, msg)
+	case tagReply:
+		m.handleReply(net, msg)
+	default:
+		m.dropped++
+	}
+}
+
+func (m *Mix) handleOnion(net *simnet.Network, msg simnet.Message) {
+	inHandle := ledger.Hash(msg.Payload[1:])
+	plain, err := open(m.kp, msg.Payload[1:])
+	if err != nil {
+		m.dropped++
+		return
+	}
+	typ, next, inner, err := parseLayer(plain)
+	if err != nil || typ != layerRelay {
+		m.dropped++
+		return
+	}
+	if m.lg != nil {
+		// The mix sees the previous hop's address and the re-encrypted
+		// inner bytes. Its two handles are the digests of the wire bytes
+		// it shared with its neighbors.
+		outHandle := ledger.Hash(inner)
+		m.lg.SawIdentity(m.Name, string(msg.Src), inHandle, outHandle)
+		m.lg.SawData(m.Name, "onion:"+outHandle, inHandle, outHandle)
+	}
+	m.queue = append(m.queue, outbound{next: next, wire: inner, tag: tagOnion})
+	if m.Threshold > 1 && len(m.queue) < m.Threshold {
+		if m.Timeout > 0 && !m.pendingFlush {
+			m.pendingFlush = true
+			net.After(m.Timeout, func() {
+				m.pendingFlush = false
+				m.flush(net)
+			})
+		}
+		return
+	}
+	m.flush(net)
+}
+
+// flush shuffles the queue (Fisher-Yates over the network's seeded RNG)
+// and forwards everything.
+func (m *Mix) flush(net *simnet.Network) {
+	if len(m.queue) == 0 {
+		return
+	}
+	q := m.queue
+	m.queue = nil
+	for i := len(q) - 1; i > 0; i-- {
+		j := net.Rand(i + 1)
+		q[i], q[j] = q[j], q[i]
+	}
+	for _, o := range q {
+		out := append([]byte{o.tag}, o.wire...)
+		if err := net.Send(m.Addr, o.next, out); err != nil {
+			m.dropped++
+		}
+	}
+	m.flushes++
+}
+
+// Received is a message delivered to a receiver.
+type Received struct {
+	From simnet.Addr // last-hop mix address
+	Body []byte
+	Time time.Duration
+}
+
+// Receiver is a terminal node that opens the innermost layer.
+type Receiver struct {
+	Name string
+	Addr simnet.Addr
+	kp   *hpke.KeyPair
+	lg   *ledger.Ledger
+	// Padded indicates senders pad messages; the receiver then strips
+	// the length-prefixed padding.
+	Padded bool
+
+	inbox   []Received
+	dropped int
+}
+
+// NewReceiver creates a receiver and registers it on the network.
+func NewReceiver(net *simnet.Network, name string, addr simnet.Addr, padded bool, lg *ledger.Ledger) (*Receiver, error) {
+	kp, err := hpke.GenerateKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("mixnet: receiver key: %w", err)
+	}
+	r := &Receiver{Name: name, Addr: addr, kp: kp, lg: lg, Padded: padded}
+	net.Register(addr, r.handle)
+	return r, nil
+}
+
+// Info returns the receiver's routing descriptor.
+func (r *Receiver) Info() NodeInfo { return NodeInfo{Addr: r.Addr, PubKey: r.kp.PublicKey()} }
+
+func (r *Receiver) handle(net *simnet.Network, msg simnet.Message) {
+	if len(msg.Payload) < 1 || msg.Payload[0] != tagOnion {
+		r.dropped++
+		return
+	}
+	inHandle := ledger.Hash(msg.Payload[1:])
+	plain, err := open(r.kp, msg.Payload[1:])
+	if err != nil {
+		r.dropped++
+		return
+	}
+	typ, _, inner, err := parseLayer(plain)
+	if err != nil || typ != layerDeliver {
+		r.dropped++
+		return
+	}
+	body := inner
+	if r.Padded {
+		if len(inner) < 4 {
+			r.dropped++
+			return
+		}
+		n := int(binary.BigEndian.Uint32(inner))
+		if n > len(inner)-4 {
+			r.dropped++
+			return
+		}
+		body = inner[4 : 4+n]
+	}
+	if r.lg != nil {
+		r.lg.SawIdentity(r.Name, string(msg.Src), inHandle)
+		r.lg.SawData(r.Name, string(body), inHandle)
+	}
+	r.inbox = append(r.inbox, Received{From: msg.Src, Body: append([]byte(nil), body...), Time: net.Now()})
+}
+
+// Inbox returns the messages received so far.
+func (r *Receiver) Inbox() []Received { return append([]Received(nil), r.inbox...) }
+
+// Dropped reports undecryptable or malformed deliveries.
+func (r *Receiver) Dropped() int { return r.dropped }
+
+// Sender originates onions. It is a thin helper tying a client address
+// to BuildOnion + Send.
+type Sender struct {
+	Addr  simnet.Addr
+	PadTo int
+}
+
+// Send wraps message for the route and injects it at the first mix.
+func (s *Sender) Send(net *simnet.Network, route []NodeInfo, receiver NodeInfo, message []byte) error {
+	onion, err := BuildOnion(route, receiver, message, s.PadTo)
+	if err != nil {
+		return err
+	}
+	return net.Send(s.Addr, route[0].Addr, append([]byte{tagOnion}, onion...))
+}
+
+// RandomRoute draws a route of `hops` distinct mixes from pool using
+// the network's deterministic RNG — the free-route alternative to a
+// fixed cascade. Free routes spread trust across the whole mix pool:
+// no single fixed entry mix sees every sender.
+func RandomRoute(net *simnet.Network, pool []NodeInfo, hops int) ([]NodeInfo, error) {
+	if hops <= 0 || hops > len(pool) {
+		return nil, fmt.Errorf("mixnet: cannot pick %d distinct mixes from a pool of %d", hops, len(pool))
+	}
+	idx := make([]int, len(pool))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial Fisher-Yates: shuffle the first `hops` positions.
+	for i := 0; i < hops; i++ {
+		j := i + net.Rand(len(pool)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	route := make([]NodeInfo, hops)
+	for i := 0; i < hops; i++ {
+		route[i] = pool[idx[i]]
+	}
+	return route, nil
+}

@@ -1,0 +1,241 @@
+// Package odns implements Oblivious DNS (the original ODNS design the
+// paper cites in §3.2.2): clients encrypt their query and pack the
+// ciphertext into a QNAME under a dedicated pseudo-TLD (".odns"); the
+// client's ordinary recursive resolver, none the wiser, recurses the
+// strange name to the authoritative server for .odns — the oblivious
+// resolver — which decrypts, resolves the real query, and returns the
+// answer encrypted under a key carried inside the query.
+//
+// The decoupling: the recursive resolver sees who is asking (▲) but only
+// ciphertext labels (⊙); the oblivious resolver sees the real query (●)
+// but only the recursive resolver's identity (△).
+//
+// The oblivious resolver plugs into internal/dns as an Authority, so an
+// unmodified dns.Resolver carries ODNS traffic exactly as the design
+// intends.
+package odns
+
+import (
+	"crypto/rand"
+	"encoding/base32"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"decoupling/internal/dcrypto/hpke"
+	"decoupling/internal/dns"
+	"decoupling/internal/dnswire"
+	"decoupling/internal/ledger"
+)
+
+// TLD is the pseudo-TLD the oblivious resolver is authoritative for.
+const TLD = "odns."
+
+// ObliviousResolverName is the ledger entity name.
+const ObliviousResolverName = "Oblivious Resolver"
+
+const queryInfo = "decoupling odns query"
+
+var (
+	// ErrBadEncapsulation is returned for undecodable ODNS names.
+	ErrBadEncapsulation = errors.New("odns: malformed encapsulated query")
+	// ErrBadResponse is returned when a response fails to decrypt.
+	ErrBadResponse = errors.New("odns: response decryption failed")
+)
+
+// b32 is unpadded base32 in lowercase-safe hex alphabet (DNS labels are
+// case-insensitive, so the standard alphabet's mixed case is unsafe).
+var b32 = base32.HexEncoding.WithPadding(base32.NoPadding)
+
+// encapsulate packs raw bytes into DNS labels under the .odns TLD.
+func encapsulate(raw []byte) (string, error) {
+	s := strings.ToLower(b32.EncodeToString(raw))
+	var labels []string
+	for len(s) > 0 {
+		n := len(s)
+		if n > 60 {
+			n = 60
+		}
+		labels = append(labels, s[:n])
+		s = s[n:]
+	}
+	name := strings.Join(labels, ".") + "." + TLD
+	if len(name) > 250 {
+		return "", fmt.Errorf("odns: encapsulated name %d bytes exceeds DNS limit", len(name))
+	}
+	return name, nil
+}
+
+// decapsulate reverses encapsulate.
+func decapsulate(name string) ([]byte, error) {
+	name = dnswire.CanonicalName(name)
+	if !dns.InZone(name, TLD) {
+		return nil, ErrBadEncapsulation
+	}
+	joined := strings.ReplaceAll(strings.TrimSuffix(name, "."+TLD), ".", "")
+	raw, err := b32.DecodeString(strings.ToUpper(joined))
+	if err != nil {
+		return nil, ErrBadEncapsulation
+	}
+	return raw, nil
+}
+
+// queryPlaintext is the decrypted content of an ODNS query:
+//
+//	[respKey 16][qtype 2][qname...]
+const respKeySize = 16
+
+// ObliviousResolver decrypts ODNS queries and resolves them through its
+// own recursive machinery. It implements dns.Authority for the .odns
+// zone.
+type ObliviousResolver struct {
+	kp *hpke.KeyPair
+	lg *ledger.Ledger
+	// Upstream answers the decrypted inner queries.
+	Upstream dns.Authority
+
+	handled int
+	dropped int
+}
+
+// NewObliviousResolver creates the .odns authority.
+func NewObliviousResolver(upstream dns.Authority, lg *ledger.Ledger) (*ObliviousResolver, error) {
+	kp, err := hpke.GenerateKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("odns: resolver key: %w", err)
+	}
+	return &ObliviousResolver{kp: kp, lg: lg, Upstream: upstream}, nil
+}
+
+// PublicKey returns the key clients encrypt queries to.
+func (o *ObliviousResolver) PublicKey() []byte { return o.kp.PublicKey() }
+
+// Serves implements dns.Authority: everything under .odns.
+func (o *ObliviousResolver) Serves(name string) bool {
+	return dns.InZone(dnswire.CanonicalName(name), TLD)
+}
+
+// Handle implements dns.Authority: decrypt, resolve, encrypt the answer
+// into a TXT record on the queried (opaque) name.
+func (o *ObliviousResolver) Handle(from string, q *dnswire.Message) *dnswire.Message {
+	r := q.Reply()
+	r.Authoritative = true
+	if len(q.Questions) != 1 {
+		r.RCode = dnswire.RCodeFormErr
+		return r
+	}
+	qname := q.Questions[0].Name
+	raw, err := decapsulate(qname)
+	if err != nil || len(raw) < hpke.NEnc+16 {
+		o.dropped++
+		r.RCode = dnswire.RCodeFormErr
+		return r
+	}
+	plain, err := hpke.Open(raw[:hpke.NEnc], o.kp, []byte(queryInfo), nil, raw[hpke.NEnc:])
+	if err != nil || len(plain) < respKeySize+2 {
+		o.dropped++
+		r.RCode = dnswire.RCodeServFail
+		return r
+	}
+	respKey := plain[:respKeySize]
+	qtype := dnswire.Type(binary.BigEndian.Uint16(plain[respKeySize:]))
+	innerName := string(plain[respKeySize+2:])
+
+	if o.lg != nil {
+		// Join keys: the proxy leg, the outer (obfuscated) name bytes the
+		// recursive resolver also saw, and the inner name bytes the
+		// origin's authoritative server will see.
+		h := ledger.ConnHandle(from, ObliviousResolverName)
+		outerH := ledger.Hash([]byte(dnswire.CanonicalName(qname)))
+		innerH := ledger.Hash([]byte(dnswire.CanonicalName(innerName)))
+		o.lg.SawIdentity(ObliviousResolverName, from, h, outerH)
+		o.lg.SawData(ObliviousResolverName, dnswire.CanonicalName(innerName), h, outerH, innerH)
+	}
+
+	// Resolve the real query.
+	inner := dnswire.NewQuery(q.ID, innerName, qtype)
+	var upstream *dnswire.Message
+	if o.Upstream != nil && o.Upstream.Serves(innerName) {
+		upstream = o.Upstream.Handle(ObliviousResolverName, inner)
+	} else {
+		upstream = inner.Reply()
+		upstream.RCode = dnswire.RCodeServFail
+	}
+
+	// Encrypt the serialized answer under the client's response key.
+	wire, err := upstream.Encode()
+	if err != nil {
+		r.RCode = dnswire.RCodeServFail
+		return r
+	}
+	sealed, err := hpke.SealSymmetric(respKey, nil, wire)
+	if err != nil {
+		r.RCode = dnswire.RCodeServFail
+		return r
+	}
+	r.Answers = []dnswire.RR{{
+		Name: dnswire.CanonicalName(qname), Type: dnswire.TypeTXT,
+		Class: dnswire.ClassIN, TTL: 0,
+		Data: dnswire.TXTData(b32.EncodeToString(sealed)),
+	}}
+	o.handled++
+	return r
+}
+
+// Stats reports handled and dropped query counts.
+func (o *ObliviousResolver) Stats() (handled, dropped int) { return o.handled, o.dropped }
+
+// Client builds ODNS queries and decrypts answers. It talks to a plain
+// recursive resolver, which is where the architectural trick lives.
+type Client struct {
+	ID        string // client identity as the recursive resolver sees it
+	targetKey []byte
+	recursive *dns.Resolver
+}
+
+// NewClient creates an ODNS client using the given recursive resolver
+// and oblivious-resolver public key.
+func NewClient(id string, targetKey []byte, recursive *dns.Resolver) *Client {
+	return &Client{ID: id, targetKey: targetKey, recursive: recursive}
+}
+
+// Query resolves (name, qtype) obliviously, returning the inner answer
+// message.
+func (c *Client) Query(name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	respKey := make([]byte, respKeySize)
+	if _, err := rand.Read(respKey); err != nil {
+		return nil, fmt.Errorf("odns: response key: %w", err)
+	}
+	plain := make([]byte, 0, respKeySize+2+len(name))
+	plain = append(plain, respKey...)
+	plain = binary.BigEndian.AppendUint16(plain, uint16(qtype))
+	plain = append(plain, name...)
+
+	enc, ct, err := hpke.Seal(c.targetKey, []byte(queryInfo), nil, plain)
+	if err != nil {
+		return nil, err
+	}
+	qname, err := encapsulate(append(enc, ct...))
+	if err != nil {
+		return nil, err
+	}
+
+	outer := c.recursive.Resolve(c.ID, dnswire.NewQuery(1, qname, dnswire.TypeTXT))
+	if outer.RCode != dnswire.RCodeNoError || len(outer.Answers) != 1 {
+		return nil, fmt.Errorf("odns: outer query failed: rcode=%v answers=%d", outer.RCode, len(outer.Answers))
+	}
+	txt, err := outer.Answers[0].TXT()
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := b32.DecodeString(txt)
+	if err != nil {
+		return nil, ErrBadEncapsulation
+	}
+	innerWire, err := hpke.OpenSymmetric(respKey, nil, sealed)
+	if err != nil {
+		return nil, ErrBadResponse
+	}
+	return dnswire.Decode(innerWire)
+}

@@ -1,0 +1,38 @@
+package odoh
+
+import "testing"
+
+func FuzzUnmarshalMessage(f *testing.F) {
+	m := &Message{Type: MessageTypeQuery, KeyID: []byte("12345678"), Body: []byte("body")}
+	f.Add(m.Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := UnmarshalMessage(data)
+		if err != nil {
+			return
+		}
+		back, err := UnmarshalMessage(msg.Marshal())
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if back.Type != msg.Type || string(back.KeyID) != string(msg.KeyID) || string(back.Body) != string(msg.Body) {
+			t.Fatal("message changed across round trip")
+		}
+	})
+}
+
+// FuzzHandleQuery throws arbitrary bytes at a live target: every input
+// must produce a clean error or a decryptable response, never a panic.
+func FuzzHandleQuery(f *testing.F) {
+	target, err := NewTarget("fuzz-target", nil, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	keyID, _ := target.KeyConfig()
+	valid := (&Message{Type: MessageTypeQuery, KeyID: keyID, Body: make([]byte, 64)}).Marshal()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = target.HandleQuery("fuzzer", data)
+	})
+}

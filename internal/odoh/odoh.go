@@ -1,0 +1,434 @@
+// Package odoh implements Oblivious DNS over HTTPS in the shape of
+// RFC 9230, the second §3.2.2 system: clients HPKE-encrypt DNS queries
+// to an Oblivious Target's published key config and send them through an
+// Oblivious Proxy over HTTP. The proxy learns the client's identity but
+// sees only ciphertext; the target decrypts and resolves but sees only
+// the proxy.
+//
+// Message format (ObliviousDoHMessage):
+//
+//	[type 1][keyID len 2][keyID][msg len 2][msg]
+//
+// where type 1 is a query (msg = enc || ciphertext) and type 2 a
+// response (msg = AES-GCM sealed under the key exported from the query's
+// HPKE context with label "odoh response").
+//
+// Proxy and Target are plain types; ProxyHandler/TargetHandler adapt
+// them to net/http so the examples run the protocol over real loopback
+// TCP. The paper's table entity names: the proxy is the client's
+// "Resolver", the target the "Oblivious Resolver".
+package odoh
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"decoupling/internal/dcrypto/hpke"
+	"decoupling/internal/dns"
+	"decoupling/internal/dnswire"
+	"decoupling/internal/ledger"
+)
+
+// Message types.
+const (
+	MessageTypeQuery    byte = 1
+	MessageTypeResponse byte = 2
+)
+
+// Default entity names matching the paper's §3.2.2 table.
+const (
+	ProxyName  = "Resolver"
+	TargetName = "Oblivious Resolver"
+)
+
+const (
+	queryInfo     = "decoupling odoh query"
+	responseLabel = "odoh response"
+	respKeyLen    = 16
+)
+
+// Errors returned by the protocol.
+var (
+	ErrMalformed  = errors.New("odoh: malformed oblivious message")
+	ErrUnknownKey = errors.New("odoh: unknown key id")
+	ErrType       = errors.New("odoh: unexpected message type")
+)
+
+// Message is the ObliviousDoHMessage envelope.
+type Message struct {
+	Type  byte
+	KeyID []byte
+	Body  []byte
+}
+
+// Marshal encodes the envelope.
+func (m *Message) Marshal() []byte {
+	out := make([]byte, 0, 1+2+len(m.KeyID)+2+len(m.Body))
+	out = append(out, m.Type)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(m.KeyID)))
+	out = append(out, m.KeyID...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(m.Body)))
+	return append(out, m.Body...)
+}
+
+// UnmarshalMessage decodes an envelope.
+func UnmarshalMessage(data []byte) (*Message, error) {
+	if len(data) < 5 {
+		return nil, ErrMalformed
+	}
+	m := &Message{Type: data[0]}
+	rest := data[1:]
+	n := int(binary.BigEndian.Uint16(rest))
+	rest = rest[2:]
+	if len(rest) < n {
+		return nil, ErrMalformed
+	}
+	m.KeyID = append([]byte(nil), rest[:n]...)
+	rest = rest[n:]
+	if len(rest) < 2 {
+		return nil, ErrMalformed
+	}
+	n = int(binary.BigEndian.Uint16(rest))
+	rest = rest[2:]
+	if len(rest) != n {
+		return nil, ErrMalformed
+	}
+	m.Body = append([]byte(nil), rest...)
+	return m, nil
+}
+
+// Target is the Oblivious Target: it holds the HPKE keys and resolves
+// decrypted queries through an upstream authority. Targets publish key
+// configs with a lifecycle: RotateKey mints a new current config while
+// previous configs keep decrypting (clients refresh configs lazily);
+// ExpireOldKeys ends the grace period.
+type Target struct {
+	Name     string
+	lg       *ledger.Ledger
+	Upstream dns.Authority
+
+	mu      sync.Mutex
+	keys    map[string]*hpke.KeyPair // keyID -> key, all accepted
+	current string                   // keyID of the published config
+	handled int
+}
+
+func keyIDOf(pub []byte) []byte {
+	sum := sha256.Sum256(pub)
+	return sum[:8]
+}
+
+// NewTarget creates a target resolving through upstream.
+func NewTarget(name string, upstream dns.Authority, lg *ledger.Ledger) (*Target, error) {
+	t := &Target{Name: name, lg: lg, Upstream: upstream, keys: map[string]*hpke.KeyPair{}}
+	if _, _, err := t.RotateKey(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RotateKey generates and publishes a fresh key config. Queries sealed
+// to previous configs continue to decrypt until ExpireOldKeys.
+func (t *Target) RotateKey() (keyID, pub []byte, err error) {
+	kp, err := hpke.GenerateKeyPair()
+	if err != nil {
+		return nil, nil, fmt.Errorf("odoh: target key: %w", err)
+	}
+	id := keyIDOf(kp.PublicKey())
+	t.mu.Lock()
+	t.keys[string(id)] = kp
+	t.current = string(id)
+	t.mu.Unlock()
+	return id, kp.PublicKey(), nil
+}
+
+// ExpireOldKeys drops every config except the current one.
+func (t *Target) ExpireOldKeys() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id := range t.keys {
+		if id != t.current {
+			delete(t.keys, id)
+		}
+	}
+}
+
+// KeyConfig returns (keyID, public key) of the current published
+// config.
+func (t *Target) KeyConfig() (keyID, pub []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kp := t.keys[t.current]
+	return []byte(t.current), kp.PublicKey()
+}
+
+// Handled reports the number of successfully answered queries.
+func (t *Target) Handled() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.handled
+}
+
+// HandleQuery processes one oblivious query arriving from the named
+// party (normally the proxy) and returns the encrypted response
+// envelope.
+func (t *Target) HandleQuery(from string, raw []byte) ([]byte, error) {
+	m, err := UnmarshalMessage(raw)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != MessageTypeQuery {
+		return nil, ErrType
+	}
+	t.mu.Lock()
+	kp, ok := t.keys[string(m.KeyID)]
+	t.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownKey
+	}
+	if len(m.Body) < hpke.NEnc+16 {
+		return nil, ErrMalformed
+	}
+	ctx, err := hpke.SetupRecipient(m.Body[:hpke.NEnc], kp, []byte(queryInfo))
+	if err != nil {
+		return nil, err
+	}
+	wire, err := ctx.Open(nil, m.Body[hpke.NEnc:])
+	if err != nil {
+		return nil, err
+	}
+	query, err := dnswire.Decode(wire)
+	if err != nil || len(query.Questions) != 1 {
+		return nil, ErrMalformed
+	}
+	name := dnswire.CanonicalName(query.Questions[0].Name)
+
+	if t.lg != nil {
+		h := ledger.ConnHandle(from, t.Name)
+		t.lg.SawIdentity(t.Name, from, h)
+		t.lg.SawData(t.Name, name, h, "recursion:"+name)
+	}
+
+	var resp *dnswire.Message
+	if t.Upstream != nil && t.Upstream.Serves(name) {
+		resp = t.Upstream.Handle(t.Name, query)
+	} else {
+		resp = query.Reply()
+		resp.RCode = dnswire.RCodeServFail
+	}
+	respWire, err := resp.Encode()
+	if err != nil {
+		return nil, err
+	}
+	respKey := ctx.Export([]byte(responseLabel), respKeyLen)
+	sealed, err := hpke.SealSymmetric(respKey, nil, respWire)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.handled++
+	t.mu.Unlock()
+	return (&Message{Type: MessageTypeResponse, KeyID: m.KeyID, Body: sealed}).Marshal(), nil
+}
+
+// Proxy is the Oblivious Proxy: the client's untrusting courier. It
+// plays the "Resolver" role of the paper's table — the party that knows
+// the client but not the query.
+type Proxy struct {
+	Name   string
+	Target *Target
+	lg     *ledger.Ledger
+
+	mu        sync.Mutex
+	forwarded int
+}
+
+// NewProxy creates a proxy forwarding to target.
+func NewProxy(name string, target *Target, lg *ledger.Ledger) *Proxy {
+	return &Proxy{Name: name, Target: target, lg: lg}
+}
+
+// Forwarded reports the number of relayed queries.
+func (p *Proxy) Forwarded() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.forwarded
+}
+
+// Forward relays an opaque oblivious query from clientAddr to the
+// target and returns the opaque response. The proxy's observations:
+// the client's identity and two ciphertext blobs.
+func (p *Proxy) Forward(clientAddr string, raw []byte) ([]byte, error) {
+	if p.lg != nil {
+		// The raw observed peer endpoint is itself a join key (the party
+		// on the other side of the socket holds the same string), in
+		// addition to the per-leg session handles.
+		clientLeg := ledger.ConnHandle(clientAddr, p.Name)
+		targetLeg := ledger.ConnHandle(p.Name, p.Target.Name)
+		p.lg.SawIdentity(p.Name, clientAddr, clientAddr, clientLeg)
+		p.lg.SawData(p.Name, "ciphertext:"+ledger.Hash(raw), clientLeg, targetLeg)
+	}
+	resp, err := p.Target.HandleQuery(p.Name, raw)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.forwarded++
+	p.mu.Unlock()
+	return resp, nil
+}
+
+// Client encrypts DNS queries for a target and sends them via a
+// forwarding function (direct proxy call or HTTP).
+type Client struct {
+	ID        string
+	targetKey []byte
+	keyID     []byte
+}
+
+// NewClient creates a client for the given target key config.
+func NewClient(id string, keyID, targetPub []byte) *Client {
+	return &Client{ID: id, targetKey: targetPub, keyID: keyID}
+}
+
+// ForwardFunc relays an oblivious query and returns the raw response.
+type ForwardFunc func(clientAddr string, raw []byte) ([]byte, error)
+
+// Query obliviously resolves (name, qtype) via forward.
+func (c *Client) Query(name string, qtype dnswire.Type, forward ForwardFunc) (*dnswire.Message, error) {
+	q := dnswire.NewQuery(1, name, qtype)
+	wire, err := q.Encode()
+	if err != nil {
+		return nil, err
+	}
+	enc, ctx, err := hpke.SetupSender(c.targetKey, []byte(queryInfo))
+	if err != nil {
+		return nil, err
+	}
+	body := append(append([]byte(nil), enc...), ctx.Seal(nil, wire)...)
+	msg := &Message{Type: MessageTypeQuery, KeyID: c.keyID, Body: body}
+
+	rawResp, err := forward(c.ID, msg.Marshal())
+	if err != nil {
+		return nil, err
+	}
+	respMsg, err := UnmarshalMessage(rawResp)
+	if err != nil {
+		return nil, err
+	}
+	if respMsg.Type != MessageTypeResponse {
+		return nil, ErrType
+	}
+	respKey := ctx.Export([]byte(responseLabel), respKeyLen)
+	respWire, err := hpke.OpenSymmetric(respKey, nil, respMsg.Body)
+	if err != nil {
+		return nil, err
+	}
+	return dnswire.Decode(respWire)
+}
+
+// --- HTTP adapters -------------------------------------------------
+
+const contentType = "application/oblivious-dns-message"
+
+// TargetHandler serves the target at POST /dns-query.
+func TargetHandler(t *Target) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		resp, err := t.HandleQuery(r.RemoteAddr, body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Write(resp)
+	})
+}
+
+// ProxyHandler serves the proxy at POST /proxy. When httpTarget is
+// non-empty the proxy relays over real HTTP to that base URL; otherwise
+// it uses its direct target reference.
+func ProxyHandler(p *Proxy, client *http.Client, httpTarget string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		var resp []byte
+		if httpTarget == "" {
+			resp, err = p.Forward(r.RemoteAddr, body)
+		} else {
+			resp, err = p.forwardHTTP(client, httpTarget, r.RemoteAddr, body)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Write(resp)
+	})
+}
+
+func (p *Proxy) forwardHTTP(client *http.Client, baseURL, clientAddr string, raw []byte) ([]byte, error) {
+	if p.lg != nil {
+		clientLeg := ledger.ConnHandle(clientAddr, p.Name)
+		targetLeg := ledger.ConnHandle(p.Name, p.Target.Name)
+		p.lg.SawIdentity(p.Name, clientAddr, clientAddr, clientLeg)
+		p.lg.SawData(p.Name, "ciphertext:"+ledger.Hash(raw), clientLeg, targetLeg)
+	}
+	resp, err := client.Post(baseURL+"/dns-query", contentType, bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("odoh: target returned %s: %s", resp.Status, out)
+	}
+	p.mu.Lock()
+	p.forwarded++
+	p.mu.Unlock()
+	return out, nil
+}
+
+// HTTPForward returns a ForwardFunc posting to a ProxyHandler at
+// baseURL.
+func HTTPForward(client *http.Client, baseURL string) ForwardFunc {
+	return func(clientAddr string, raw []byte) ([]byte, error) {
+		resp, err := client.Post(baseURL+"/proxy", contentType, bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("odoh: proxy returned %s: %s", resp.Status, out)
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,37 @@
+package ohttp
+
+import "testing"
+
+func FuzzUnmarshalRequest(f *testing.F) {
+	r := &Request{Method: "POST", Path: "/collect", Body: []byte("payload")}
+	f.Add(r.Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := UnmarshalRequest(data)
+		if err != nil {
+			return
+		}
+		back, err := UnmarshalRequest(req.Marshal())
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if back.Method != req.Method || back.Path != req.Path || string(back.Body) != string(req.Body) {
+			t.Fatal("request changed across round trip")
+		}
+	})
+}
+
+func FuzzGatewayHandleEncapsulated(f *testing.F) {
+	g, err := NewGateway("fuzz-gw", func(req *Request) *Response {
+		return &Response{Status: 200}
+	}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	keyID, _ := g.KeyConfig()
+	f.Add(append(keyID, make([]byte, 64)...))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = g.HandleEncapsulated("fuzzer", data)
+	})
+}

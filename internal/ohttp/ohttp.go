@@ -1,0 +1,281 @@
+// Package ohttp implements Oblivious HTTP in the shape of RFC 9458,
+// which the paper (§3.2.5) describes as "a generalization of ODoH":
+// clients HPKE-encapsulate a binary-encoded HTTP request to a Gateway's
+// published key and send it via a Relay. The relay learns the client's
+// network identity but not the request; the gateway learns the request
+// but sees only the relay.
+//
+// The encapsulated request is:
+//
+//	[keyID 8][enc 32][ciphertext]
+//
+// and the response is AES-GCM under a key exported from the request's
+// HPKE context with the label "ohttp response", mirroring the RFC's
+// response-key derivation.
+//
+// PPM (internal/ppm) uses this as its upload transport so that even the
+// leader aggregator never sees client network identities.
+package ohttp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"decoupling/internal/dcrypto/hpke"
+	"decoupling/internal/ledger"
+)
+
+// Default ledger entity names.
+const (
+	RelayName   = "Relay"
+	GatewayName = "Gateway"
+)
+
+const (
+	requestInfo   = "decoupling ohttp request"
+	responseLabel = "ohttp response"
+	respKeyLen    = 16
+	keyIDLen      = 8
+)
+
+// Errors returned by the protocol.
+var (
+	ErrMalformed  = errors.New("ohttp: malformed encapsulated message")
+	ErrUnknownKey = errors.New("ohttp: unknown key id")
+)
+
+// Request is a minimal binary HTTP request (RFC 9292 in spirit).
+type Request struct {
+	Method string
+	Path   string
+	Body   []byte
+}
+
+// Marshal encodes the request.
+func (r *Request) Marshal() []byte {
+	out := make([]byte, 0, 1+len(r.Method)+2+len(r.Path)+4+len(r.Body))
+	out = append(out, byte(len(r.Method)))
+	out = append(out, r.Method...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(r.Path)))
+	out = append(out, r.Path...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.Body)))
+	return append(out, r.Body...)
+}
+
+// UnmarshalRequest decodes a request.
+func UnmarshalRequest(data []byte) (*Request, error) {
+	if len(data) < 1 {
+		return nil, ErrMalformed
+	}
+	n := int(data[0])
+	data = data[1:]
+	if len(data) < n+2 {
+		return nil, ErrMalformed
+	}
+	r := &Request{Method: string(data[:n])}
+	data = data[n:]
+	n = int(binary.BigEndian.Uint16(data))
+	data = data[2:]
+	if len(data) < n+4 {
+		return nil, ErrMalformed
+	}
+	r.Path = string(data[:n])
+	data = data[n:]
+	n = int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	if len(data) != n {
+		return nil, ErrMalformed
+	}
+	r.Body = append([]byte(nil), data...)
+	return r, nil
+}
+
+// Response is a minimal binary HTTP response.
+type Response struct {
+	Status int
+	Body   []byte
+}
+
+// Marshal encodes the response.
+func (r *Response) Marshal() []byte {
+	out := make([]byte, 0, 2+4+len(r.Body))
+	out = binary.BigEndian.AppendUint16(out, uint16(r.Status))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.Body)))
+	return append(out, r.Body...)
+}
+
+// UnmarshalResponse decodes a response.
+func UnmarshalResponse(data []byte) (*Response, error) {
+	if len(data) < 6 {
+		return nil, ErrMalformed
+	}
+	r := &Response{Status: int(binary.BigEndian.Uint16(data))}
+	n := int(binary.BigEndian.Uint32(data[2:]))
+	if len(data[6:]) != n {
+		return nil, ErrMalformed
+	}
+	r.Body = append([]byte(nil), data[6:]...)
+	return r, nil
+}
+
+// Handler serves decapsulated requests at the gateway's backend.
+type Handler func(req *Request) *Response
+
+// Gateway decapsulates requests and serves them through Inner.
+type Gateway struct {
+	Name  string
+	kp    *hpke.KeyPair
+	keyID []byte
+	lg    *ledger.Ledger
+	Inner Handler
+
+	mu      sync.Mutex
+	handled int
+}
+
+// NewGateway creates a gateway with a fresh key config.
+func NewGateway(name string, inner Handler, lg *ledger.Ledger) (*Gateway, error) {
+	kp, err := hpke.GenerateKeyPair()
+	if err != nil {
+		return nil, fmt.Errorf("ohttp: gateway key: %w", err)
+	}
+	sum := sha256.Sum256(kp.PublicKey())
+	return &Gateway{Name: name, kp: kp, keyID: sum[:keyIDLen], lg: lg, Inner: inner}, nil
+}
+
+// KeyConfig returns the gateway's (keyID, public key).
+func (g *Gateway) KeyConfig() (keyID, pub []byte) {
+	return append([]byte(nil), g.keyID...), g.kp.PublicKey()
+}
+
+// Handled reports successfully served requests.
+func (g *Gateway) Handled() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.handled
+}
+
+// HandleEncapsulated decapsulates one request from the named party and
+// returns the encrypted response.
+func (g *Gateway) HandleEncapsulated(from string, raw []byte) ([]byte, error) {
+	if len(raw) < keyIDLen+hpke.NEnc+16 {
+		return nil, ErrMalformed
+	}
+	if !bytes.Equal(raw[:keyIDLen], g.keyID) {
+		return nil, ErrUnknownKey
+	}
+	enc := raw[keyIDLen : keyIDLen+hpke.NEnc]
+	ctx, err := hpke.SetupRecipient(enc, g.kp, []byte(requestInfo))
+	if err != nil {
+		return nil, err
+	}
+	plain, err := ctx.Open(nil, raw[keyIDLen+hpke.NEnc:])
+	if err != nil {
+		return nil, err
+	}
+	req, err := UnmarshalRequest(plain)
+	if err != nil {
+		return nil, err
+	}
+	if g.lg != nil {
+		h := ledger.ConnHandle(from, g.Name)
+		g.lg.SawIdentity(g.Name, from, h)
+		g.lg.SawData(g.Name, req.Method+" "+req.Path, h)
+		g.lg.SawData(g.Name, string(req.Body), h)
+	}
+	resp := g.Inner(req)
+	if resp == nil {
+		resp = &Response{Status: 500}
+	}
+	respKey := ctx.Export([]byte(responseLabel), respKeyLen)
+	sealed, err := hpke.SealSymmetric(respKey, nil, resp.Marshal())
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	g.handled++
+	g.mu.Unlock()
+	return sealed, nil
+}
+
+// Relay forwards encapsulated requests without being able to read them.
+type Relay struct {
+	Name    string
+	Gateway *Gateway
+	lg      *ledger.Ledger
+
+	mu        sync.Mutex
+	forwarded int
+}
+
+// NewRelay creates a relay in front of gateway.
+func NewRelay(name string, gateway *Gateway, lg *ledger.Ledger) *Relay {
+	return &Relay{Name: name, Gateway: gateway, lg: lg}
+}
+
+// Forwarded reports relayed request count.
+func (r *Relay) Forwarded() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.forwarded
+}
+
+// Forward relays one encapsulated request from clientAddr.
+func (r *Relay) Forward(clientAddr string, raw []byte) ([]byte, error) {
+	if r.lg != nil {
+		clientLeg := ledger.ConnHandle(clientAddr, r.Name)
+		gatewayLeg := ledger.ConnHandle(r.Name, r.Gateway.Name)
+		r.lg.SawIdentity(r.Name, clientAddr, clientLeg)
+		r.lg.SawData(r.Name, "ciphertext:"+ledger.Hash(raw), clientLeg, gatewayLeg)
+	}
+	resp, err := r.Gateway.HandleEncapsulated(r.Name, raw)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.forwarded++
+	r.mu.Unlock()
+	return resp, nil
+}
+
+// ForwardFunc relays an encapsulated request.
+type ForwardFunc func(clientAddr string, raw []byte) ([]byte, error)
+
+// Client encapsulates requests to a gateway key config.
+type Client struct {
+	ID    string
+	keyID []byte
+	pub   []byte
+}
+
+// NewClient creates a client for the gateway's key config.
+func NewClient(id string, keyID, pub []byte) *Client {
+	return &Client{ID: id, keyID: keyID, pub: pub}
+}
+
+// Do sends one request through forward and decrypts the response.
+func (c *Client) Do(req *Request, forward ForwardFunc) (*Response, error) {
+	enc, ctx, err := hpke.SetupSender(c.pub, []byte(requestInfo))
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, 0, keyIDLen+len(enc))
+	raw = append(raw, c.keyID...)
+	raw = append(raw, enc...)
+	raw = append(raw, ctx.Seal(nil, req.Marshal())...)
+
+	sealedResp, err := forward(c.ID, raw)
+	if err != nil {
+		return nil, err
+	}
+	respKey := ctx.Export([]byte(responseLabel), respKeyLen)
+	plain, err := hpke.OpenSymmetric(respKey, nil, sealedResp)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalResponse(plain)
+}

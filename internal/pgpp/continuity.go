@@ -1,0 +1,140 @@
+package pgpp
+
+import "sort"
+
+// This file implements the intersection-style continuity attack on
+// shuffled identifiers: even when every attach uses a fresh pseudonym,
+// the core's location log leaks *where* each pseudonym appeared and
+// disappeared. A pseudonym vanishing at cell c around step t and a new
+// pseudonym appearing near c just after t are probably the same device.
+// This is the side-channel caveat the paper attaches to all decoupled
+// systems ("up to the limits of what is feasible to reconstruct or
+// infer from traffic analysis and other side-channel attack vectors")
+// — and it is why PGPP's evaluation cares about co-location density,
+// not just shuffling frequency.
+
+// trajectory summarizes one pseudonym's presence in the core log.
+type trajectory struct {
+	netID               string
+	firstStep, lastStep int
+	firstCell, lastCell int
+	events              int
+}
+
+// ringDist is the distance between cells on the simulation's ring.
+func ringDist(a, b, cells int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if cells-d < d {
+		d = cells - d
+	}
+	return d
+}
+
+// ContinuityAttack chains pseudonyms by spatio-temporal continuity and
+// scores tracking accuracy over the resulting chains, exactly as
+// TrackingAccuracy scores raw pseudonyms. cells is the ring size;
+// maxGap is how many steps after a disappearance the adversary searches
+// for a successor (the re-attach gap, typically 1).
+func ContinuityAttack(log []LocationEvent, owner map[string]string, cells, maxGap int) float64 {
+	// Build per-pseudonym trajectories.
+	byNet := map[string]*trajectory{}
+	var order []string
+	for _, e := range log {
+		tr, ok := byNet[e.NetID]
+		if !ok {
+			tr = &trajectory{netID: e.NetID, firstStep: e.Step, firstCell: e.Cell, lastStep: e.Step, lastCell: e.Cell}
+			byNet[e.NetID] = tr
+			order = append(order, e.NetID)
+		}
+		if e.Step < tr.firstStep {
+			tr.firstStep, tr.firstCell = e.Step, e.Cell
+		}
+		if e.Step >= tr.lastStep {
+			tr.lastStep, tr.lastCell = e.Step, e.Cell
+		}
+		tr.events++
+	}
+	trajs := make([]*trajectory, 0, len(order))
+	for _, id := range order {
+		trajs = append(trajs, byNet[id])
+	}
+	sort.Slice(trajs, func(i, j int) bool {
+		if trajs[i].firstStep != trajs[j].firstStep {
+			return trajs[i].firstStep < trajs[j].firstStep
+		}
+		return trajs[i].netID < trajs[j].netID
+	})
+
+	// Greedy chaining: successor = earliest-starting unclaimed
+	// trajectory beginning within maxGap steps of this one's end, at
+	// ring distance <= 1 (a device moves at most one cell per step).
+	chainOf := map[string]int{}
+	nextChain := 0
+	claimed := map[string]bool{}
+	for _, tr := range trajs {
+		if _, ok := chainOf[tr.netID]; !ok {
+			chainOf[tr.netID] = nextChain
+			nextChain++
+		}
+		cur := tr
+		for {
+			var best *trajectory
+			for _, cand := range trajs {
+				if claimed[cand.netID] || cand.netID == cur.netID {
+					continue
+				}
+				if _, started := chainOf[cand.netID]; started {
+					continue
+				}
+				if cand.firstStep <= cur.lastStep || cand.firstStep > cur.lastStep+maxGap {
+					continue
+				}
+				if ringDist(cand.firstCell, cur.lastCell, cells) > 1 {
+					continue
+				}
+				if best == nil || cand.firstStep < best.firstStep {
+					best = cand
+				}
+			}
+			if best == nil {
+				break
+			}
+			claimed[best.netID] = true
+			chainOf[best.netID] = chainOf[tr.netID]
+			cur = best
+		}
+	}
+
+	// Score: per user, the largest share of their events falling in a
+	// single chain.
+	perUserPerChain := map[string]map[int]int{}
+	totals := map[string]int{}
+	for _, e := range log {
+		user, ok := owner[e.NetID]
+		if !ok {
+			continue
+		}
+		if perUserPerChain[user] == nil {
+			perUserPerChain[user] = map[int]int{}
+		}
+		perUserPerChain[user][chainOf[e.NetID]]++
+		totals[user]++
+	}
+	if len(totals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for user, total := range totals {
+		best := 0
+		for _, c := range perUserPerChain[user] {
+			if c > best {
+				best = c
+			}
+		}
+		sum += float64(best) / float64(total)
+	}
+	return sum / float64(len(totals))
+}

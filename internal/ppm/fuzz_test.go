@@ -1,0 +1,26 @@
+package ppm
+
+import "testing"
+
+func FuzzUnmarshalReportShare(f *testing.F) {
+	shares, err := BuildReport(Task{ID: "fuzz", Type: TaskSum, Bits: 4}, 9, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(shares[0].Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := UnmarshalReportShare(data)
+		if err != nil {
+			return
+		}
+		back, err := UnmarshalReportShare(rs.Marshal())
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if back.TaskID != rs.TaskID || back.ReportID != rs.ReportID ||
+			len(back.X) != len(rs.X) || len(back.Y) != len(rs.Y) {
+			t.Fatal("share changed across round trip")
+		}
+	})
+}

@@ -1,0 +1,260 @@
+// Package simnet provides a deterministic in-process message network:
+// named nodes exchange datagrams over links with configurable latency
+// and seeded jitter, driven by a virtual clock and a single event loop.
+//
+// Two properties make it the right substrate for this reproduction:
+//
+//   - Determinism: same seed, same schedule, bit-for-bit — experiments
+//     and property tests are reproducible.
+//   - A global passive observer: every delivery is captured as
+//     (time, src, dst, size) metadata, exactly the vantage point of the
+//     paper's §4.3 traffic-analysis adversary and the source of truth
+//     for which network identities each entity exposes.
+//
+// simnet models an unreliable-order, reliable-delivery datagram service;
+// protocols needing streams (the HTTP-based systems) use real loopback
+// TCP instead and are exercised in their own packages.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Addr names a node on the simulated network.
+type Addr string
+
+// Message is a datagram in flight.
+type Message struct {
+	Src, Dst Addr
+	Payload  []byte
+}
+
+// Handler processes a delivered message on behalf of a node. Handlers
+// run on the event loop goroutine; they may call Send/After freely but
+// must not block.
+type Handler func(n *Network, msg Message)
+
+// Link describes delivery characteristics between a pair of nodes.
+type Link struct {
+	Latency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the probability in [0, 1] that a datagram is silently
+	// dropped (failure injection for robustness tests).
+	Loss float64
+}
+
+// PacketRecord is one captured delivery, as seen by a passive global
+// observer: metadata only, no payload bytes (encrypted payloads leak
+// size and timing, which is precisely what traffic analysis exploits).
+type PacketRecord struct {
+	Time time.Duration
+	Src  Addr
+	Dst  Addr
+	Size int
+}
+
+type event struct {
+	at      time.Duration
+	seq     uint64 // FIFO tiebreak for equal timestamps
+	deliver *Message
+	fire    func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Network is a deterministic simulated network. Construct with New;
+// methods are safe to call from handlers (which run on the event loop)
+// and from the test goroutine between Run calls.
+type Network struct {
+	mu          sync.Mutex
+	now         time.Duration
+	seq         uint64
+	rng         *rand.Rand
+	nodes       map[Addr]Handler
+	links       map[[2]Addr]Link
+	defaultLink Link
+	queue       eventQueue
+	capture     []PacketRecord
+	delivered   uint64
+	lost        uint64
+}
+
+// New creates a network with the given RNG seed and a default link
+// latency of 10ms with no jitter.
+func New(seed int64) *Network {
+	return &Network{
+		rng:         rand.New(rand.NewSource(seed)),
+		nodes:       map[Addr]Handler{},
+		links:       map[[2]Addr]Link{},
+		defaultLink: Link{Latency: 10 * time.Millisecond},
+	}
+}
+
+// SetDefaultLink sets the link profile used for pairs without an
+// explicit SetLink.
+func (n *Network) SetDefaultLink(l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaultLink = l
+}
+
+// SetLink sets the link profile for the directed pair (src, dst).
+func (n *Network) SetLink(src, dst Addr, l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]Addr{src, dst}] = l
+}
+
+// Register attaches a handler to addr, creating the node. Registering
+// an existing address replaces its handler.
+func (n *Network) Register(addr Addr, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[addr] = h
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// Rand returns a deterministic pseudo-random int in [0, max). It is the
+// only sanctioned randomness source for protocol simulations that need
+// reproducibility (shuffles, chaff schedules).
+func (n *Network) Rand(max int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Intn(max)
+}
+
+// Send enqueues a datagram from src to dst, to be delivered after the
+// link's latency (+ jitter).
+func (n *Network) Send(src, dst Addr, payload []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[dst]; !ok {
+		return fmt.Errorf("simnet: send to unregistered node %q", dst)
+	}
+	l, ok := n.links[[2]Addr{src, dst}]
+	if !ok {
+		l = n.defaultLink
+	}
+	if l.Loss > 0 && n.rng.Float64() < l.Loss {
+		n.lost++
+		return nil // silently dropped, as the wire would
+	}
+	delay := l.Latency
+	if l.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(l.Jitter)))
+	}
+	msg := &Message{Src: src, Dst: dst, Payload: append([]byte(nil), payload...)}
+	n.seq++
+	heap.Push(&n.queue, &event{at: n.now + delay, seq: n.seq, deliver: msg})
+	return nil
+}
+
+// After schedules fn to run on the event loop after delay. It models
+// node-local timers (mix batch timeouts, chaff generators).
+func (n *Network) After(delay time.Duration, fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.seq++
+	heap.Push(&n.queue, &event{at: n.now + delay, seq: n.seq, fire: fn})
+}
+
+// Run processes events until the queue drains, returning the number of
+// messages delivered. Timer-only events do not count as deliveries.
+func (n *Network) Run() uint64 {
+	return n.RunUntil(-1)
+}
+
+// RunUntil processes events with timestamps <= deadline (all events if
+// deadline < 0), returning messages delivered during this call.
+func (n *Network) RunUntil(deadline time.Duration) uint64 {
+	var delivered uint64
+	for {
+		n.mu.Lock()
+		if len(n.queue) == 0 || (deadline >= 0 && n.queue[0].at > deadline) {
+			if deadline >= 0 && deadline > n.now {
+				n.now = deadline
+			}
+			n.mu.Unlock()
+			return delivered
+		}
+		e := heap.Pop(&n.queue).(*event)
+		n.now = e.at
+		var h Handler
+		var msg Message
+		if e.deliver != nil {
+			msg = *e.deliver
+			h = n.nodes[msg.Dst]
+			n.capture = append(n.capture, PacketRecord{
+				Time: e.at, Src: msg.Src, Dst: msg.Dst, Size: len(msg.Payload),
+			})
+			n.delivered++
+			delivered++
+		}
+		n.mu.Unlock()
+
+		// Run callbacks outside the lock so they can call Send/After.
+		if e.fire != nil {
+			e.fire()
+		}
+		if h != nil {
+			h(n, msg)
+		}
+	}
+}
+
+// Capture returns a copy of the global observer's packet records.
+func (n *Network) Capture() []PacketRecord {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]PacketRecord(nil), n.capture...)
+}
+
+// Delivered returns the all-time count of delivered messages.
+func (n *Network) Delivered() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered
+}
+
+// Lost returns the all-time count of messages dropped by link loss.
+func (n *Network) Lost() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lost
+}
+
+// Pending reports the number of queued events (messages and timers).
+func (n *Network) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue)
+}

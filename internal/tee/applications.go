@@ -1,0 +1,239 @@
+package tee
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"decoupling/internal/dcrypto/hpke"
+	"decoupling/internal/ledger"
+)
+
+// This file models the two TEE-based systems the paper's §4.3 names:
+//
+//   - CACTI: "CAPTCHA Avoidance via Client-side TEE Integration" — a
+//     client-side enclave keeps a private rate-limiting counter and
+//     proves "I am under the threshold" to origins, replacing
+//     privacy-unfriendly CAPTCHAs and tracking cookies.
+//   - Phoenix: "keyless CDNs with conclaves" — the origin provisions
+//     its TLS key into a CDN-side enclave after attestation; the CDN
+//     operator serves traffic it cannot read.
+
+// --- CACTI -----------------------------------------------------------
+
+// CACTIProgram is the rate-counter enclave program: state is a counter,
+// input is the threshold (8 bytes big endian), output is 1 if the
+// incremented counter is within the threshold.
+func CACTIProgram() Program {
+	return Program{
+		Name: "cacti-rate-counter-v1",
+		Run: func(state, input []byte) ([]byte, []byte, error) {
+			if len(input) != 8 {
+				return nil, nil, errors.New("threshold must be 8 bytes")
+			}
+			threshold := binary.BigEndian.Uint64(input)
+			var count uint64
+			if len(state) == 8 {
+				count = binary.BigEndian.Uint64(state)
+			}
+			count++
+			newState := binary.BigEndian.AppendUint64(nil, count)
+			ok := byte(0)
+			if count <= threshold {
+				ok = 1
+			}
+			return newState, []byte{ok}, nil
+		},
+	}
+}
+
+// CACTIOrigin is a website gating access on rate proofs instead of
+// CAPTCHAs. It trusts the given vendor key and program.
+type CACTIOrigin struct {
+	Name      string
+	VendorKey []byte // ed25519 public key bytes
+	Threshold uint64
+	lg        *ledger.Ledger
+	served    int
+}
+
+// NewCACTIOrigin creates the origin.
+func NewCACTIOrigin(name string, vendorKey []byte, threshold uint64, lg *ledger.Ledger) *CACTIOrigin {
+	return &CACTIOrigin{Name: name, VendorKey: vendorKey, Threshold: threshold, lg: lg}
+}
+
+// Served reports accepted requests.
+func (o *CACTIOrigin) Served() int { return o.served }
+
+// Admit runs the CACTI admission flow for a client enclave: challenge,
+// attested rate proof, verify. The origin learns only presenterAddr and
+// a one-bit rate proof — no CAPTCHA-solving behavioral data, no
+// tracking cookie.
+func (o *CACTIOrigin) Admit(presenterAddr string, enclave *Enclave, resource string) error {
+	nonce := []byte(fmt.Sprintf("challenge:%s:%d", o.Name, o.served))
+	input := binary.BigEndian.AppendUint64(nil, o.Threshold)
+	att, err := enclave.AttestedInvoke(nonce, input)
+	if err != nil {
+		return err
+	}
+	if err := Verify(o.VendorKey, att, CACTIProgram(), nonce); err != nil {
+		return err
+	}
+	if len(att.ReportData) != 1 || att.ReportData[0] != 1 {
+		return errors.New("tee: rate limit exceeded")
+	}
+	if o.lg != nil {
+		h := ledger.ConnHandle(presenterAddr, o.Name)
+		o.lg.SawIdentity(o.Name, presenterAddr, h)
+		o.lg.SawData(o.Name, resource, h)
+		o.lg.SawData(o.Name, "rate-proof:ok", h)
+	}
+	o.served++
+	return nil
+}
+
+// --- Phoenix ---------------------------------------------------------
+
+// PhoenixProgram is the keyless-CDN enclave: provisioned with an HPKE
+// private-key seed and content, it terminates "TLS" (modeled as HPKE to
+// the enclave's key) inside the enclave. The host sees only ciphertext
+// in and ciphertext out.
+//
+// Input framing: [op 1][payload]; op 0 = provision (payload = 32-byte
+// key seed || content), op 1 = serve (payload = enc || ct of a request
+// sealed to the enclave key). Serve output: ciphertext of the response
+// under the request context's exported key.
+func PhoenixProgram() Program {
+	return Program{
+		Name: "phoenix-keyless-cdn-v1",
+		Run: func(state, input []byte) ([]byte, []byte, error) {
+			if len(input) < 1 {
+				return nil, nil, errors.New("empty input")
+			}
+			switch input[0] {
+			case 0: // provision
+				if len(input) < 1+32 {
+					return nil, nil, errors.New("short provision")
+				}
+				return append([]byte(nil), input[1:]...), []byte("provisioned"), nil
+			case 1: // serve
+				if len(state) < 32 {
+					return nil, nil, errors.New("not provisioned")
+				}
+				kp, err := hpke.KeyPairFromSeed(state[:32])
+				if err != nil {
+					return nil, nil, err
+				}
+				body := input[1:]
+				if len(body) < hpke.NEnc+16 {
+					return nil, nil, errors.New("short request")
+				}
+				ctx, err := hpke.SetupRecipient(body[:hpke.NEnc], kp, []byte("phoenix request"))
+				if err != nil {
+					return nil, nil, err
+				}
+				req, err := ctx.Open(nil, body[hpke.NEnc:])
+				if err != nil {
+					return nil, nil, err
+				}
+				content := state[32:]
+				resp := append([]byte("content for "+string(req)+": "), content...)
+				respKey := ctx.Export([]byte("phoenix response"), 16)
+				sealed, err := hpke.SealSymmetric(respKey, nil, resp)
+				if err != nil {
+					return nil, nil, err
+				}
+				return state, sealed, nil
+			default:
+				return nil, nil, errors.New("unknown op")
+			}
+		},
+	}
+}
+
+// PhoenixCDN is the CDN operator: it hosts the enclave and relays
+// ciphertext. Its observations are the point: client identity yes,
+// content no.
+type PhoenixCDN struct {
+	Name    string
+	Enclave *Enclave
+	lg      *ledger.Ledger
+}
+
+// NewPhoenixCDN wraps an enclave in the operator role.
+func NewPhoenixCDN(name string, enclave *Enclave, lg *ledger.Ledger) *PhoenixCDN {
+	return &PhoenixCDN{Name: name, Enclave: enclave, lg: lg}
+}
+
+// Serve relays one encrypted request from clientAddr through the
+// enclave, observing only ciphertext.
+func (c *PhoenixCDN) Serve(clientAddr string, encryptedRequest []byte) ([]byte, error) {
+	if c.lg != nil {
+		h := ledger.ConnHandle(clientAddr, c.Name)
+		c.lg.SawIdentity(c.Name, clientAddr, h)
+		c.lg.SawData(c.Name, "ciphertext:"+ledger.Hash(encryptedRequest), h)
+	}
+	return c.Enclave.Invoke(append([]byte{1}, encryptedRequest...))
+}
+
+// PhoenixOrigin is the content owner. It verifies the enclave's
+// attestation before provisioning its key and content — trust moves to
+// the hardware vendor, not the CDN operator.
+type PhoenixOrigin struct {
+	Name    string
+	keySeed []byte
+	pub     []byte
+}
+
+// NewPhoenixOrigin creates an origin with a fresh content key.
+func NewPhoenixOrigin(name string) (*PhoenixOrigin, error) {
+	seed := make([]byte, 32)
+	if _, err := rand.Read(seed); err != nil {
+		return nil, err
+	}
+	kp, err := hpke.KeyPairFromSeed(seed)
+	if err != nil {
+		return nil, err
+	}
+	return &PhoenixOrigin{Name: name, keySeed: seed, pub: kp.PublicKey()}, nil
+}
+
+// PublicKey is what clients seal requests to.
+func (o *PhoenixOrigin) PublicKey() []byte { return o.pub }
+
+// Provision attests the enclave and, on success, installs the origin's
+// key seed and content into it.
+func (o *PhoenixOrigin) Provision(vendorKey []byte, enclave *Enclave, content []byte) error {
+	nonce := []byte("provision:" + o.Name)
+	// Attest with a no-op-safe probe: provisioning is itself the first
+	// attested invoke (the attestation covers the provision output).
+	payload := append([]byte{0}, append(append([]byte(nil), o.keySeed...), content...)...)
+	att, err := enclave.AttestedInvoke(nonce, payload)
+	if err != nil {
+		return err
+	}
+	if err := Verify(vendorKey, att, PhoenixProgram(), nonce); err != nil {
+		return err
+	}
+	if string(att.ReportData) != "provisioned" {
+		return errors.New("tee: provisioning rejected")
+	}
+	return nil
+}
+
+// PhoenixRequest seals a request to the origin key and decrypts the
+// CDN's response — the client side of the keyless-CDN flow.
+func PhoenixRequest(originPub []byte, cdn *PhoenixCDN, clientAddr, path string) ([]byte, error) {
+	enc, ctx, err := hpke.SetupSender(originPub, []byte("phoenix request"))
+	if err != nil {
+		return nil, err
+	}
+	wire := append(append([]byte(nil), enc...), ctx.Seal(nil, []byte(path))...)
+	sealedResp, err := cdn.Serve(clientAddr, wire)
+	if err != nil {
+		return nil, err
+	}
+	respKey := ctx.Export([]byte("phoenix response"), 16)
+	return hpke.OpenSymmetric(respKey, nil, sealedResp)
+}
