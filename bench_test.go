@@ -75,6 +75,35 @@ func BenchmarkE12TrafficAnalysis(b *testing.B) { benchExperiment(b, experiments.
 // BenchmarkE13TEE regenerates the §4.3 TEE extension experiment.
 func BenchmarkE13TEE(b *testing.B) { benchExperiment(b, experiments.E13TEE) }
 
+// BenchmarkAllExperimentsSequential runs the full E1-E13 suite on a
+// single worker — the pre-runner baseline cost of regenerating every
+// artifact.
+func BenchmarkAllExperimentsSequential(b *testing.B) {
+	benchRunner(b, 1)
+}
+
+// BenchmarkAllExperimentsParallel runs the full E1-E13 suite on a
+// GOMAXPROCS-wide worker pool. Compare against Sequential: on ≥2 cores
+// wall-clock time per run must drop.
+func BenchmarkAllExperimentsParallel(b *testing.B) {
+	benchRunner(b, 0) // 0 = GOMAXPROCS
+}
+
+func benchRunner(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, rr := range experiments.RunAll(workers) {
+			if rr.Err != nil {
+				b.Fatal(rr.Err)
+			}
+			if !rr.Result.Pass {
+				b.Fatalf("%s failed to reproduce:\n%s", rr.ID, rr.Result.Render())
+			}
+		}
+	}
+}
+
 // --- Parameter sweeps (the individual figure points) ---------------
 
 // BenchmarkOnionHops measures the per-request cost of each additional

@@ -1,18 +1,24 @@
-// Command experiments runs the complete E1-E12 reproduction suite and
+// Command experiments runs the complete E1-E13 reproduction suite and
 // prints a paper-vs-measured report (the content of EXPERIMENTS.md).
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments E4 E7      # run selected experiment ids
+//	experiments                # run everything, GOMAXPROCS-wide
+//	experiments E4 E7          # run selected experiment ids
+//	experiments -parallel 1    # sequential (byte-identical output)
 //
-// Exit status is nonzero if any experiment fails to reproduce.
+// Experiments execute on a worker pool (-parallel N, default
+// GOMAXPROCS); results are always reported in id order, so the report
+// bytes do not depend on the parallelism. Exit status is nonzero if any
+// experiment fails to reproduce.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"decoupling/internal/experiments"
 )
@@ -21,39 +27,49 @@ func main() {
 	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
 }
 
-// run executes the selected experiments (all when args is empty),
+// run executes the selected experiments (all when no ids are given),
 // writing the report to out and diagnostics to errw, and returns the
 // process exit code.
 func run(out, errw io.Writer, args []string) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"number of experiments to run concurrently (1 = sequential)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	want := map[string]bool{}
-	for _, a := range args {
+	for _, a := range fs.Args() {
 		want[a] = true
 	}
-	failures := 0
-	ran := 0
+	var selected []experiments.Experiment
 	for _, exp := range experiments.All() {
 		if len(want) > 0 && !want[exp.ID] {
 			continue
 		}
-		r, err := exp.Run()
-		if err != nil {
-			fmt.Fprintf(errw, "experiments: %v\n", err)
-			return 1
-		}
-		ran++
-		fmt.Fprintln(out, r.Render())
-		if !r.Pass {
-			failures++
-		}
+		selected = append(selected, exp)
 	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		fmt.Fprintln(errw, "experiments: no matching experiment ids")
 		return 2
+	}
+
+	runner := experiments.Runner{Workers: *parallel}
+	failures := 0
+	for _, rr := range runner.Run(selected) {
+		if rr.Err != nil {
+			fmt.Fprintf(errw, "experiments: %v\n", rr.Err)
+			return 1
+		}
+		fmt.Fprintln(out, rr.Result.Render())
+		if !rr.Result.Pass {
+			failures++
+		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(errw, "experiments: %d experiment(s) failed to reproduce\n", failures)
 		return 1
 	}
-	fmt.Fprintf(out, "all %d experiments reproduce the paper\n", ran)
+	fmt.Fprintf(out, "all %d experiments reproduce the paper\n", len(selected))
 	return 0
 }

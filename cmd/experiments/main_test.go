@@ -27,6 +27,30 @@ func TestRunUnknownID(t *testing.T) {
 	}
 }
 
+// TestParallelOutputByteIdentical is the CLI-level determinism check:
+// -parallel N must not change a single byte of the report.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	render := func(args ...string) string {
+		var out, errw bytes.Buffer
+		if code := run(&out, &errw, args); code != 0 {
+			t.Fatalf("exit = %d, stderr = %s", code, errw.String())
+		}
+		return out.String()
+	}
+	seq := render("-parallel", "1", "E8", "E9", "E13")
+	par := render("-parallel", "4", "E8", "E9", "E13")
+	if seq != par {
+		t.Errorf("parallel report diverged from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-nope"}); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
 func TestRunMultipleIDs(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run(&out, &errw, []string{"E9", "E13"}); code != 0 {

@@ -7,6 +7,7 @@ import (
 )
 
 func TestComponentSymbols(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		c    Component
 		want string
@@ -27,6 +28,7 @@ func TestComponentSymbols(t *testing.T) {
 }
 
 func TestTupleSymbol(t *testing.T) {
+	t.Parallel()
 	tp := Tuple{SensID("H"), NonSensID("N"), NonSensData()}
 	if got := tp.Symbol(); got != "(▲_H, △_N, ⊙)" {
 		t.Errorf("Symbol = %q", got)
@@ -34,6 +36,7 @@ func TestTupleSymbol(t *testing.T) {
 }
 
 func TestCoupled(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name string
 		t    Tuple
@@ -56,6 +59,7 @@ func TestCoupled(t *testing.T) {
 }
 
 func TestMergeTakesMaxLevel(t *testing.T) {
+	t.Parallel()
 	a := Tuple{SensID(), NonSensData()}
 	b := Tuple{NonSensID(), SensData()}
 	m := a.Merge(b)
@@ -68,6 +72,7 @@ func TestMergeTakesMaxLevel(t *testing.T) {
 }
 
 func TestMergeKeepsLabelsDistinct(t *testing.T) {
+	t.Parallel()
 	a := Tuple{SensID("H"), NonSensID("N")}
 	b := Tuple{SensID("N")}
 	m := a.Merge(b)
@@ -82,6 +87,7 @@ func TestMergeKeepsLabelsDistinct(t *testing.T) {
 
 // Property: Merge is commutative and idempotent with respect to Equal.
 func TestMergeProperties(t *testing.T) {
+	t.Parallel()
 	gen := func(seed int64) Tuple {
 		// Small deterministic tuple generator over seeds.
 		var tp Tuple
@@ -111,6 +117,7 @@ func TestMergeProperties(t *testing.T) {
 }
 
 func TestEqualIgnoresOrder(t *testing.T) {
+	t.Parallel()
 	a := Tuple{SensID(), SensData()}
 	b := Tuple{SensData(), SensID()}
 	if !a.Equal(b) {
@@ -123,6 +130,7 @@ func TestEqualIgnoresOrder(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
+	t.Parallel()
 	s := &System{Name: "x", Entities: []Entity{{Name: "only"}}}
 	if err := s.Validate(); err == nil {
 		t.Error("system without user validated")
@@ -143,6 +151,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestRegistryAllValidate(t *testing.T) {
+	t.Parallel()
 	for id, s := range Registry() {
 		if err := s.Validate(); err != nil {
 			t.Errorf("%s: %v", id, err)
@@ -154,6 +163,7 @@ func TestRegistryAllValidate(t *testing.T) {
 }
 
 func TestRenderTableShape(t *testing.T) {
+	t.Parallel()
 	out := RenderTable(PrivacyPass())
 	if !strings.Contains(out, "Client") || !strings.Contains(out, "(▲, ●)") {
 		t.Errorf("rendered table missing expected cells:\n%s", out)
@@ -165,6 +175,7 @@ func TestRenderTableShape(t *testing.T) {
 }
 
 func TestRenderComparison(t *testing.T) {
+	t.Parallel()
 	expected := PrivacyPass()
 	measured := PrivacyPass()
 	measured.Entity("Issuer").Knows = Tuple{SensID(), SensData()}
@@ -175,6 +186,7 @@ func TestRenderComparison(t *testing.T) {
 }
 
 func TestCompareTuples(t *testing.T) {
+	t.Parallel()
 	expected := PrivacyPass()
 	measured := PrivacyPass()
 	if diffs := CompareTuples(expected, measured); len(diffs) != 0 {

@@ -11,6 +11,7 @@ import (
 // TestAnalyzeOrderInvariant: shuffling entity order never changes the
 // verdict or degree.
 func TestAnalyzeOrderInvariant(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	for id, sys := range Registry() {
 		base := mustAnalyze(t, sys)
@@ -34,6 +35,7 @@ func TestAnalyzeOrderInvariant(t *testing.T) {
 // TestAnalyzeIgnoresHarmlessBystander: adding an isolated (△, ⊙) entity
 // never changes the verdict or degree.
 func TestAnalyzeIgnoresHarmlessBystander(t *testing.T) {
+	t.Parallel()
 	for id, sys := range Registry() {
 		base := mustAnalyze(t, sys)
 		extended := &System{
@@ -57,6 +59,7 @@ func TestAnalyzeIgnoresHarmlessBystander(t *testing.T) {
 // increases, and a decoupled verdict can only flip to not-decoupled,
 // never the reverse.
 func TestAnalyzeMonotoneInKnowledge(t *testing.T) {
+	t.Parallel()
 	for id, sys := range Registry() {
 		base := mustAnalyze(t, sys)
 		for i, e := range sys.Entities {
@@ -87,6 +90,7 @@ func TestAnalyzeMonotoneInKnowledge(t *testing.T) {
 // TestAnalyzeCoalitionIsActuallyMinimal: no proper subset of the
 // reported minimum coalition re-couples.
 func TestAnalyzeCoalitionIsActuallyMinimal(t *testing.T) {
+	t.Parallel()
 	for id, sys := range Registry() {
 		v := mustAnalyze(t, sys)
 		if v.Degree <= 1 {
@@ -119,6 +123,7 @@ func TestAnalyzeCoalitionIsActuallyMinimal(t *testing.T) {
 // TestUserNeverInCoalition: the coalition search is over service
 // entities only.
 func TestUserNeverInCoalition(t *testing.T) {
+	t.Parallel()
 	for id, sys := range Registry() {
 		v := mustAnalyze(t, sys)
 		user := sys.User().Name

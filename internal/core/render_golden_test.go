@@ -1,0 +1,57 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file when -update is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run %s -update ./%s` to create it)", err, t.Name(), "internal/core")
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from %s (rerun with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestRenderComparisonGolden pins the exact side-by-side table bytes —
+// symbol alignment included — so formatting regressions are caught
+// instead of eyeballed.
+func TestRenderComparisonGolden(t *testing.T) {
+	t.Parallel()
+	expected := PrivacyPass()
+	// A measured system that diverges on one entity and is missing
+	// another, exercising the "—" placeholder path.
+	measured := &System{
+		Name: expected.Name + " (measured)",
+		Entities: []Entity{
+			{Name: "Client", User: true, Knows: Tuple{SensID(), SensData()}},
+			{Name: "Issuer", Knows: Tuple{SensID(), SensData()}},
+		},
+	}
+	checkGolden(t, "render_comparison", RenderComparison(expected, measured))
+}
+
+// TestRenderTableGolden pins the single-system layout.
+func TestRenderTableGolden(t *testing.T) {
+	t.Parallel()
+	checkGolden(t, "render_table", RenderTable(Mixnet(3)))
+}

@@ -48,6 +48,7 @@ func anonymousCredentialModel() *System {
 }
 
 func TestSSOIsCoupledAtTheIdP(t *testing.T) {
+	t.Parallel()
 	v := mustAnalyze(t, ssoModel())
 	if v.Decoupled {
 		t.Error("centralized SSO reported decoupled")
@@ -64,6 +65,7 @@ func TestSSOIsCoupledAtTheIdP(t *testing.T) {
 }
 
 func TestUnlinkableCredentialsDecoupleSSO(t *testing.T) {
+	t.Parallel()
 	v := mustAnalyze(t, anonymousCredentialModel())
 	if !v.Decoupled {
 		t.Errorf("credential-based SSO not decoupled: %s", v)

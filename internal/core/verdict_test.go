@@ -18,6 +18,7 @@ func mustAnalyze(t *testing.T, s *System) Verdict {
 // TestPaperVerdicts pins the headline result for every Section 3 table:
 // which systems are decoupled and which are the cautionary tales.
 func TestPaperVerdicts(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		sys       *System
 		decoupled bool
@@ -47,6 +48,7 @@ func TestPaperVerdicts(t *testing.T) {
 }
 
 func TestVPNCoupledEntity(t *testing.T) {
+	t.Parallel()
 	v := mustAnalyze(t, VPN())
 	if !reflect.DeepEqual(v.CoupledEntities, []string{"VPN Server"}) {
 		t.Errorf("CoupledEntities = %v", v.CoupledEntities)
@@ -57,6 +59,7 @@ func TestVPNCoupledEntity(t *testing.T) {
 }
 
 func TestMixnetPartialCollusionInsufficient(t *testing.T) {
+	t.Parallel()
 	// Mix 1 + Receiver collude but lack the intermediate mixes: their
 	// handles do not chain, so they cannot join identity with data.
 	if coalitionCoupled(Mixnet(3), []Entity{
@@ -75,6 +78,7 @@ func TestMixnetPartialCollusionInsufficient(t *testing.T) {
 }
 
 func TestMixnetDegreeGrowsWithHops(t *testing.T) {
+	t.Parallel()
 	prev := 0
 	for n := 1; n <= 5; n++ {
 		v := mustAnalyze(t, Mixnet(n))
@@ -86,6 +90,7 @@ func TestMixnetDegreeGrowsWithHops(t *testing.T) {
 }
 
 func TestPPMSingleAggregatorIsNaive(t *testing.T) {
+	t.Parallel()
 	// §3.2.5: with one server acting as aggregator and collector, that
 	// server alone can reconstruct inputs — the naive non-private design.
 	v := mustAnalyze(t, PPM(1))
@@ -95,6 +100,7 @@ func TestPPMSingleAggregatorIsNaive(t *testing.T) {
 }
 
 func TestPPMCollectorNotInCoalition(t *testing.T) {
+	t.Parallel()
 	v := mustAnalyze(t, PPM(3))
 	for _, m := range v.MinCoalition {
 		if m == "Collector" {
@@ -104,6 +110,7 @@ func TestPPMCollectorNotInCoalition(t *testing.T) {
 }
 
 func TestSharedSecretRequiresAllHolders(t *testing.T) {
+	t.Parallel()
 	s := PPM(3)
 	members := []Entity{*s.Entity("Aggregator 1"), *s.Entity("Aggregator 2")}
 	if coalitionCoupled(s, members) {
@@ -116,6 +123,7 @@ func TestSharedSecretRequiresAllHolders(t *testing.T) {
 }
 
 func TestEntitiesWithoutLinksAreConservativelyLinkable(t *testing.T) {
+	t.Parallel()
 	s := &System{
 		Name: "unmodeled links",
 		Entities: []Entity{
@@ -132,12 +140,14 @@ func TestEntitiesWithoutLinksAreConservativelyLinkable(t *testing.T) {
 }
 
 func TestAnalyzeRejectsInvalidSystem(t *testing.T) {
+	t.Parallel()
 	if _, err := Analyze(&System{Name: "no user"}); err == nil {
 		t.Error("Analyze accepted a system without a user")
 	}
 }
 
 func TestVerdictString(t *testing.T) {
+	t.Parallel()
 	v := mustAnalyze(t, MPR())
 	s := v.String()
 	if !strings.Contains(s, "DECOUPLED") || !strings.Contains(s, "degree 2") {

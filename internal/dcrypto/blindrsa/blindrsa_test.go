@@ -43,6 +43,7 @@ func issue(t testing.TB, key *rsa.PrivateKey, msg []byte) []byte {
 }
 
 func TestIssueAndVerify(t *testing.T) {
+	t.Parallel()
 	key := testKey(t)
 	msg := []byte("one digital coin, serial 42")
 	sig := issue(t, key, msg)
@@ -52,6 +53,7 @@ func TestIssueAndVerify(t *testing.T) {
 }
 
 func TestVerifyRejectsWrongMessage(t *testing.T) {
+	t.Parallel()
 	key := testKey(t)
 	sig := issue(t, key, []byte("message A"))
 	if err := Verify(&key.PublicKey, []byte("message B"), sig); err == nil {
@@ -60,6 +62,7 @@ func TestVerifyRejectsWrongMessage(t *testing.T) {
 }
 
 func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	t.Parallel()
 	key := testKey(t)
 	msg := []byte("tamper target")
 	sig := issue(t, key, msg)
@@ -73,6 +76,7 @@ func TestVerifyRejectsTamperedSignature(t *testing.T) {
 // blindings of the same message are distinct (randomized), so the signer
 // cannot even detect repeat messages, let alone read them.
 func TestBlindingHidesMessage(t *testing.T) {
+	t.Parallel()
 	key := testKey(t)
 	msg := []byte("the same message")
 	b1, _, err := Blind(&key.PublicKey, msg)
@@ -91,6 +95,7 @@ func TestBlindingHidesMessage(t *testing.T) {
 // TestFinalizeDetectsCorruptSigner ensures the client notices a signer
 // returning garbage rather than accepting an invalid token.
 func TestFinalizeDetectsCorruptSigner(t *testing.T) {
+	t.Parallel()
 	key := testKey(t)
 	blinded, st, err := Blind(&key.PublicKey, []byte("msg"))
 	if err != nil {
@@ -107,6 +112,7 @@ func TestFinalizeDetectsCorruptSigner(t *testing.T) {
 }
 
 func TestBlindSignRejectsOutOfRange(t *testing.T) {
+	t.Parallel()
 	key := testKey(t)
 	tooBig := make([]byte, (key.N.BitLen()+7)/8+1)
 	for i := range tooBig {
@@ -118,6 +124,7 @@ func TestBlindSignRejectsOutOfRange(t *testing.T) {
 }
 
 func TestCrossKeyVerificationFails(t *testing.T) {
+	t.Parallel()
 	key := testKey(t)
 	other, err := GenerateKey(1024)
 	if err != nil {
@@ -135,6 +142,7 @@ func TestCrossKeyVerificationFails(t *testing.T) {
 // of the same message yield the same final signature. This is what makes
 // double-spend detection by serial possible in digitalcash.
 func TestSignaturesAreDeterministicPerMessage(t *testing.T) {
+	t.Parallel()
 	key := testKey(t)
 	msg := []byte("serial 7")
 	s1 := issue(t, key, msg)

@@ -15,6 +15,7 @@ func bigMod(x *big.Int) Elem {
 // TestMulMatchesBigInt cross-checks the Mersenne multiplication against
 // math/big over random inputs (property-based).
 func TestMulMatchesBigInt(t *testing.T) {
+	t.Parallel()
 	f := func(a, b uint64) bool {
 		x, y := Reduce(a), Reduce(b)
 		got := Mul(x, y)
@@ -30,6 +31,7 @@ func TestMulMatchesBigInt(t *testing.T) {
 }
 
 func TestAddSubInverse(t *testing.T) {
+	t.Parallel()
 	f := func(a, b uint64) bool {
 		x, y := Reduce(a), Reduce(b)
 		return Sub(Add(x, y), y) == x
@@ -40,6 +42,7 @@ func TestAddSubInverse(t *testing.T) {
 }
 
 func TestMulInvIdentity(t *testing.T) {
+	t.Parallel()
 	f := func(a uint64) bool {
 		x := Reduce(a)
 		if x == 0 {
@@ -53,6 +56,7 @@ func TestMulInvIdentity(t *testing.T) {
 }
 
 func TestReduceEdgeCases(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		in   uint64
 		want Elem
@@ -71,6 +75,7 @@ func TestReduceEdgeCases(t *testing.T) {
 }
 
 func TestPow(t *testing.T) {
+	t.Parallel()
 	// 2^61 mod (2^61-1) == 1
 	if got := Pow(2, 61); got != 1 {
 		t.Errorf("2^61 = %d, want 1", got)
@@ -84,6 +89,7 @@ func TestPow(t *testing.T) {
 }
 
 func TestSplitRecombine(t *testing.T) {
+	t.Parallel()
 	v := Vector{1, 2, 3, Elem(P - 1), 0, 12345}
 	for _, n := range []int{1, 2, 3, 7} {
 		shares, err := v.Split(n)
@@ -109,6 +115,7 @@ func TestSplitRecombine(t *testing.T) {
 // constant (overwhelming probability) — a smoke check of the hiding
 // property.
 func TestSharesLookRandom(t *testing.T) {
+	t.Parallel()
 	v := NewVector(64) // all zeros
 	shares, err := v.Split(2)
 	if err != nil {
@@ -137,6 +144,7 @@ func TestSharesLookRandom(t *testing.T) {
 }
 
 func TestSplitErrors(t *testing.T) {
+	t.Parallel()
 	v := Vector{1}
 	if _, err := v.Split(0); err == nil {
 		t.Error("Split(0) succeeded")
@@ -147,6 +155,7 @@ func TestSplitErrors(t *testing.T) {
 }
 
 func TestMarshalRoundTrip(t *testing.T) {
+	t.Parallel()
 	v := Vector{0, 1, Elem(P - 1), 99999}
 	got, err := UnmarshalVector(v.Marshal())
 	if err != nil {
@@ -160,6 +169,7 @@ func TestMarshalRoundTrip(t *testing.T) {
 }
 
 func TestUnmarshalRejectsBadInput(t *testing.T) {
+	t.Parallel()
 	if _, err := UnmarshalVector(make([]byte, 7)); err == nil {
 		t.Error("accepted length not multiple of 8")
 	}
@@ -173,6 +183,7 @@ func TestUnmarshalRejectsBadInput(t *testing.T) {
 }
 
 func TestRandomInRange(t *testing.T) {
+	t.Parallel()
 	for i := 0; i < 100; i++ {
 		r, err := Random()
 		if err != nil {
@@ -185,6 +196,7 @@ func TestRandomInRange(t *testing.T) {
 }
 
 func TestAddIntoPanicsOnLengthMismatch(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("AddInto did not panic on length mismatch")

@@ -17,6 +17,7 @@ func mustHex(t *testing.T, s string) []byte {
 
 // TestRFC5869Case1 checks the first official SHA-256 test vector.
 func TestRFC5869Case1(t *testing.T) {
+	t.Parallel()
 	ikm := mustHex(t, "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
 	salt := mustHex(t, "000102030405060708090a0b0c")
 	info := mustHex(t, "f0f1f2f3f4f5f6f7f8f9")
@@ -36,6 +37,7 @@ func TestRFC5869Case1(t *testing.T) {
 // TestRFC5869Case3 checks the zero-length salt/info vector, exercising
 // the nil-salt default path.
 func TestRFC5869Case3(t *testing.T) {
+	t.Parallel()
 	ikm := mustHex(t, "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
 	wantOKM := mustHex(t, "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
 
@@ -46,6 +48,7 @@ func TestRFC5869Case3(t *testing.T) {
 }
 
 func TestExpandLengths(t *testing.T) {
+	t.Parallel()
 	prk := Extract(nil, []byte("ikm"))
 	for _, n := range []int{0, 1, 31, 32, 33, 64, 255, 1000, MaxOutput} {
 		out := Expand(prk, []byte("info"), n)
@@ -56,6 +59,7 @@ func TestExpandLengths(t *testing.T) {
 }
 
 func TestExpandPrefixConsistency(t *testing.T) {
+	t.Parallel()
 	prk := Extract(nil, []byte("ikm"))
 	long := Expand(prk, []byte("x"), 96)
 	short := Expand(prk, []byte("x"), 17)
@@ -65,6 +69,7 @@ func TestExpandPrefixConsistency(t *testing.T) {
 }
 
 func TestExpandPanicsOutOfRange(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Expand did not panic for out-of-range length")
@@ -74,6 +79,7 @@ func TestExpandPanicsOutOfRange(t *testing.T) {
 }
 
 func TestDistinctInfoDistinctOutput(t *testing.T) {
+	t.Parallel()
 	prk := Extract(nil, []byte("ikm"))
 	a := Expand(prk, []byte("a"), 32)
 	b := Expand(prk, []byte("b"), 32)

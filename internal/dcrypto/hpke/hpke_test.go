@@ -6,6 +6,7 @@ import (
 )
 
 func TestSealOpenRoundTrip(t *testing.T) {
+	t.Parallel()
 	kp, err := GenerateKeyPair()
 	if err != nil {
 		t.Fatal(err)
@@ -24,6 +25,7 @@ func TestSealOpenRoundTrip(t *testing.T) {
 }
 
 func TestOpenRejectsTamperedCiphertext(t *testing.T) {
+	t.Parallel()
 	kp, _ := GenerateKeyPair()
 	enc, ct, err := Seal(kp.PublicKey(), nil, nil, []byte("payload"))
 	if err != nil {
@@ -36,6 +38,7 @@ func TestOpenRejectsTamperedCiphertext(t *testing.T) {
 }
 
 func TestOpenRejectsWrongAAD(t *testing.T) {
+	t.Parallel()
 	kp, _ := GenerateKeyPair()
 	enc, ct, err := Seal(kp.PublicKey(), nil, []byte("right"), []byte("payload"))
 	if err != nil {
@@ -47,6 +50,7 @@ func TestOpenRejectsWrongAAD(t *testing.T) {
 }
 
 func TestOpenRejectsWrongInfo(t *testing.T) {
+	t.Parallel()
 	kp, _ := GenerateKeyPair()
 	enc, ct, err := Seal(kp.PublicKey(), []byte("context-a"), nil, []byte("payload"))
 	if err != nil {
@@ -58,6 +62,7 @@ func TestOpenRejectsWrongInfo(t *testing.T) {
 }
 
 func TestOpenRejectsWrongRecipient(t *testing.T) {
+	t.Parallel()
 	kp1, _ := GenerateKeyPair()
 	kp2, _ := GenerateKeyPair()
 	enc, ct, err := Seal(kp1.PublicKey(), nil, nil, []byte("payload"))
@@ -72,6 +77,7 @@ func TestOpenRejectsWrongRecipient(t *testing.T) {
 // TestContextSequencing verifies that a multi-message context uses a
 // fresh nonce per message and that out-of-order opens fail.
 func TestContextSequencing(t *testing.T) {
+	t.Parallel()
 	kp, _ := GenerateKeyPair()
 	enc, sender, err := SetupSender(kp.PublicKey(), []byte("seq"))
 	if err != nil {
@@ -106,6 +112,7 @@ func TestContextSequencing(t *testing.T) {
 }
 
 func TestExportConsistency(t *testing.T) {
+	t.Parallel()
 	kp, _ := GenerateKeyPair()
 	enc, sender, err := SetupSender(kp.PublicKey(), nil)
 	if err != nil {
@@ -127,6 +134,7 @@ func TestExportConsistency(t *testing.T) {
 }
 
 func TestKeyPairFromSeedDeterministic(t *testing.T) {
+	t.Parallel()
 	seed := bytes.Repeat([]byte{7}, 32)
 	kp1, err := KeyPairFromSeed(seed)
 	if err != nil {
@@ -146,6 +154,7 @@ func TestKeyPairFromSeedDeterministic(t *testing.T) {
 }
 
 func TestDecapRejectsShortEnc(t *testing.T) {
+	t.Parallel()
 	kp, _ := GenerateKeyPair()
 	if _, err := SetupRecipient([]byte{1, 2, 3}, kp, nil); err == nil {
 		t.Fatal("short encapsulated key accepted")
@@ -155,6 +164,7 @@ func TestDecapRejectsShortEnc(t *testing.T) {
 // TestCiphertextHidesPlaintextSizeOnly documents the property traffic
 // analysis (§4.3) exploits: ciphertext length = plaintext length + tag.
 func TestCiphertextOverheadIsConstant(t *testing.T) {
+	t.Parallel()
 	kp, _ := GenerateKeyPair()
 	for _, n := range []int{0, 1, 100, 4096} {
 		_, ct, err := Seal(kp.PublicKey(), nil, nil, make([]byte, n))
@@ -207,6 +217,7 @@ func BenchmarkContextSeal(b *testing.B) {
 }
 
 func TestSymmetricRoundTrip(t *testing.T) {
+	t.Parallel()
 	key := make([]byte, 16)
 	copy(key, "0123456789abcdef")
 	ct, err := SealSymmetric(key, []byte("aad"), []byte("symmetric payload"))
@@ -223,6 +234,7 @@ func TestSymmetricRoundTrip(t *testing.T) {
 }
 
 func TestSymmetricNoncesFresh(t *testing.T) {
+	t.Parallel()
 	key := make([]byte, 16)
 	a, _ := SealSymmetric(key, nil, []byte("same"))
 	b, _ := SealSymmetric(key, nil, []byte("same"))
@@ -232,6 +244,7 @@ func TestSymmetricNoncesFresh(t *testing.T) {
 }
 
 func TestSymmetricRejections(t *testing.T) {
+	t.Parallel()
 	key := make([]byte, 16)
 	ct, err := SealSymmetric(key, []byte("right"), []byte("payload"))
 	if err != nil {
@@ -261,6 +274,7 @@ func TestSymmetricRejections(t *testing.T) {
 }
 
 func TestSetupSenderRejectsBadPublicKey(t *testing.T) {
+	t.Parallel()
 	if _, _, err := SetupSender([]byte("not a key"), nil); err == nil {
 		t.Error("malformed recipient key accepted")
 	}
@@ -270,6 +284,7 @@ func TestSetupSenderRejectsBadPublicKey(t *testing.T) {
 }
 
 func TestKeyPairFromSeedRejectsNothing(t *testing.T) {
+	t.Parallel()
 	// Any seed works (clamped internally by the HKDF derivation); the
 	// resulting keys must be valid recipients.
 	kp, err := KeyPairFromSeed(nil)
@@ -286,6 +301,7 @@ func TestKeyPairFromSeedRejectsNothing(t *testing.T) {
 }
 
 func TestOpenRejectsGarbageEnc(t *testing.T) {
+	t.Parallel()
 	kp, _ := GenerateKeyPair()
 	// 32 bytes that are a valid X25519 point format but random: Open
 	// must fail at AEAD, not panic.

@@ -7,6 +7,7 @@ import (
 )
 
 func TestChallengeRoundTrip(t *testing.T) {
+	t.Parallel()
 	c, err := NewChallenge(2, "issuer.example", "origin.example")
 	if err != nil {
 		t.Fatal(err)
@@ -27,6 +28,7 @@ func TestChallengeRoundTrip(t *testing.T) {
 }
 
 func TestChallengeNoncesFresh(t *testing.T) {
+	t.Parallel()
 	a, _ := NewChallenge(2, "i", "o")
 	b, _ := NewChallenge(2, "i", "o")
 	if a.Nonce == b.Nonce {
@@ -35,6 +37,7 @@ func TestChallengeNoncesFresh(t *testing.T) {
 }
 
 func TestTokenRoundTrip(t *testing.T) {
+	t.Parallel()
 	c, _ := NewChallenge(2, "i", "o")
 	tok, err := NewToken(c)
 	if err != nil {
@@ -56,6 +59,7 @@ func TestTokenRoundTrip(t *testing.T) {
 }
 
 func TestTokenBindsChallenge(t *testing.T) {
+	t.Parallel()
 	c1, _ := NewChallenge(2, "i", "o1")
 	c2, _ := NewChallenge(2, "i", "o2")
 	tok, _ := NewToken(c1)
@@ -68,6 +72,7 @@ func TestTokenBindsChallenge(t *testing.T) {
 }
 
 func TestUnmarshalErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := Unmarshal(nil); err == nil {
 		t.Error("nil token unmarshaled")
 	}
@@ -87,6 +92,7 @@ func TestUnmarshalErrors(t *testing.T) {
 }
 
 func TestChallengeUnmarshalFuzzSafety(t *testing.T) {
+	t.Parallel()
 	f := func(data []byte) bool {
 		// Must never panic; errors are fine.
 		_, _ = UnmarshalChallenge(data)
@@ -99,6 +105,7 @@ func TestChallengeUnmarshalFuzzSafety(t *testing.T) {
 }
 
 func TestSpendCache(t *testing.T) {
+	t.Parallel()
 	c, _ := NewChallenge(2, "i", "o")
 	t1, _ := NewToken(c)
 	t2, _ := NewToken(c)
@@ -118,6 +125,7 @@ func TestSpendCache(t *testing.T) {
 }
 
 func TestSignedMessageExcludesSignature(t *testing.T) {
+	t.Parallel()
 	c, _ := NewChallenge(2, "i", "o")
 	tok, _ := NewToken(c)
 	before := append([]byte(nil), tok.SignedMessage()...)

@@ -8,6 +8,7 @@ import (
 )
 
 func TestQueryRoundTrip(t *testing.T) {
+	t.Parallel()
 	q := NewQuery(0x1234, "www.example.com", TypeA)
 	wire, err := q.Encode()
 	if err != nil {
@@ -29,6 +30,7 @@ func TestQueryRoundTrip(t *testing.T) {
 }
 
 func TestResponseRoundTrip(t *testing.T) {
+	t.Parallel()
 	q := NewQuery(7, "host.example.org", TypeA)
 	r := q.Reply()
 	r.Authoritative = true
@@ -64,6 +66,7 @@ func TestResponseRoundTrip(t *testing.T) {
 }
 
 func TestNameCompressionShrinksRepeatedNames(t *testing.T) {
+	t.Parallel()
 	r := &Message{ID: 1, Response: true}
 	name := "very.long.subdomain.of.example.com"
 	r.Questions = append(r.Questions, Question{Name: name, Type: TypeA, Class: ClassIN})
@@ -92,6 +95,7 @@ func TestNameCompressionShrinksRepeatedNames(t *testing.T) {
 }
 
 func TestCanonicalName(t *testing.T) {
+	t.Parallel()
 	cases := map[string]string{
 		"Example.COM":  "example.com.",
 		"example.com.": "example.com.",
@@ -106,6 +110,7 @@ func TestCanonicalName(t *testing.T) {
 }
 
 func TestRootNameRoundTrip(t *testing.T) {
+	t.Parallel()
 	q := NewQuery(1, ".", TypeNS)
 	wire, err := q.Encode()
 	if err != nil {
@@ -121,6 +126,7 @@ func TestRootNameRoundTrip(t *testing.T) {
 }
 
 func TestDecodeErrors(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name string
 		wire []byte
@@ -137,6 +143,7 @@ func TestDecodeErrors(t *testing.T) {
 }
 
 func TestDecodePointerLoopRejected(t *testing.T) {
+	t.Parallel()
 	// Header + question whose name is a pointer to itself.
 	wire := make([]byte, 12)
 	wire[5] = 1 // QDCOUNT=1
@@ -148,6 +155,7 @@ func TestDecodePointerLoopRejected(t *testing.T) {
 }
 
 func TestEncodeRejectsBadLabels(t *testing.T) {
+	t.Parallel()
 	long := strings.Repeat("a", 64)
 	q := NewQuery(1, long+".example.com", TypeA)
 	if _, err := q.Encode(); err == nil {
@@ -160,6 +168,7 @@ func TestEncodeRejectsBadLabels(t *testing.T) {
 }
 
 func TestTXTDataRoundTripLong(t *testing.T) {
+	t.Parallel()
 	long := strings.Repeat("x", 700) // forces 3 character-strings
 	rr := RR{Type: TypeTXT, Data: TXTData(long)}
 	got, err := rr.TXT()
@@ -169,6 +178,7 @@ func TestTXTDataRoundTripLong(t *testing.T) {
 }
 
 func TestFlagsRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(id uint16, resp, aa, tc, rd, ra bool, opcode, rcode uint8) bool {
 		m := &Message{
 			ID: id, Response: resp, Authoritative: aa, Truncated: tc,
@@ -198,6 +208,7 @@ func TestFlagsRoundTrip(t *testing.T) {
 // Property: Decode(Encode(m)) preserves names for arbitrary label
 // shapes built from a safe alphabet.
 func TestNameRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	f := func(raw []byte) bool {
 		// Build a name of 1-4 labels, each 1-20 chars from [a-z0-9-].
 		const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
@@ -257,6 +268,7 @@ func BenchmarkEncodeDecode(b *testing.B) {
 }
 
 func TestAAAAAndNSBuilders(t *testing.T) {
+	t.Parallel()
 	var v6 [16]byte
 	v6[15] = 1
 	rr := AAAA("host.example", 300, v6)

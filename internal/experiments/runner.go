@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Runner executes a set of experiments on a bounded worker pool and
+// collects results deterministically ordered by the input slice (id
+// order for All()).
+//
+// Experiments are mutually independent by construction: each builds its
+// own simnet (virtual clock + seeded RNG), classifier, and ledger, and
+// real-loopback systems bind ephemeral 127.0.0.1:0 ports. The runner
+// therefore only has to order the collection, not the execution — the
+// report produced from its results is byte-identical whether Workers is
+// 1 or GOMAXPROCS.
+type Runner struct {
+	// Workers bounds concurrent experiment executions. Values < 1 mean
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// RunnerResult pairs one experiment's outcome with any execution error.
+type RunnerResult struct {
+	ID     string
+	Result *Result
+	Err    error
+}
+
+// Run executes every experiment in exps and returns one RunnerResult
+// per input, in input order regardless of completion order. It never
+// returns early: an experiment error is recorded in its slot while the
+// remaining experiments still run.
+func (r *Runner) Run(exps []Experiment) []RunnerResult {
+	workers := r.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	out := make([]RunnerResult, len(exps))
+	if len(exps) == 0 {
+		return out
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				exp := exps[i]
+				res, err := runOne(exp)
+				out[i] = RunnerResult{ID: exp.ID, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// runOne executes a single experiment, converting panics into errors so
+// one faulty experiment cannot take down a parallel run.
+func runOne(exp Experiment) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%s: panic: %v", exp.ID, p)
+		}
+	}()
+	return exp.Run()
+}
+
+// RunAll is shorthand for running every registered experiment with the
+// given parallelism.
+func RunAll(workers int) []RunnerResult {
+	r := Runner{Workers: workers}
+	return r.Run(All())
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunnerOrdersResults checks that results come back in input order
+// even when completion order is scrambled by a worker pool.
+func TestRunnerOrdersResults(t *testing.T) {
+	t.Parallel()
+	const n = 20
+	var exps []Experiment
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("X%d", i)
+		exps = append(exps, Experiment{ID: id, Run: func() (*Result, error) {
+			return &Result{ID: id, Pass: true}, nil
+		}})
+	}
+	r := Runner{Workers: 4}
+	out := r.Run(exps)
+	if len(out) != n {
+		t.Fatalf("results = %d, want %d", len(out), n)
+	}
+	for i, rr := range out {
+		want := fmt.Sprintf("X%d", i)
+		if rr.ID != want || rr.Result == nil || rr.Result.ID != want {
+			t.Errorf("slot %d: got id %s, want %s", i, rr.ID, want)
+		}
+	}
+}
+
+// TestRunnerBoundsWorkers checks the pool never runs more than Workers
+// experiments at once.
+func TestRunnerBoundsWorkers(t *testing.T) {
+	t.Parallel()
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	var exps []Experiment
+	for i := 0; i < 12; i++ {
+		exps = append(exps, Experiment{ID: fmt.Sprintf("X%d", i), Run: func() (*Result, error) {
+			cur := inFlight.Add(1)
+			mu.Lock()
+			if cur > peak.Load() {
+				peak.Store(cur)
+			}
+			mu.Unlock()
+			runtime.Gosched()
+			inFlight.Add(-1)
+			return &Result{Pass: true}, nil
+		}})
+	}
+	r := Runner{Workers: workers}
+	r.Run(exps)
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency = %d, want <= %d", p, workers)
+	}
+}
+
+// TestRunnerErrorsAndPanicsIsolated checks that one failing or
+// panicking experiment fills only its own slot.
+func TestRunnerErrorsAndPanicsIsolated(t *testing.T) {
+	t.Parallel()
+	boom := errors.New("boom")
+	exps := []Experiment{
+		{ID: "ok", Run: func() (*Result, error) { return &Result{ID: "ok", Pass: true}, nil }},
+		{ID: "err", Run: func() (*Result, error) { return nil, boom }},
+		{ID: "panic", Run: func() (*Result, error) { panic("kaboom") }},
+	}
+	r := Runner{Workers: 2}
+	out := r.Run(exps)
+	if out[0].Err != nil || out[0].Result == nil || !out[0].Result.Pass {
+		t.Errorf("ok slot corrupted: %+v", out[0])
+	}
+	if !errors.Is(out[1].Err, boom) {
+		t.Errorf("err slot: got %v, want %v", out[1].Err, boom)
+	}
+	if out[2].Err == nil || out[2].Result != nil {
+		t.Errorf("panic slot: got %+v", out[2])
+	}
+}
+
+// TestRunnerParallelMatchesSequential is the determinism guarantee for
+// the report pipeline: rendering parallel results must produce the same
+// bytes as the sequential baseline. Uses the cheap model-only
+// experiments to keep the double run fast.
+func TestRunnerParallelMatchesSequential(t *testing.T) {
+	t.Parallel()
+	subset := []Experiment{
+		{"E8", E8VPN},
+		{"E9", E9ECH},
+		{"E13", E13TEE},
+	}
+	render := func(workers int) string {
+		r := Runner{Workers: workers}
+		var s string
+		for _, rr := range r.Run(subset) {
+			if rr.Err != nil {
+				t.Fatalf("workers=%d: %v", workers, rr.Err)
+			}
+			s += rr.Result.Render()
+		}
+		return s
+	}
+	seq := render(1)
+	par := render(3)
+	if seq != par {
+		t.Errorf("parallel render diverged from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestRunAllParallel runs the real suite wide open — every experiment
+// must still reproduce when they all execute concurrently. This is the
+// integration half of the race-hardening work; run it under -race.
+func TestRunAllParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite skipped in -short mode")
+	}
+	for _, rr := range RunAll(0) {
+		if rr.Err != nil {
+			t.Fatalf("%s: %v", rr.ID, rr.Err)
+		}
+		if !rr.Result.Pass {
+			t.Errorf("%s failed under parallel execution:\n%s", rr.ID, rr.Result.Render())
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"encoding/hex"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"decoupling/internal/core"
@@ -37,6 +38,10 @@ type Observation struct {
 	Value    string     // the value as observed
 	Handles  []string   // linkage handles attached by the observer
 	Time     time.Duration
+
+	// seq is the ledger-global admission order, used to reconstruct a
+	// total order across per-observer shards.
+	seq uint64
 }
 
 // classEntry is the registered classification of one concrete value.
@@ -94,16 +99,27 @@ func (c *Classifier) classify(kind core.Kind, value string) classEntry {
 	return classEntry{level: core.NonSensitive}
 }
 
+// shard holds one observer's append-only observation log. Each observer
+// gets its own lock, so concurrent observers never contend with each
+// other on the hot Saw path.
+type shard struct {
+	mu  sync.Mutex
+	obs []Observation
+}
+
 // Ledger accumulates observations for one experiment run. The zero
 // value is not usable; construct with New. Ledger is safe for
 // concurrent use — real-loopback systems observe from handler
-// goroutines.
+// goroutines — and lock-striped per observer, so observers do not
+// contend with each other when appending.
 type Ledger struct {
 	classifier *Classifier
 	clock      func() time.Duration
 
-	mu  sync.Mutex
-	obs []Observation
+	seq atomic.Uint64 // global admission counter, total order across shards
+
+	mu     sync.RWMutex // guards the shards map, not the logs
+	shards map[string]*shard
 }
 
 // New creates a ledger bound to a classifier. clock may be nil, in which
@@ -113,11 +129,53 @@ func New(c *Classifier, clock func() time.Duration) *Ledger {
 	if c == nil {
 		c = NewClassifier()
 	}
-	return &Ledger{classifier: c, clock: clock}
+	return &Ledger{classifier: c, clock: clock, shards: map[string]*shard{}}
 }
 
 // Classifier returns the bound classifier.
 func (l *Ledger) Classifier() *Classifier { return l.classifier }
+
+// shardFor returns the observer's shard, creating it on first use. The
+// fast path is a read-locked map lookup.
+func (l *Ledger) shardFor(observer string) *shard {
+	l.mu.RLock()
+	s := l.shards[observer]
+	l.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s = l.shards[observer]; s == nil {
+		s = &shard{}
+		l.shards[observer] = s
+	}
+	return s
+}
+
+// lockAll acquires every shard lock in a stable order and returns the
+// locked shards keyed by observer, giving cross-observer snapshot APIs a
+// consistent point-in-time view. Callers must call the returned unlock.
+func (l *Ledger) lockAll() (map[string]*shard, func()) {
+	l.mu.RLock()
+	names := make([]string, 0, len(l.shards))
+	for name := range l.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	shards := make(map[string]*shard, len(names))
+	for _, name := range names {
+		s := l.shards[name]
+		s.mu.Lock()
+		shards[name] = s
+	}
+	l.mu.RUnlock()
+	return shards, func() {
+		for _, name := range names {
+			shards[name].mu.Unlock()
+		}
+	}
+}
 
 // Saw records that observer saw value of the given kind, with optional
 // linkage handles. Classification (level, subject, axis label) comes
@@ -136,9 +194,11 @@ func (l *Ledger) Saw(observer string, kind core.Kind, value string, handles ...s
 	if l.clock != nil {
 		o.Time = l.clock()
 	}
-	l.mu.Lock()
-	l.obs = append(l.obs, o)
-	l.mu.Unlock()
+	s := l.shardFor(observer)
+	s.mu.Lock()
+	o.seq = l.seq.Add(1)
+	s.obs = append(s.obs, o)
+	s.mu.Unlock()
 }
 
 // SawIdentity is shorthand for Saw with core.Identity.
@@ -151,31 +211,42 @@ func (l *Ledger) SawData(observer, value string, handles ...string) {
 	l.Saw(observer, core.Data, value, handles...)
 }
 
-// Observations returns a copy of all recorded observations in order.
+// Observations returns a copy of all recorded observations in global
+// admission order, merged consistently across observer shards.
 func (l *Ledger) Observations() []Observation {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return append([]Observation(nil), l.obs...)
+	shards, unlock := l.lockAll()
+	var out []Observation
+	for _, s := range shards {
+		out = append(out, s.obs...)
+	}
+	unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
 }
 
-// ByObserver returns the observations recorded by one entity.
+// ByObserver returns the observations recorded by one entity, in the
+// order the entity recorded them.
 func (l *Ledger) ByObserver(name string) []Observation {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var out []Observation
-	for _, o := range l.obs {
-		if o.Observer == name {
-			out = append(out, o)
-		}
+	l.mu.RLock()
+	s := l.shards[name]
+	l.mu.RUnlock()
+	if s == nil {
+		return nil
 	}
-	return out
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Observation(nil), s.obs...)
 }
 
 // Len reports the number of recorded observations.
 func (l *Ledger) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.obs)
+	shards, unlock := l.lockAll()
+	defer unlock()
+	n := 0
+	for _, s := range shards {
+		n += len(s.obs)
+	}
+	return n
 }
 
 // Handles returns the sorted distinct linkage handles an entity holds.
