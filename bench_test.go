@@ -25,7 +25,7 @@ func benchExperiment(b *testing.B, f experiments.ExperimentFunc) {
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r, err := f()
+		r, err := f(nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -12,6 +12,11 @@
 //
 // System ids: digitalcash, mixnet, privacypass, odns, pgpp, mpr, ppm,
 // vpn, ech.
+//
+// Profiling flags (shared with cmd/experiments):
+//
+//	-cpuprofile f    pprof CPU profile of the whole invocation
+//	-memprofile f    pprof heap profile written at exit
 package main
 
 import (
@@ -19,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -27,10 +34,41 @@ import (
 
 func main() {
 	flag.Usage = usage
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to `file`")
 	flag.Parse()
-	if code := run(os.Stdout, flag.Args()); code != 0 {
-		os.Exit(code)
+	code := 0
+	defer func() { os.Exit(code) }()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "decouple:", err)
+			code = 2
+			return
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "decouple:", err)
+			code = 2
+			return
+		}
+		defer pprof.StopCPUProfile()
 	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "decouple:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "decouple:", err)
+			}
+		}()
+	}
+	code = run(os.Stdout, flag.Args())
 }
 
 // run dispatches a command, writing output to w. It returns the exit

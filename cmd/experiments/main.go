@@ -6,11 +6,26 @@
 //	experiments                # run everything, GOMAXPROCS-wide
 //	experiments E4 E7          # run selected experiment ids
 //	experiments -parallel 1    # sequential (byte-identical output)
+//	experiments -trace t.jsonl -metrics m.prom E2 E10
 //
 // Experiments execute on a worker pool (-parallel N, default
 // GOMAXPROCS); results are always reported in id order, so the report
 // bytes do not depend on the parallelism. Exit status is nonzero if any
 // experiment fails to reproduce.
+//
+// Observability flags (all off by default; the report on stdout is
+// byte-identical with or without them):
+//
+//	-trace f.jsonl    span traces, one JSON object per line, stamped
+//	                  against each experiment's virtual clock — the
+//	                  bytes are identical across runs and -parallel
+//	                  settings
+//	-metrics f.prom   counters and histograms in Prometheus text
+//	                  exposition format
+//	-stats            per-experiment ledger observation counts on
+//	                  stderr
+//	-cpuprofile f     pprof CPU profile of the whole run
+//	-memprofile f     pprof heap profile written at exit
 package main
 
 import (
@@ -19,8 +34,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 
 	"decoupling/internal/experiments"
+	"decoupling/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +53,11 @@ func run(out, errw io.Writer, args []string) int {
 	fs.SetOutput(errw)
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of experiments to run concurrently (1 = sequential)")
+	traceFile := fs.String("trace", "", "write span traces as JSONL to `file`")
+	metricsFile := fs.String("metrics", "", "write metrics in Prometheus text format to `file`")
+	stats := fs.Bool("stats", false, "print per-experiment ledger stats to stderr")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to `file`")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to `file`")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -54,9 +77,58 @@ func run(out, errw io.Writer, args []string) int {
 		return 2
 	}
 
-	runner := experiments.Runner{Workers: *parallel}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(errw, "experiments: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(errw, "experiments: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(errw, "experiments: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(errw, "experiments: %v\n", err)
+			}
+		}()
+	}
+
+	telemetryOn := *traceFile != "" || *metricsFile != ""
+	runner := experiments.Runner{Workers: *parallel, Trace: *traceFile != ""}
+	if telemetryOn {
+		runner.Metrics = telemetry.NewMetrics()
+	}
+	results := runner.Run(selected)
+
+	// Export telemetry artifacts before pass/fail accounting so a
+	// failing reproduction still leaves its trace behind for diagnosis.
+	if *traceFile != "" {
+		if err := writeTraces(*traceFile, results); err != nil {
+			fmt.Fprintf(errw, "experiments: %v\n", err)
+			return 2
+		}
+	}
+	if *metricsFile != "" {
+		if err := writeMetrics(*metricsFile, runner.Metrics); err != nil {
+			fmt.Fprintf(errw, "experiments: %v\n", err)
+			return 2
+		}
+	}
+
 	failures := 0
-	for _, rr := range runner.Run(selected) {
+	for _, rr := range results {
 		if rr.Err != nil {
 			fmt.Fprintf(errw, "experiments: %v\n", rr.Err)
 			return 1
@@ -66,10 +138,95 @@ func run(out, errw io.Writer, args []string) int {
 			failures++
 		}
 	}
+	if *stats {
+		printStats(errw, results)
+	}
+	if telemetryOn {
+		printSummary(errw, results, runner.Metrics)
+	}
 	if failures > 0 {
 		fmt.Fprintf(errw, "experiments: %d experiment(s) failed to reproduce\n", failures)
 		return 1
 	}
 	fmt.Fprintf(out, "all %d experiments reproduce the paper\n", len(selected))
 	return 0
+}
+
+// writeTraces concatenates every experiment's spans in input (id) order.
+// Each tracer's span ids and virtual timestamps are per-experiment
+// state, so the file's bytes are independent of -parallel.
+func writeTraces(path string, results []experiments.RunnerResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, rr := range results {
+		if err := rr.Trace.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func writeMetrics(path string, m *telemetry.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteProm(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printStats renders the -stats ledger summary: per experiment, how
+// many observations each observer admitted and how many linkage handles
+// it holds.
+func printStats(w io.Writer, results []experiments.RunnerResult) {
+	fmt.Fprintln(w, "ledger stats:")
+	for _, rr := range results {
+		if rr.Result == nil || rr.Result.LedgerStats == nil {
+			continue
+		}
+		st := rr.Result.LedgerStats
+		fmt.Fprintf(w, "  %s: %d observations\n", rr.ID, st.Total)
+		for _, o := range st.Observers {
+			fmt.Fprintf(w, "    %-24s %6d obs %6d handles\n", o.Observer, o.Observations, o.Handles)
+		}
+	}
+}
+
+// printSummary renders the post-run telemetry digest: the slowest
+// experiments by wall time (with their virtual elapsed time alongside)
+// and the hottest simulated links by bytes delivered.
+func printSummary(w io.Writer, results []experiments.RunnerResult, m *telemetry.Metrics) {
+	byWall := make([]experiments.RunnerResult, 0, len(results))
+	for _, rr := range results {
+		if rr.Result != nil {
+			byWall = append(byWall, rr)
+		}
+	}
+	sort.SliceStable(byWall, func(i, j int) bool {
+		return byWall[i].Result.WallElapsed > byWall[j].Result.WallElapsed
+	})
+	if len(byWall) > 5 {
+		byWall = byWall[:5]
+	}
+	fmt.Fprintln(w, "slowest experiments (wall | virtual):")
+	for _, rr := range byWall {
+		fmt.Fprintf(w, "  %-4s %12v | %v\n", rr.ID, rr.Result.WallElapsed.Round(10_000), rr.Result.VirtualElapsed)
+	}
+	links := m.CounterSeries(telemetry.MetricSimnetBytes)
+	if len(links) > 5 {
+		links = links[:5]
+	}
+	if len(links) > 0 {
+		fmt.Fprintln(w, "hottest links (bytes delivered):")
+		for _, sv := range links {
+			fmt.Fprintf(w, "  %-4s %s -> %s: %.0f\n",
+				sv.Label("experiment"), sv.Label("src"), sv.Label("dst"), sv.Value)
+		}
+	}
 }

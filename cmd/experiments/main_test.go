@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"decoupling/internal/telemetry"
 )
 
 func TestRunSelectedExperiment(t *testing.T) {
@@ -48,6 +52,120 @@ func TestBadFlag(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run(&out, &errw, []string{"-nope"}); code != 2 {
 		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+// TestTraceDeterminism is the observability-era determinism contract:
+// the exported JSONL trace must be byte-identical across -parallel
+// settings and across repeated runs, and the report on stdout must not
+// change a byte when telemetry is on. E2 and E10 cover a mixnet cascade
+// and multi-hop onion chains — the interesting nesting cases.
+func TestTraceDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(name, parallel string) (trace []byte, stdout string) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		var out, errw bytes.Buffer
+		args := []string{"-parallel", parallel, "-trace", path, "E2", "E10"}
+		if code := run(&out, &errw, args); code != 0 {
+			t.Fatalf("exit = %d, stderr = %s", code, errw.String())
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, out.String()
+	}
+	t1, s1 := runOnce("t1.jsonl", "4")
+	t2, s2 := runOnce("t2.jsonl", "1")
+	t3, _ := runOnce("t3.jsonl", "4")
+	if !bytes.Equal(t1, t2) {
+		t.Errorf("trace bytes differ between -parallel 4 and -parallel 1")
+	}
+	if !bytes.Equal(t1, t3) {
+		t.Errorf("trace bytes differ between two -parallel 4 runs")
+	}
+	if s1 != s2 {
+		t.Errorf("report changed with parallelism while tracing")
+	}
+
+	recs, err := telemetry.ParseJSONL(bytes.NewReader(t1))
+	if err != nil {
+		t.Fatalf("exported trace fails strict parse: %v", err)
+	}
+	// Depth check: E10's onion chains must produce spans nested at least
+	// 4 deep (experiment → phase → deliver → relay handler).
+	depth := map[uint64]int{}
+	maxDepth := 0
+	for _, r := range recs {
+		if r.Trace != "E10" {
+			continue
+		}
+		d := 1
+		if r.Parent != 0 {
+			d = depth[r.Parent] + 1
+		}
+		depth[r.Span] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth < 4 {
+		t.Errorf("E10 max span depth = %d, want >= 4 (multi-hop chains must nest)", maxDepth)
+	}
+}
+
+// TestMetricsAndStatsFlags checks that -metrics writes a canonical
+// exposition file and -stats prints ledger observation counts.
+func TestMetricsAndStatsFlags(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.prom")
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-metrics", path, "-stats", "E2"}); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errw.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := telemetry.ParseExposition(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("metrics file fails strict parse: %v", err)
+	}
+	var rendered bytes.Buffer
+	if err := telemetry.WriteExpFamilies(&rendered, fams); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, rendered.Bytes()) {
+		t.Errorf("metrics file is not canonical (round-trip differs)")
+	}
+	if !strings.Contains(string(raw), telemetry.MetricSimnetMessages) {
+		t.Errorf("metrics missing simnet counters:\n%s", raw)
+	}
+	if !strings.Contains(errw.String(), "ledger stats:") {
+		t.Errorf("-stats output missing:\n%s", errw.String())
+	}
+	if !strings.Contains(errw.String(), "slowest experiments") {
+		t.Errorf("telemetry summary missing:\n%s", errw.String())
+	}
+}
+
+// TestProfileFlags checks -cpuprofile/-memprofile produce non-empty
+// pprof files.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-cpuprofile", cpu, "-memprofile", mem, "E8"}); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errw.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile missing: %v", err)
+		} else if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
 	}
 }
 

@@ -1,0 +1,103 @@
+// Command tracecheck validates telemetry artifacts produced by
+// `experiments -trace ... -metrics ...`:
+//
+//	tracecheck -trace t.jsonl              # strict JSONL span validation
+//	tracecheck -metrics m.prom             # exposition parse + round-trip
+//	tracecheck -trace t.jsonl -metrics m.prom
+//
+// A trace file passes when every line decodes as a span record, span
+// ids are unique per trace, parents precede children, and no span ends
+// before it starts. A metrics file passes when it parses under the
+// strict exposition grammar AND re-renders byte-identically — the
+// writer and parser keep each other honest. CI runs this against the
+// artifacts of a real experiment run.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"decoupling/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(out, errw io.Writer, args []string) int {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	traceFile := fs.String("trace", "", "JSONL trace `file` to validate")
+	metricsFile := fs.String("metrics", "", "Prometheus exposition `file` to validate")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *traceFile == "" && *metricsFile == "" || fs.NArg() > 0 {
+		fmt.Fprintln(errw, "usage: tracecheck [-trace f.jsonl] [-metrics f.prom]")
+		return 2
+	}
+	if *traceFile != "" {
+		if err := checkTrace(out, *traceFile); err != nil {
+			fmt.Fprintf(errw, "tracecheck: %v\n", err)
+			return 1
+		}
+	}
+	if *metricsFile != "" {
+		if err := checkMetrics(out, *metricsFile); err != nil {
+			fmt.Fprintf(errw, "tracecheck: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func checkTrace(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := telemetry.ParseJSONL(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	traces := map[string]int{}
+	roots := 0
+	for _, r := range recs {
+		traces[r.Trace]++
+		if r.Parent == 0 {
+			roots++
+		}
+	}
+	fmt.Fprintf(out, "%s: %d spans (%d roots) across %d traces\n",
+		path, len(recs), roots, len(traces))
+	return nil
+}
+
+func checkMetrics(out io.Writer, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fams, err := telemetry.ParseExposition(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var rendered bytes.Buffer
+	if err := telemetry.WriteExpFamilies(&rendered, fams); err != nil {
+		return err
+	}
+	if !bytes.Equal(raw, rendered.Bytes()) {
+		return fmt.Errorf("%s: exposition is not canonical (re-render differs)", path)
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	fmt.Fprintf(out, "%s: %d families, %d samples, canonical\n",
+		path, len(fams), samples)
+	return nil
+}

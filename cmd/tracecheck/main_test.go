@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"decoupling/internal/telemetry"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidArtifacts(t *testing.T) {
+	t.Parallel()
+	tr := telemetry.NewTracer("E2")
+	root := tr.Start("experiment")
+	tr.Start("phase:forward").End()
+	root.End()
+	var trace bytes.Buffer
+	if err := tr.WriteJSONL(&trace); err != nil {
+		t.Fatal(err)
+	}
+	m := telemetry.NewMetrics()
+	m.Counter("x_total", "X.", telemetry.A("experiment", "E2")).Add(3)
+	m.Histogram("y_seconds", "Y.", telemetry.LatencyBuckets).Observe(0.01)
+	var prom bytes.Buffer
+	if err := m.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+
+	tp := write(t, "t.jsonl", trace.String())
+	mp := write(t, "m.prom", prom.String())
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-trace", tp, "-metrics", mp}); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "2 spans (1 roots)") {
+		t.Errorf("trace summary missing: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "canonical") {
+		t.Errorf("metrics summary missing: %s", out.String())
+	}
+}
+
+func TestInvalidTrace(t *testing.T) {
+	t.Parallel()
+	tp := write(t, "bad.jsonl", `{"trace":"T","span":1,"parent":5,"name":"x","start_ns":0,"end_ns":0}`+"\n")
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-trace", tp}); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "parent") {
+		t.Errorf("error did not name the violation: %s", errw.String())
+	}
+}
+
+func TestNonCanonicalMetrics(t *testing.T) {
+	t.Parallel()
+	// Parses fine but has a trailing blank line the canonical writer
+	// never emits — so the byte-compare must fail.
+	mp := write(t, "m.prom", "# HELP x_total X.\n# TYPE x_total counter\nx_total 1\n\n")
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-metrics", mp}); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "not canonical") {
+		t.Errorf("unexpected error: %s", errw.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	t.Parallel()
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, nil); code != 2 {
+		t.Errorf("no flags: exit %d, want 2", code)
+	}
+	if code := run(&out, &errw, []string{"-trace", "does-not-exist.jsonl"}); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

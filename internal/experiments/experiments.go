@@ -15,8 +15,11 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"decoupling/internal/core"
+	"decoupling/internal/ledger"
+	"decoupling/internal/telemetry"
 )
 
 // Table is a generic rendered result table.
@@ -44,6 +47,17 @@ type Result struct {
 	Notes []string
 	// Pass is the experiment's own success criterion.
 	Pass bool
+
+	// VirtualElapsed is the simulated time consumed (zero for
+	// experiments that do not drive a simnet clock). Deterministic.
+	VirtualElapsed time.Duration
+	// WallElapsed is the real execution time, set by the runner. It is
+	// machine-dependent and therefore never rendered by Render.
+	WallElapsed time.Duration
+	// LedgerStats summarizes the experiment's observation ledger
+	// (per-observer counts), surfaced by cmd/experiments -stats. Like
+	// WallElapsed it is diagnostic output, excluded from Render.
+	LedgerStats *ledger.Stats
 }
 
 // Render formats the result for terminal output / EXPERIMENTS.md.
@@ -120,8 +134,16 @@ func tableExperiment(r *Result) error {
 	return nil
 }
 
-// ExperimentFunc runs one experiment.
-type ExperimentFunc func() (*Result, error)
+// ExperimentFunc runs one experiment. tel is the experiment's telemetry
+// handle (nil when observability is off); implementations thread it to
+// the layers they build and may ignore it entirely.
+type ExperimentFunc func(tel *telemetry.Telemetry) (*Result, error)
+
+// ledgerStats snapshots a ledger for Result.LedgerStats.
+func ledgerStats(lg *ledger.Ledger) *ledger.Stats {
+	st := lg.Stats()
+	return &st
+}
 
 // Experiment pairs an experiment id with its runner so callers can
 // select without executing.

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"decoupling/internal/telemetry"
 )
 
 // Runner executes a set of experiments on a bounded worker pool and
@@ -16,10 +19,22 @@ import (
 // therefore only has to order the collection, not the execution — the
 // report produced from its results is byte-identical whether Workers is
 // 1 or GOMAXPROCS.
+//
+// Telemetry preserves that property: each experiment gets its own
+// Tracer (span ids and virtual timestamps are per-experiment state), so
+// exporting traces in input order yields byte-identical JSONL at any
+// parallelism. The Metrics registry is shared, but counter and
+// histogram updates commute and exposition output is sorted.
 type Runner struct {
 	// Workers bounds concurrent experiment executions. Values < 1 mean
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// Trace enables span recording: each experiment runs with its own
+	// tracer, returned in its RunnerResult.
+	Trace bool
+	// Metrics, when non-nil, is the shared registry every experiment
+	// reports counters and histograms into.
+	Metrics *telemetry.Metrics
 }
 
 // RunnerResult pairs one experiment's outcome with any execution error.
@@ -27,6 +42,9 @@ type RunnerResult struct {
 	ID     string
 	Result *Result
 	Err    error
+	// Trace is the experiment's span recording (nil unless the runner
+	// ran with Trace enabled).
+	Trace *telemetry.Tracer
 }
 
 // Run executes every experiment in exps and returns one RunnerResult
@@ -46,21 +64,41 @@ func (r *Runner) Run(exps []Experiment) []RunnerResult {
 		return out
 	}
 
-	jobs := make(chan int)
+	type job struct {
+		idx      int
+		enqueued time.Time
+	}
+	jobs := make(chan job)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				exp := exps[i]
-				res, err := runOne(exp)
-				out[i] = RunnerResult{ID: exp.ID, Result: res, Err: err}
+			for j := range jobs {
+				exp := exps[j.idx]
+				tel := telemetry.New(exp.ID, r.Trace, r.Metrics, telemetry.A("experiment", exp.ID))
+				tel.Observe(telemetry.MetricRunnerQueueWait,
+					"Wall-clock wait between experiment enqueue and worker pickup.",
+					telemetry.WaitBuckets, time.Since(j.enqueued).Seconds())
+				start := time.Now()
+				// The root span: children are protocol phases and, under
+				// those, per-hop deliveries. Its end is stamped with the
+				// experiment's virtual elapsed time so the exported trace
+				// stays wall-clock free.
+				root := tel.Start("experiment", telemetry.A("id", exp.ID))
+				res, err := runOne(exp, tel)
+				if res != nil {
+					res.WallElapsed = time.Since(start)
+					root.EndAt(res.VirtualElapsed)
+				} else {
+					root.EndAt(0)
+				}
+				out[j.idx] = RunnerResult{ID: exp.ID, Result: res, Err: err, Trace: tel.Tracer()}
 			}
 		}()
 	}
 	for i := range exps {
-		jobs <- i
+		jobs <- job{idx: i, enqueued: time.Now()}
 	}
 	close(jobs)
 	wg.Wait()
@@ -69,13 +107,13 @@ func (r *Runner) Run(exps []Experiment) []RunnerResult {
 
 // runOne executes a single experiment, converting panics into errors so
 // one faulty experiment cannot take down a parallel run.
-func runOne(exp Experiment) (res *Result, err error) {
+func runOne(exp Experiment, tel *telemetry.Telemetry) (res *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("%s: panic: %v", exp.ID, p)
 		}
 	}()
-	return exp.Run()
+	return exp.Run(tel)
 }
 
 // RunAll is shorthand for running every registered experiment with the

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"decoupling/internal/telemetry"
 )
 
 // TestRunnerOrdersResults checks that results come back in input order
@@ -17,7 +19,7 @@ func TestRunnerOrdersResults(t *testing.T) {
 	var exps []Experiment
 	for i := 0; i < n; i++ {
 		id := fmt.Sprintf("X%d", i)
-		exps = append(exps, Experiment{ID: id, Run: func() (*Result, error) {
+		exps = append(exps, Experiment{ID: id, Run: func(*telemetry.Telemetry) (*Result, error) {
 			return &Result{ID: id, Pass: true}, nil
 		}})
 	}
@@ -43,7 +45,7 @@ func TestRunnerBoundsWorkers(t *testing.T) {
 	var mu sync.Mutex
 	var exps []Experiment
 	for i := 0; i < 12; i++ {
-		exps = append(exps, Experiment{ID: fmt.Sprintf("X%d", i), Run: func() (*Result, error) {
+		exps = append(exps, Experiment{ID: fmt.Sprintf("X%d", i), Run: func(*telemetry.Telemetry) (*Result, error) {
 			cur := inFlight.Add(1)
 			mu.Lock()
 			if cur > peak.Load() {
@@ -68,9 +70,9 @@ func TestRunnerErrorsAndPanicsIsolated(t *testing.T) {
 	t.Parallel()
 	boom := errors.New("boom")
 	exps := []Experiment{
-		{ID: "ok", Run: func() (*Result, error) { return &Result{ID: "ok", Pass: true}, nil }},
-		{ID: "err", Run: func() (*Result, error) { return nil, boom }},
-		{ID: "panic", Run: func() (*Result, error) { panic("kaboom") }},
+		{ID: "ok", Run: func(*telemetry.Telemetry) (*Result, error) { return &Result{ID: "ok", Pass: true}, nil }},
+		{ID: "err", Run: func(*telemetry.Telemetry) (*Result, error) { return nil, boom }},
+		{ID: "panic", Run: func(*telemetry.Telemetry) (*Result, error) { panic("kaboom") }},
 	}
 	r := Runner{Workers: 2}
 	out := r.Run(exps)

@@ -14,6 +14,7 @@ import (
 	"decoupling/internal/onion"
 	"decoupling/internal/ppm"
 	"decoupling/internal/simnet"
+	"decoupling/internal/telemetry"
 	"decoupling/internal/workload"
 )
 
@@ -22,7 +23,7 @@ import (
 // hops/aggregators are added. The paper's claim is qualitative — cost
 // grows with degree and eventually "offers limited return in privacy at
 // great cost" — so the reproduction asserts the monotone shape.
-func E10Degrees() (*Result, error) {
+func E10Degrees(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E10", Title: "Degrees of decoupling (cost vs. benefit)", Section: "4.2"}
 
 	// --- Relay path length: onion circuits with 1..5 hops ---
@@ -33,10 +34,11 @@ func E10Degrees() (*Result, error) {
 	var prevRTT time.Duration
 	var prevDegree int
 	for hops := 1; hops <= 5; hops++ {
-		rtt, degree, err := onionRun(hops)
+		rtt, degree, elapsed, err := onionRun(tel, hops)
 		if err != nil {
 			return nil, err
 		}
+		r.VirtualElapsed += elapsed
 		relayTable.Rows = append(relayTable.Rows, []string{
 			fmt.Sprint(hops), rtt.String(), fmt.Sprint(degree),
 		})
@@ -91,18 +93,23 @@ func E10Degrees() (*Result, error) {
 
 // onionRun measures the request RTT through an n-hop circuit and the
 // minimum coalition of relays able to re-couple (from the measured
-// ledger structure).
-func onionRun(hops int) (time.Duration, int, error) {
+// ledger structure). It also reports the virtual time the run consumed.
+func onionRun(tel *telemetry.Telemetry, hops int) (time.Duration, int, time.Duration, error) {
+	phase := tel.Start("phase:hops", telemetry.A("hops", telemetry.Itoa(hops)))
+	defer phase.End()
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
+	lg.Instrument(tel)
 	net := simnet.New(int64(hops))
+	net.Instrument(tel)
 
 	var infos []onion.RelayInfo
 	for i := 1; i <= hops; i++ {
 		rl, err := onion.NewRelay(net, fmt.Sprintf("Relay %d", i), simnet.Addr(fmt.Sprintf("relay%d", i)), lg)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
+		rl.Instrument(tel)
 		infos = append(infos, rl.Info())
 	}
 	onion.NewOrigin(net, "Origin", "origin", 128, lg)
@@ -112,17 +119,17 @@ func onionRun(hops int) (time.Duration, int, error) {
 	client := onion.NewClient(net, "alice")
 	circ, err := client.BuildCircuit(infos)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	net.Run()
 	start := net.Now()
 	if err := circ.Request("origin", []byte("GET /secret")); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	net.Run()
 	resps := client.Responses()
 	if len(resps) != 1 {
-		return 0, 0, fmt.Errorf("onionRun(%d): %d responses", hops, len(resps))
+		return 0, 0, 0, fmt.Errorf("onionRun(%d): %d responses", hops, len(resps))
 	}
 	rtt := resps[0].Time - start
 
@@ -143,14 +150,14 @@ func onionRun(hops int) (time.Duration, int, error) {
 	measured := lg.DeriveSystem(template)
 	v, err := core.Analyze(measured)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	return rtt, v.Degree, nil
+	return rtt, v.Degree, net.Now(), nil
 }
 
 // E11Striping reproduces the §5.1 argument: distributing DNS queries
 // across k resolvers limits the profile any single resolver can build.
-func E11Striping() (*Result, error) {
+func E11Striping(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E11", Title: "Resolver striping (§5.1)", Section: "5.1"}
 
 	const users, queriesPerUser, nameCount = 20, 50, 40
@@ -160,6 +167,7 @@ func E11Striping() (*Result, error) {
 	}
 	prevAvg := 2.0
 	for _, k := range []int{1, 2, 4, 8} {
+		phase := tel.Start("phase:stripe", telemetry.A("k", telemetry.Itoa(k)))
 		zone := dns.NewZone("test")
 		var allNames []string
 		for i := 0; i < nameCount; i++ {
@@ -229,6 +237,7 @@ func E11Striping() (*Result, error) {
 			r.Diffs = append(r.Diffs, fmt.Sprintf("profile completeness did not fall at k=%d (%.3f >= %.3f)", k, avg, prevAvg))
 		}
 		prevAvg = avg
+		phase.End()
 	}
 	r.Tables = append(r.Tables, table)
 	r.Notes = append(r.Notes, "k=1 is the single-resolver baseline: the operator sees the complete profile")
@@ -239,7 +248,7 @@ func E11Striping() (*Result, error) {
 // E12TrafficAnalysis reproduces §4.3: the timing/size traffic-analysis
 // attacks and the cost of the defenses (batching latency, padding
 // bytes, chaff bandwidth) — the anonymity-trilemma shape.
-func E12TrafficAnalysis() (*Result, error) {
+func E12TrafficAnalysis(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E12", Title: "Traffic analysis and defenses (§4.3)", Section: "4.3"}
 
 	// --- Timing attack vs. batch size ---
@@ -250,10 +259,11 @@ func E12TrafficAnalysis() (*Result, error) {
 	}
 	var accs []float64
 	for _, batch := range []int{1, 4, 16, 64} {
-		acc, lat, err := mixTimingRun(batch, senders, false)
+		acc, lat, elapsed, err := mixTimingRun(tel, batch, senders, false)
 		if err != nil {
 			return nil, err
 		}
+		r.VirtualElapsed += elapsed
 		accs = append(accs, acc)
 		timing.Rows = append(timing.Rows, []string{
 			fmt.Sprint(batch), fmt.Sprintf("%.3f", acc), lat.String(),
@@ -273,7 +283,7 @@ func E12TrafficAnalysis() (*Result, error) {
 		Columns: []string{"padding", "linkage accuracy", "bytes on first hop"},
 	}
 	for _, padded := range []bool{false, true} {
-		acc, bytes, err := mixSizeRun(32, padded)
+		acc, bytes, err := mixSizeRun(tel, 32, padded)
 		if err != nil {
 			return nil, err
 		}
@@ -298,7 +308,7 @@ func E12TrafficAnalysis() (*Result, error) {
 	}
 	base := 0
 	for _, rate := range []int{0, 1, 2, 4} {
-		cells, err := onionChaffRun(rate)
+		cells, err := onionChaffRun(tel, rate)
 		if err != nil {
 			return nil, err
 		}
@@ -378,16 +388,21 @@ func disclosureRun(cover bool) (topReceiver string, topScore float64) {
 
 // mixTimingRun stages senders 1ms apart through a 1-mix net with the
 // given batch threshold and runs the rank-order timing attack.
-func mixTimingRun(batch, senders int, padded bool) (accuracy float64, meanLatency time.Duration, err error) {
+func mixTimingRun(tel *telemetry.Telemetry, batch, senders int, padded bool) (accuracy float64, meanLatency time.Duration, elapsed time.Duration, err error) {
+	phase := tel.Start("phase:batch", telemetry.A("threshold", telemetry.Itoa(batch)))
+	defer phase.End()
 	net := simnet.New(int64(batch) + 100)
+	net.Instrument(tel)
 	m, err := mixnet.NewMix(net, "Mix 1", "mix1", batch, 0, nil)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
+	m.Instrument(tel)
 	rcv, err := mixnet.NewReceiver(net, "Receiver", "receiver", padded, nil)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
+	rcv.Instrument(tel)
 	route := []mixnet.NodeInfo{m.Info()}
 	var entries []adversary.Event
 	var sendTimes []time.Duration
@@ -406,7 +421,7 @@ func mixTimingRun(batch, senders int, padded bool) (accuracy float64, meanLatenc
 	net.Run()
 	inbox := rcv.Inbox()
 	if len(inbox) != senders {
-		return 0, 0, fmt.Errorf("mixTimingRun: delivered %d of %d", len(inbox), senders)
+		return 0, 0, 0, fmt.Errorf("mixTimingRun: delivered %d of %d", len(inbox), senders)
 	}
 	var exits []adversary.Event
 	var totalLatency time.Duration
@@ -415,21 +430,26 @@ func mixTimingRun(batch, senders int, padded bool) (accuracy float64, meanLatenc
 		totalLatency += got.Time - sendTimes[i%len(sendTimes)]
 	}
 	correct, total := adversary.TimingCorrelate(entries, exits)
-	return float64(correct) / float64(total), totalLatency / time.Duration(senders), nil
+	return float64(correct) / float64(total), totalLatency / time.Duration(senders), net.Now(), nil
 }
 
 // mixSizeRun sends distinct-length messages through a fully batched mix
 // and mounts the rank-order size attack on the global capture.
-func mixSizeRun(senders int, padded bool) (accuracy float64, firstHopBytes int, err error) {
+func mixSizeRun(tel *telemetry.Telemetry, senders int, padded bool) (accuracy float64, firstHopBytes int, err error) {
+	phase := tel.Start("phase:padding", telemetry.A("padded", fmt.Sprint(padded)))
+	defer phase.End()
 	net := simnet.New(7)
+	net.Instrument(tel)
 	m, err := mixnet.NewMix(net, "Mix 1", "mix1", senders, 0, nil)
 	if err != nil {
 		return 0, 0, err
 	}
+	m.Instrument(tel)
 	rcv, err := mixnet.NewReceiver(net, "Receiver", "receiver", padded, nil)
 	if err != nil {
 		return 0, 0, err
 	}
+	rcv.Instrument(tel)
 	route := []mixnet.NodeInfo{m.Info()}
 	for i := 0; i < senders; i++ {
 		who := fmt.Sprintf("s%02d", i)
@@ -474,14 +494,18 @@ func mixSizeRun(senders int, padded bool) (accuracy float64, firstHopBytes int, 
 
 // onionChaffRun counts cells on the wire for one data request plus rate
 // chaff cells through a 3-hop circuit.
-func onionChaffRun(rate int) (cells int, err error) {
+func onionChaffRun(tel *telemetry.Telemetry, rate int) (cells int, err error) {
+	phase := tel.Start("phase:chaff", telemetry.A("rate", telemetry.Itoa(rate)))
+	defer phase.End()
 	net := simnet.New(int64(rate) + 5)
+	net.Instrument(tel)
 	var infos []onion.RelayInfo
 	for i := 1; i <= 3; i++ {
 		rl, err := onion.NewRelay(net, fmt.Sprintf("Relay %d", i), simnet.Addr(fmt.Sprintf("relay%d", i)), nil)
 		if err != nil {
 			return 0, err
 		}
+		rl.Instrument(tel)
 		infos = append(infos, rl.Info())
 	}
 	onion.NewOrigin(net, "Origin", "origin", 64, nil)

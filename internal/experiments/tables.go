@@ -19,6 +19,7 @@ import (
 	"decoupling/internal/ppm"
 	"decoupling/internal/privacypass"
 	"decoupling/internal/simnet"
+	"decoupling/internal/telemetry"
 	"decoupling/internal/vpn"
 	"decoupling/internal/workload"
 
@@ -32,10 +33,11 @@ const keyBits = 1024
 // E1DigitalCash reproduces the §3.1.1 blind-signature digital-currency
 // table: 20 buyers withdraw and spend coins; Signer, Verifier, and
 // Seller tuples are measured.
-func E1DigitalCash() (*Result, error) {
+func E1DigitalCash(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E1", Title: "Digital cash (blind signatures)", Section: "3.1.1"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
+	lg.Instrument(tel)
 	bank, err := digitalcash.NewBank(keyBits, lg)
 	if err != nil {
 		return nil, err
@@ -65,16 +67,19 @@ func E1DigitalCash() (*Result, error) {
 	r.Notes = append(r.Notes, fmt.Sprintf("%d coins withdrawn, %d deposited, 0 linkable", w, d))
 	r.Expected = core.DigitalCash()
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.LedgerStats = ledgerStats(lg)
 	return r, tableExperiment(r)
 }
 
 // E2Mixnet reproduces the §3.1.2 table and Figure 1 with a 3-mix
 // cascade carrying 64 senders' messages, batch threshold 8.
-func E2Mixnet() (*Result, error) {
+func E2Mixnet(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E2", Title: "Mix-net (Figure 1)", Section: "3.1.2"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
+	lg.Instrument(tel)
 	net := simnet.New(2)
+	net.Instrument(tel)
 
 	var route []mixnet.NodeInfo
 	for i := 1; i <= 3; i++ {
@@ -82,12 +87,15 @@ func E2Mixnet() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.Instrument(tel)
 		route = append(route, m.Info())
 	}
 	rcv, err := mixnet.NewReceiver(net, "Receiver", "receiver", false, lg)
 	if err != nil {
 		return nil, err
 	}
+	rcv.Instrument(tel)
+	phase := tel.Start("phase:forward")
 	for i := 0; i < 64; i++ {
 		sender := fmt.Sprintf("sender%02d", i)
 		msg := fmt.Sprintf("private message %02d", i)
@@ -99,6 +107,7 @@ func E2Mixnet() (*Result, error) {
 		}
 	}
 	net.Run()
+	phase.End()
 	if got := len(rcv.Inbox()); got != 64 {
 		return nil, fmt.Errorf("E2: delivered %d of 64 messages", got)
 	}
@@ -106,6 +115,7 @@ func E2Mixnet() (*Result, error) {
 	// The other half of Chaum's 1981 design: untraceable return
 	// addresses. A sender pre-builds a reply block; the receiver answers
 	// through it without learning who they answered.
+	phase = tel.Start("phase:reply")
 	collector := mixnet.NewReplyCollector(net, "sender00")
 	replyAddr, replyKeys, err := mixnet.BuildReplyBlock(route, collector.Addr)
 	if err != nil {
@@ -122,6 +132,8 @@ func E2Mixnet() (*Result, error) {
 		}
 	}
 	net.Run()
+	phase.End()
+	r.VirtualElapsed = net.Now()
 	replies := collector.Inbox()
 	if len(replies) != 1 || string(replyKeys.Decrypt(replies[0].Body)) != "reply via return address" {
 		r.Diffs = append(r.Diffs, fmt.Sprintf("return-address reply failed: %d replies", len(replies)))
@@ -132,15 +144,17 @@ func E2Mixnet() (*Result, error) {
 		"untraceable return address exercised: the receiver replied without learning the sender")
 	r.Expected = core.Mixnet(3)
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.LedgerStats = ledgerStats(lg)
 	return r, tableExperiment(r)
 }
 
 // E3PrivacyPass reproduces the §3.2.1 table and Figure 2: clients prove
 // legitimacy to the issuer, redeem unlinkable tokens at the origin.
-func E3PrivacyPass() (*Result, error) {
+func E3PrivacyPass(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E3", Title: "Privacy Pass (Figure 2)", Section: "3.2.1"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
+	lg.Instrument(tel)
 	issuer, err := privacypass.NewIssuer("issuer.example", keyBits, lg)
 	if err != nil {
 		return nil, err
@@ -174,12 +188,13 @@ func E3PrivacyPass() (*Result, error) {
 	r.Notes = append(r.Notes, fmt.Sprintf("%d tokens issued and redeemed; issuance/redemption unlinkable", clients*tokensEach))
 	r.Expected = core.PrivacyPass()
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.LedgerStats = ledgerStats(lg)
 	return r, tableExperiment(r)
 }
 
 // E4ObliviousDNS reproduces the §3.2.2 table for both ODNS and ODoH (the
 // two named instantiations); both must match the same published table.
-func E4ObliviousDNS() (*Result, error) {
+func E4ObliviousDNS(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E4", Title: "Oblivious DNS (ODNS + ODoH)", Section: "3.2.2"}
 	names := []string{"www.example.com", "mail.example.com", "secret.example.com", "api.example.com"}
 	zone := func() *dns.Zone {
@@ -191,6 +206,7 @@ func E4ObliviousDNS() (*Result, error) {
 	}
 
 	// --- ODNS variant ---
+	phase := tel.Start("phase:odns")
 	clsA := ledger.NewClassifier()
 	lgA := ledger.New(clsA, nil)
 	originA := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{zone()}, Ledger: lgA}
@@ -211,26 +227,34 @@ func E4ObliviousDNS() (*Result, error) {
 	expected := core.ObliviousDNS()
 	measuredA := lgA.DeriveSystem(expected)
 	diffsA := core.CompareTuples(expected, measuredA)
+	phase.End()
 
 	// --- ODoH variant ---
+	phase = tel.Start("phase:odoh")
 	clsB := ledger.NewClassifier()
 	lgB := ledger.New(clsB, nil)
+	lgB.Instrument(tel)
 	originB := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{zone()}, Ledger: lgB}
 	target, err := odoh.NewTarget(odoh.TargetName, originB, lgB)
 	if err != nil {
 		return nil, err
 	}
+	target.Instrument(tel)
 	proxy := odoh.NewProxy(odoh.ProxyName, target, lgB)
+	proxy.Instrument(tel)
 	keyID, pub := target.KeyConfig()
 	for i := 0; i < 20; i++ {
 		who := fmt.Sprintf("client-%d", i)
 		name := names[i%len(names)]
 		clsB.RegisterIdentity(who, who, "", core.Sensitive)
 		clsB.RegisterData(dnswire.CanonicalName(name), who, "", core.Sensitive)
-		if _, err := odoh.NewClient(who, keyID, pub).Query(name, dnswire.TypeA, proxy.Forward); err != nil {
+		c := odoh.NewClient(who, keyID, pub)
+		c.Instrument(tel)
+		if _, err := c.Query(name, dnswire.TypeA, proxy.Forward); err != nil {
 			return nil, err
 		}
 	}
+	phase.End()
 	measuredB := lgB.DeriveSystem(expected)
 	diffsB := core.CompareTuples(expected, measuredB)
 
@@ -248,6 +272,7 @@ func E4ObliviousDNS() (*Result, error) {
 		Rows:    tupleRows(measuredB),
 	})
 	r.Notes = append(r.Notes, "both ODNS and ODoH reproduce the same published table")
+	r.LedgerStats = ledgerStats(lgB)
 	r.Pass = len(r.Diffs) == 0
 	return r, nil
 }
@@ -270,16 +295,18 @@ func tupleRows(s *core.System) [][]string {
 
 // E5PGPP reproduces the §3.2.3 table (with the ▲_H/▲_N decomposition)
 // and adds the shuffle-policy ablation the PGPP design motivates.
-func E5PGPP() (*Result, error) {
+func E5PGPP(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E5", Title: "Pretty Good Phone Privacy", Section: "3.2.3"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
+	lg.Instrument(tel)
 	cfg := pgpp.DefaultSimConfig()
 	if _, err := pgpp.RunSim(cfg, lg); err != nil {
 		return nil, err
 	}
 	r.Expected = core.PGPP()
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.LedgerStats = ledgerStats(lg)
 	if err := tableExperiment(r); err != nil {
 		return nil, err
 	}
@@ -355,10 +382,11 @@ func E5PGPP() (*Result, error) {
 // E6MPR reproduces the §3.2.4 Multi-Party Relay table over real
 // loopback TCP with nested TLS tunnels, with Privacy Pass tokens gating
 // relay 1 (the composition deployed systems use).
-func E6MPR() (*Result, error) {
+func E6MPR(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E6", Title: "Multi-Party Relay", Section: "3.2.4"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
+	lg.Instrument(tel)
 
 	// Relay access is gated on real Privacy Pass tokens (the deployed
 	// composition: the first hop authenticates subscribers without
@@ -426,25 +454,27 @@ func E6MPR() (*Result, error) {
 		fmt.Sprintf("8 fetches, relay1 tunnels=%d relay2 tunnels=%d, token-gated first hop", stack.Relay1.Tunnels(), stack.Relay2.Tunnels()))
 	r.Expected = core.MPR()
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.LedgerStats = ledgerStats(lg)
 	return r, tableExperiment(r)
 }
 
 // E7PPM reproduces the §3.2.5 private aggregate statistics table and
 // records correctness of the aggregate.
-func E7PPM() (*Result, error) {
+func E7PPM(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E7", Title: "Private aggregate statistics (PPM/Prio)", Section: "3.2.5"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
+	lg.Instrument(tel)
 	task := ppm.Task{ID: "e7-sum", Type: ppm.TaskSum, Bits: 8}
 	sys := ppm.NewSystem(task, 2, lg)
 
 	const clients = 256
-	telemetry := workload.NewTelemetry(7, 200)
+	meter := workload.NewTelemetry(7, 200)
 	var want uint64
 	for i := 0; i < clients; i++ {
 		who := fmt.Sprintf("client-%03d", i)
 		cls.RegisterIdentity(who, who, "", core.Sensitive)
-		v := telemetry.Next()
+		v := meter.Next()
 		want += v
 		if _, err := sys.Upload(who, v); err != nil {
 			return nil, err
@@ -462,6 +492,7 @@ func E7PPM() (*Result, error) {
 
 	r.Expected = core.PPM(2)
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.LedgerStats = ledgerStats(lg)
 	if err := tableExperiment(r); err != nil {
 		return nil, err
 	}
@@ -471,10 +502,11 @@ func E7PPM() (*Result, error) {
 
 // E8VPN reproduces the §3.3 cautionary-tale table: the VPN server
 // measures coupled and the verdict is NOT decoupled.
-func E8VPN() (*Result, error) {
+func E8VPN(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E8", Title: "Centralized VPN (cautionary tale)", Section: "3.3"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
+	lg.Instrument(tel)
 	srv := vpn.NewServer(lg)
 	vpnAddr, err := srv.Start()
 	if err != nil {
@@ -512,6 +544,7 @@ func E8VPN() (*Result, error) {
 	}
 	r.Expected = core.VPN()
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.LedgerStats = ledgerStats(lg)
 	if err := tableExperiment(r); err != nil {
 		return nil, err
 	}
@@ -526,10 +559,11 @@ func E8VPN() (*Result, error) {
 
 // E9ECH reproduces the §3.3 ECH discussion: the network's view improves
 // but the system remains coupled at the server.
-func E9ECH() (*Result, error) {
+func E9ECH(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E9", Title: "TLS Encrypted ClientHello (cautionary tale)", Section: "3.3"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
+	lg.Instrument(tel)
 	srv, err := ech.NewServer(lg)
 	if err != nil {
 		return nil, err
@@ -548,6 +582,7 @@ func E9ECH() (*Result, error) {
 	}
 	r.Expected = core.ECH()
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.LedgerStats = ledgerStats(lg)
 	if err := tableExperiment(r); err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"decoupling/internal/core"
 	"decoupling/internal/ledger"
 	"decoupling/internal/tee"
+	"decoupling/internal/telemetry"
 )
 
 // E13TEE is the §4.3 extension experiment: Trusted Execution
@@ -14,10 +15,11 @@ import (
 // CACTI (client-side private rate-limiting state instead of CAPTCHAs)
 // and Phoenix (keyless CDNs). Both run here, and the measured CDN
 // operator tuple is compared against the traditional-CDN baseline.
-func E13TEE() (*Result, error) {
+func E13TEE(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E13", Title: "TEEs as a decoupling mechanism (CACTI + Phoenix)", Section: "4.3"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
+	lg.Instrument(tel)
 
 	vendor, err := tee.NewVendor("AcmeSilicon")
 	if err != nil {
@@ -76,6 +78,7 @@ func E13TEE() (*Result, error) {
 		},
 	})
 	r.Notes = append(r.Notes, "the enclave host observed only ciphertext; attestation bound the running code to the vendor's signature")
+	r.LedgerStats = ledgerStats(lg)
 	r.Pass = len(r.Diffs) == 0
 	return r, nil
 }

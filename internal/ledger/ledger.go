@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"decoupling/internal/core"
+	"decoupling/internal/telemetry"
 )
 
 // Observation is a single "entity X saw value V" event.
@@ -105,6 +106,9 @@ func (c *Classifier) classify(kind core.Kind, value string) classEntry {
 type shard struct {
 	mu  sync.Mutex
 	obs []Observation
+	// obsCounter is the cached telemetry counter for this observer,
+	// nil when the ledger is uninstrumented (Counter.Add is nil-safe).
+	obsCounter *telemetry.Counter
 }
 
 // Ledger accumulates observations for one experiment run. The zero
@@ -117,6 +121,10 @@ type Ledger struct {
 	clock      func() time.Duration
 
 	seq atomic.Uint64 // global admission counter, total order across shards
+
+	// tel counts observations per observer when instrumented; nil by
+	// default so Saw pays one pointer check.
+	tel *telemetry.Telemetry
 
 	mu     sync.RWMutex // guards the shards map, not the logs
 	shards map[string]*shard
@@ -135,6 +143,31 @@ func New(c *Classifier, clock func() time.Duration) *Ledger {
 // Classifier returns the bound classifier.
 func (l *Ledger) Classifier() *Classifier { return l.classifier }
 
+// Instrument attaches a telemetry sink: every admitted observation
+// increments a per-observer counter. Call before concurrent use; a nil
+// tel is a no-op.
+func (l *Ledger) Instrument(tel *telemetry.Telemetry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tel = tel
+	if tel == nil {
+		return
+	}
+	for name, s := range l.shards {
+		s.obsCounter = observationCounter(tel, name)
+	}
+}
+
+func observationCounter(tel *telemetry.Telemetry, observer string) *telemetry.Counter {
+	m := tel.Metrics()
+	if m == nil {
+		return nil
+	}
+	return m.Counter(telemetry.MetricLedgerObservations,
+		"Observations admitted per ledger shard (observer).",
+		append(tel.BaseLabels(), telemetry.A("observer", observer))...)
+}
+
 // shardFor returns the observer's shard, creating it on first use. The
 // fast path is a read-locked map lookup.
 func (l *Ledger) shardFor(observer string) *shard {
@@ -148,6 +181,9 @@ func (l *Ledger) shardFor(observer string) *shard {
 	defer l.mu.Unlock()
 	if s = l.shards[observer]; s == nil {
 		s = &shard{}
+		if l.tel != nil {
+			s.obsCounter = observationCounter(l.tel, observer)
+		}
 		l.shards[observer] = s
 	}
 	return s
@@ -199,6 +235,7 @@ func (l *Ledger) Saw(observer string, kind core.Kind, value string, handles ...s
 	o.seq = l.seq.Add(1)
 	s.obs = append(s.obs, o)
 	s.mu.Unlock()
+	s.obsCounter.Add(1) // nil-safe; nil unless instrumented
 }
 
 // SawIdentity is shorthand for Saw with core.Identity.
@@ -247,6 +284,50 @@ func (l *Ledger) Len() int {
 		n += len(s.obs)
 	}
 	return n
+}
+
+// ObserverStats summarizes one observer's shard: how many observations
+// it admitted and how many distinct linkage handles it holds.
+type ObserverStats struct {
+	Observer     string
+	Observations int
+	Handles      int
+}
+
+// Stats summarizes the ledger's shard occupancy: per-observer counts
+// (sorted by observer name) plus the total across shards. It is the
+// cheap introspection surface behind cmd/experiments -stats.
+type Stats struct {
+	Observers []ObserverStats
+	Total     int
+}
+
+// Stats computes a consistent point-in-time summary across all shards.
+func (l *Ledger) Stats() Stats {
+	shards, unlock := l.lockAll()
+	defer unlock()
+	var st Stats
+	names := make([]string, 0, len(shards))
+	for name := range shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := shards[name]
+		handles := map[string]bool{}
+		for _, o := range s.obs {
+			for _, h := range o.Handles {
+				handles[h] = true
+			}
+		}
+		st.Observers = append(st.Observers, ObserverStats{
+			Observer:     name,
+			Observations: len(s.obs),
+			Handles:      len(handles),
+		})
+		st.Total += len(s.obs)
+	}
+	return st
 }
 
 // Handles returns the sorted distinct linkage handles an entity holds.

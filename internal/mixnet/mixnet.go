@@ -26,6 +26,7 @@ import (
 	"decoupling/internal/dcrypto/hpke"
 	"decoupling/internal/ledger"
 	"decoupling/internal/simnet"
+	"decoupling/internal/telemetry"
 )
 
 // Wire layer types.
@@ -155,8 +156,9 @@ type Mix struct {
 	// Timeout bounds queueing delay; <= 0 means wait for a full batch.
 	Timeout time.Duration
 
-	kp *hpke.KeyPair
-	lg *ledger.Ledger
+	kp  *hpke.KeyPair
+	lg  *ledger.Ledger
+	tel *telemetry.Telemetry
 
 	queue        []outbound
 	pendingFlush bool // a timeout flush is scheduled
@@ -187,6 +189,11 @@ func (m *Mix) Info() NodeInfo { return NodeInfo{Addr: m.Addr, PubKey: m.kp.Publi
 // Stats reports flush and drop counts.
 func (m *Mix) Stats() (flushes, dropped int) { return m.flushes, m.dropped }
 
+// Instrument attaches a telemetry sink: layer-strips and batch flushes
+// become spans (nested under the simulator's delivery span for the
+// triggering message) and flush sizes feed a histogram.
+func (m *Mix) Instrument(tel *telemetry.Telemetry) { m.tel = tel }
+
 func (m *Mix) handle(net *simnet.Network, msg simnet.Message) {
 	if len(msg.Payload) < 1 {
 		m.dropped++
@@ -203,6 +210,8 @@ func (m *Mix) handle(net *simnet.Network, msg simnet.Message) {
 }
 
 func (m *Mix) handleOnion(net *simnet.Network, msg simnet.Message) {
+	sp := m.tel.Start("mixnet.mix.in", telemetry.A("mix", m.Name))
+	defer sp.End()
 	inHandle := ledger.Hash(msg.Payload[1:])
 	plain, err := open(m.kp, msg.Payload[1:])
 	if err != nil {
@@ -244,6 +253,11 @@ func (m *Mix) flush(net *simnet.Network) {
 	}
 	q := m.queue
 	m.queue = nil
+	sp := m.tel.Start("mixnet.mix.flush",
+		telemetry.A("mix", m.Name), telemetry.A("batch", telemetry.Itoa(len(q))))
+	defer sp.End()
+	m.tel.Observe(telemetry.MetricMixBatchSize, "Messages per mix batch flush.",
+		telemetry.BatchBuckets, float64(len(q)), telemetry.A("mix", m.Name))
 	for i := len(q) - 1; i > 0; i-- {
 		j := net.Rand(i + 1)
 		q[i], q[j] = q[j], q[i]
@@ -270,6 +284,7 @@ type Receiver struct {
 	Addr simnet.Addr
 	kp   *hpke.KeyPair
 	lg   *ledger.Ledger
+	tel  *telemetry.Telemetry
 	// Padded indicates senders pad messages; the receiver then strips
 	// the length-prefixed padding.
 	Padded bool
@@ -292,7 +307,13 @@ func NewReceiver(net *simnet.Network, name string, addr simnet.Addr, padded bool
 // Info returns the receiver's routing descriptor.
 func (r *Receiver) Info() NodeInfo { return NodeInfo{Addr: r.Addr, PubKey: r.kp.PublicKey()} }
 
+// Instrument attaches a telemetry sink: each final delivery (the last
+// link of the chain) opens a span under the simulator's delivery span.
+func (r *Receiver) Instrument(tel *telemetry.Telemetry) { r.tel = tel }
+
 func (r *Receiver) handle(net *simnet.Network, msg simnet.Message) {
+	sp := r.tel.Start("mixnet.receiver.open", telemetry.A("receiver", r.Name))
+	defer sp.End()
 	if len(msg.Payload) < 1 || msg.Payload[0] != tagOnion {
 		r.dropped++
 		return

@@ -33,6 +33,7 @@ import (
 	"decoupling/internal/dns"
 	"decoupling/internal/dnswire"
 	"decoupling/internal/ledger"
+	"decoupling/internal/telemetry"
 )
 
 // Message types.
@@ -111,6 +112,7 @@ func UnmarshalMessage(data []byte) (*Message, error) {
 type Target struct {
 	Name     string
 	lg       *ledger.Ledger
+	tel      *telemetry.Telemetry
 	Upstream dns.Authority
 
 	mu      sync.Mutex
@@ -148,6 +150,12 @@ func (t *Target) RotateKey() (keyID, pub []byte, err error) {
 	return id, kp.PublicKey(), nil
 }
 
+// Instrument attaches a telemetry sink: each handled query becomes a
+// span (with the resolved name annotated post-decryption) and feeds the
+// handled counter. Key ids never appear in attributes — they derive
+// from fresh key material and would break trace determinism.
+func (t *Target) Instrument(tel *telemetry.Telemetry) { t.tel = tel }
+
 // ExpireOldKeys drops every config except the current one.
 func (t *Target) ExpireOldKeys() {
 	t.mu.Lock()
@@ -179,6 +187,9 @@ func (t *Target) Handled() int {
 // party (normally the proxy) and returns the encrypted response
 // envelope.
 func (t *Target) HandleQuery(from string, raw []byte) ([]byte, error) {
+	sp := t.tel.Start("odoh.target.handle",
+		telemetry.A("target", t.Name), telemetry.A("bytes", telemetry.Itoa(len(raw))))
+	defer sp.End()
 	m, err := UnmarshalMessage(raw)
 	if err != nil {
 		return nil, err
@@ -208,6 +219,9 @@ func (t *Target) HandleQuery(from string, raw []byte) ([]byte, error) {
 		return nil, ErrMalformed
 	}
 	name := dnswire.CanonicalName(query.Questions[0].Name)
+	sp.Annotate(telemetry.A("name", name))
+	t.tel.Count(telemetry.MetricOdohHandled, "Oblivious queries answered by the target.", 1,
+		telemetry.A("target", t.Name))
 
 	if t.lg != nil {
 		h := ledger.ConnHandle(from, t.Name)
@@ -244,6 +258,7 @@ type Proxy struct {
 	Name   string
 	Target *Target
 	lg     *ledger.Ledger
+	tel    *telemetry.Telemetry
 
 	mu        sync.Mutex
 	forwarded int
@@ -253,6 +268,11 @@ type Proxy struct {
 func NewProxy(name string, target *Target, lg *ledger.Ledger) *Proxy {
 	return &Proxy{Name: name, Target: target, lg: lg}
 }
+
+// Instrument attaches a telemetry sink: each relayed query becomes a
+// span nested under the client's query span and feeds the forwarded
+// counter.
+func (p *Proxy) Instrument(tel *telemetry.Telemetry) { p.tel = tel }
 
 // Forwarded reports the number of relayed queries.
 func (p *Proxy) Forwarded() int {
@@ -265,6 +285,11 @@ func (p *Proxy) Forwarded() int {
 // target and returns the opaque response. The proxy's observations:
 // the client's identity and two ciphertext blobs.
 func (p *Proxy) Forward(clientAddr string, raw []byte) ([]byte, error) {
+	sp := p.tel.Start("odoh.proxy.forward",
+		telemetry.A("proxy", p.Name), telemetry.A("bytes", telemetry.Itoa(len(raw))))
+	defer sp.End()
+	p.tel.Count(telemetry.MetricOdohForwarded, "Oblivious queries relayed by the proxy.", 1,
+		telemetry.A("proxy", p.Name))
 	if p.lg != nil {
 		// The raw observed peer endpoint is itself a join key (the party
 		// on the other side of the socket holds the same string), in
@@ -290,7 +315,12 @@ type Client struct {
 	ID        string
 	targetKey []byte
 	keyID     []byte
+	tel       *telemetry.Telemetry
 }
+
+// Instrument attaches a telemetry sink: each Query opens the root span
+// of the client → proxy → target chain.
+func (c *Client) Instrument(tel *telemetry.Telemetry) { c.tel = tel }
 
 // NewClient creates a client for the given target key config.
 func NewClient(id string, keyID, targetPub []byte) *Client {
@@ -302,6 +332,9 @@ type ForwardFunc func(clientAddr string, raw []byte) ([]byte, error)
 
 // Query obliviously resolves (name, qtype) via forward.
 func (c *Client) Query(name string, qtype dnswire.Type, forward ForwardFunc) (*dnswire.Message, error) {
+	sp := c.tel.Start("odoh.client.query",
+		telemetry.A("client", c.ID), telemetry.A("name", name))
+	defer sp.End()
 	q := dnswire.NewQuery(1, name, qtype)
 	wire, err := q.Encode()
 	if err != nil {

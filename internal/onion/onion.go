@@ -24,6 +24,7 @@ import (
 	"decoupling/internal/dcrypto/hpke"
 	"decoupling/internal/ledger"
 	"decoupling/internal/simnet"
+	"decoupling/internal/telemetry"
 )
 
 // Cell geometry. Every cell on the wire is exactly CellSize bytes:
@@ -96,6 +97,7 @@ type Relay struct {
 	Addr simnet.Addr
 	kp   *hpke.KeyPair
 	lg   *ledger.Ledger
+	tel  *telemetry.Telemetry
 
 	circuits map[uint32]*circuitEntry
 	// byOut maps outbound circuit ids back to entries for the return
@@ -123,6 +125,13 @@ func NewRelay(net *simnet.Network, name string, addr simnet.Addr, lg *ledger.Led
 func (r *Relay) Info() RelayInfo {
 	return RelayInfo{Name: r.Name, Addr: r.Addr, PubKey: r.kp.PublicKey()}
 }
+
+// Instrument attaches a telemetry sink: setup, cell-relay, and exit
+// handling each open a span. Handlers run inside the simulator's
+// delivery span, so a circuit's hops appear as a nested chain. Circuit
+// ids never appear in attributes — they come from crypto/rand and would
+// break trace determinism.
+func (r *Relay) Instrument(tel *telemetry.Telemetry) { r.tel = tel }
 
 // Dropped reports cells discarded for malformed framing or unknown
 // circuits.
@@ -157,6 +166,8 @@ func (r *Relay) handle(net *simnet.Network, msg simnet.Message) {
 //
 //	[key 16][cidIn 4][cidOut 4][exit 1][addrlen 2][next addr][inner setup bytes]
 func (r *Relay) handleSetup(net *simnet.Network, msg simnet.Message) {
+	sp := r.tel.Start("onion.relay.setup", telemetry.A("relay", r.Name))
+	defer sp.End()
 	wire := msg.Payload[1:]
 	if len(wire) < hpke.NEnc+16 {
 		r.dropped++
@@ -208,6 +219,10 @@ func cidHandle(cid uint32) string {
 }
 
 func (r *Relay) handleCell(net *simnet.Network, msg simnet.Message) {
+	sp := r.tel.Start("onion.relay.cell", telemetry.A("relay", r.Name))
+	defer sp.End()
+	r.tel.Count(telemetry.MetricOnionCells, "Onion cells processed per relay.", 1,
+		telemetry.A("relay", r.Name))
 	if len(msg.Payload) != 1+CellSize {
 		r.dropped++
 		return
@@ -245,6 +260,8 @@ func (r *Relay) handleCell(net *simnet.Network, msg simnet.Message) {
 // deliverExit handles a fully unwrapped forward cell at the exit: parse
 // the framing and forward the plaintext request to the origin.
 func (r *Relay) deliverExit(net *simnet.Network, entry *circuitEntry, body []byte) {
+	sp := r.tel.Start("onion.relay.exit", telemetry.A("relay", r.Name))
+	defer sp.End()
 	cmd := body[0]
 	if cmd == cmdChaff {
 		return // chaff is absorbed here

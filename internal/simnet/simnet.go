@@ -20,8 +20,11 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
+
+	"decoupling/internal/telemetry"
 )
 
 // Addr names a node on the simulated network.
@@ -63,6 +66,13 @@ type event struct {
 	seq     uint64 // FIFO tiebreak for equal timestamps
 	deliver *Message
 	fire    func()
+
+	// Telemetry context, populated only when the network is
+	// instrumented: the virtual send time and the span that was current
+	// when Send was called (so relay-hop chains nest: a handler that
+	// forwards a message parents the next hop's delivery span).
+	sentAt time.Duration
+	parent *telemetry.Span
 }
 
 type eventQueue []*event
@@ -100,6 +110,10 @@ type Network struct {
 	capture     []PacketRecord
 	delivered   uint64
 	lost        uint64
+
+	// tel is the optional telemetry sink. When nil (the default) the
+	// hot paths pay exactly one pointer check.
+	tel *telemetry.Telemetry
 }
 
 // New creates a network with the given RNG seed and a default link
@@ -111,6 +125,18 @@ func New(seed int64) *Network {
 		links:       map[[2]Addr]Link{},
 		defaultLink: Link{Latency: 10 * time.Millisecond},
 	}
+}
+
+// Instrument attaches a telemetry sink: every delivery becomes a trace
+// span (parented on the span current at send time, so multi-hop chains
+// nest) and feeds the per-link message/byte counters and the latency
+// histogram. The tracer's clock is bound to this network's virtual
+// clock. Call before Run; a nil tel is a no-op.
+func (n *Network) Instrument(tel *telemetry.Telemetry) {
+	n.mu.Lock()
+	n.tel = tel
+	n.mu.Unlock()
+	tel.SetClock(n.Now)
 }
 
 // SetDefaultLink sets the link profile used for pairs without an
@@ -166,6 +192,10 @@ func (n *Network) Send(src, dst Addr, payload []byte) error {
 	}
 	if l.Loss > 0 && n.rng.Float64() < l.Loss {
 		n.lost++
+		if n.tel != nil {
+			n.tel.Count(telemetry.MetricSimnetLost, "Datagrams dropped by link loss.", 1,
+				telemetry.A("src", string(src)), telemetry.A("dst", string(dst)))
+		}
 		return nil // silently dropped, as the wire would
 	}
 	delay := l.Latency
@@ -174,7 +204,15 @@ func (n *Network) Send(src, dst Addr, payload []byte) error {
 	}
 	msg := &Message{Src: src, Dst: dst, Payload: append([]byte(nil), payload...)}
 	n.seq++
-	heap.Push(&n.queue, &event{at: n.now + delay, seq: n.seq, deliver: msg})
+	e := &event{at: n.now + delay, seq: n.seq, deliver: msg}
+	if n.tel != nil {
+		// Capture the span context at send time; the delivery span will
+		// nest under whatever the sender was doing (a protocol phase, or
+		// the previous hop's handler span).
+		e.sentAt = n.now
+		e.parent = n.tel.Current()
+	}
+	heap.Push(&n.queue, e)
 	return nil
 }
 
@@ -210,6 +248,7 @@ func (n *Network) RunUntil(deadline time.Duration) uint64 {
 		n.now = e.at
 		var h Handler
 		var msg Message
+		tel := n.tel
 		if e.deliver != nil {
 			msg = *e.deliver
 			h = n.nodes[msg.Dst]
@@ -226,7 +265,20 @@ func (n *Network) RunUntil(deadline time.Duration) uint64 {
 			e.fire()
 		}
 		if h != nil {
+			var sp *telemetry.Span
+			if tel != nil {
+				src, dst := telemetry.A("src", string(msg.Src)), telemetry.A("dst", string(msg.Dst))
+				sp = tel.StartAt(e.parent, "simnet.deliver", e.sentAt,
+					src, dst, telemetry.A("bytes", strconv.Itoa(len(msg.Payload))))
+				tel.Count(telemetry.MetricSimnetMessages, "Datagrams delivered per link.", 1, src, dst)
+				tel.Count(telemetry.MetricSimnetBytes, "Payload bytes delivered per link.", uint64(len(msg.Payload)), src, dst)
+				tel.Observe(telemetry.MetricSimnetLatency, "Virtual per-hop delivery latency.",
+					telemetry.LatencyBuckets, (e.at - e.sentAt).Seconds(), src, dst)
+			}
 			h(n, msg)
+			// The handler runs at the delivery instant; any spans it
+			// opened are children stamped at the same virtual time.
+			sp.EndAt(e.at)
 		}
 	}
 }

@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format (version
+// 0.0.4): a canonical writer for the registry and a strict parser whose
+// output re-renders byte-identically, so `parse(write(m)) == write(m)`
+// is checkable in CI without any external tooling.
+
+// ExpFamily is one parsed metric family: the # HELP / # TYPE header and
+// its sample lines, values kept as their original strings so that
+// re-rendering is exact.
+type ExpFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ExpSample
+}
+
+// ExpSample is one sample line: a metric name (family name plus any
+// _bucket/_sum/_count suffix), its rendered label block, and the value.
+type ExpSample struct {
+	Name   string
+	Labels string // "{k=\"v\",...}" or ""
+	Value  string
+}
+
+// WriteProm writes the registry in canonical exposition order: families
+// sorted by name, series sorted by label block. Histograms expose
+// cumulative _bucket lines (including le="+Inf"), _sum, and _count.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	fams := m.Snapshot()
+	return WriteExpFamilies(w, fams)
+}
+
+// Snapshot renders the registry's current state into parsed-form
+// families (the same structure ParseExposition yields).
+func (m *Metrics) Snapshot() []ExpFamily {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.families))
+	for name := range m.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var fams []ExpFamily
+	for _, name := range names {
+		f := m.families[name]
+		ef := ExpFamily{Name: f.name, Help: f.help, Type: f.typ}
+		keys := make([]string, 0, len(f.series))
+		byKey := map[string]*series{}
+		for k, s := range f.series {
+			keys = append(keys, k)
+			byKey[k] = s
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := byKey[k]
+			switch f.typ {
+			case "counter":
+				ef.Samples = append(ef.Samples, ExpSample{
+					Name: f.name, Labels: k, Value: strconv.FormatUint(s.count.Load(), 10),
+				})
+			case "histogram":
+				cum := uint64(0)
+				for i, ub := range f.buckets {
+					cum += s.buckets[i].Load()
+					ef.Samples = append(ef.Samples, ExpSample{
+						Name:   f.name + "_bucket",
+						Labels: withLE(s.labels, formatValue(ub)),
+						Value:  strconv.FormatUint(cum, 10),
+					})
+				}
+				ef.Samples = append(ef.Samples, ExpSample{
+					Name:   f.name + "_bucket",
+					Labels: withLE(s.labels, "+Inf"),
+					Value:  strconv.FormatUint(s.count.Load(), 10),
+				})
+				ef.Samples = append(ef.Samples, ExpSample{
+					Name: f.name + "_sum", Labels: k, Value: formatValue(floatOf(s)),
+				})
+				ef.Samples = append(ef.Samples, ExpSample{
+					Name: f.name + "_count", Labels: k, Value: strconv.FormatUint(s.count.Load(), 10),
+				})
+			}
+		}
+		fams = append(fams, ef)
+	}
+	m.mu.Unlock()
+	return fams
+}
+
+func floatOf(s *series) float64 {
+	return math.Float64frombits(s.sumBits.Load())
+}
+
+// withLE appends the le label to a sorted label set, keeping sort order
+// (le sorts into place like any other key).
+func withLE(labels []Attr, le string) string {
+	all := append(append([]Attr(nil), labels...), Attr{Key: "le", Value: le})
+	SortAttrs(all)
+	return labelKey(all)
+}
+
+// WriteExpFamilies renders families exactly as the parser expects them.
+func WriteExpFamilies(w io.Writer, fams []ExpFamily) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, f.Help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Samples {
+			fmt.Fprintf(bw, "%s%s %s\n", s.Name, s.Labels, s.Value)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseExposition parses exposition text strictly: every family must
+// carry HELP and TYPE headers, every sample must belong to the current
+// family, labels must be well-formed, and values must parse as floats.
+// The returned families re-render byte-identically via
+// WriteExpFamilies.
+func ParseExposition(r io.Reader) ([]ExpFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var fams []ExpFamily
+	var cur *ExpFamily
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "# HELP "):
+			rest := strings.TrimPrefix(text, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("telemetry: exposition line %d: malformed HELP", line)
+			}
+			fams = append(fams, ExpFamily{Name: name, Help: help})
+			cur = &fams[len(fams)-1]
+		case strings.HasPrefix(text, "# TYPE "):
+			rest := strings.TrimPrefix(text, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || cur == nil || cur.Name != name || cur.Type != "" {
+				return nil, fmt.Errorf("telemetry: exposition line %d: TYPE without matching HELP", line)
+			}
+			if typ != "counter" && typ != "histogram" && typ != "gauge" {
+				return nil, fmt.Errorf("telemetry: exposition line %d: unsupported type %q", line, typ)
+			}
+			cur.Type = typ
+		case strings.HasPrefix(text, "#"):
+			return nil, fmt.Errorf("telemetry: exposition line %d: unexpected comment", line)
+		default:
+			if cur == nil || cur.Type == "" {
+				return nil, fmt.Errorf("telemetry: exposition line %d: sample before HELP/TYPE", line)
+			}
+			s, err := parseSample(text)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: exposition line %d: %w", line, err)
+			}
+			if s.Name != cur.Name && !strings.HasPrefix(s.Name, cur.Name+"_") {
+				return nil, fmt.Errorf("telemetry: exposition line %d: sample %q outside family %q", line, s.Name, cur.Name)
+			}
+			cur.Samples = append(cur.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+func parseSample(text string) (ExpSample, error) {
+	var s ExpSample
+	rest := text
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return s, fmt.Errorf("unterminated label block")
+		}
+		s.Labels = rest[i : j+1]
+		if err := validateLabels(s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		name, val, ok := strings.Cut(rest, " ")
+		if !ok {
+			return s, fmt.Errorf("missing value")
+		}
+		s.Name, rest = name, val
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("missing metric name")
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("missing value")
+	}
+	if rest != "+Inf" && rest != "-Inf" && rest != "NaN" {
+		if _, err := strconv.ParseFloat(rest, 64); err != nil {
+			return s, fmt.Errorf("bad value %q: %w", rest, err)
+		}
+	}
+	s.Value = rest
+	return s, nil
+}
+
+// validateLabels checks a {k="v",...} block: names are identifiers and
+// values are properly quoted with supported escapes.
+func validateLabels(block string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return fmt.Errorf("empty label block")
+	}
+	i := 0
+	for i < len(inner) {
+		j := strings.IndexByte(inner[i:], '=')
+		if j <= 0 {
+			return fmt.Errorf("malformed label pair at %q", inner[i:])
+		}
+		name := inner[i : i+j]
+		for _, r := range name {
+			if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+				return fmt.Errorf("bad label name %q", name)
+			}
+		}
+		i += j + 1
+		if i >= len(inner) || inner[i] != '"' {
+			return fmt.Errorf("label %q: unquoted value", name)
+		}
+		i++ // consume opening quote
+		for {
+			if i >= len(inner) {
+				return fmt.Errorf("label %q: unterminated value", name)
+			}
+			switch inner[i] {
+			case '\\':
+				if i+1 >= len(inner) || !strings.ContainsRune(`\"n`, rune(inner[i+1])) {
+					return fmt.Errorf("label %q: bad escape", name)
+				}
+				i += 2
+			case '"':
+				i++
+				goto closed
+			default:
+				i++
+			}
+		}
+	closed:
+		if i < len(inner) {
+			if inner[i] != ',' {
+				return fmt.Errorf("label %q: expected comma", name)
+			}
+			i++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"decoupling/internal/dns"
+	"decoupling/internal/dnswire"
+	"decoupling/internal/ledger"
+	"decoupling/internal/odoh"
+	"decoupling/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// odohTrace runs the canonical 2-hop ODoH exchange (client → proxy →
+// target, two clients) under a fresh tracer and returns the recorded
+// trace. Everything that reaches span attributes is deterministic:
+// names, entity labels, and message sizes (HPKE keys are random per run
+// but key ids are excluded from attrs and ciphertext length depends
+// only on the plaintext length). No clock is bound, so all timestamps
+// are zero — the whole JSONL file is reproducible byte for byte.
+func odohTrace(t *testing.T) *telemetry.Tracer {
+	t.Helper()
+	tel := telemetry.New("odoh-golden", true, nil)
+
+	zone := dns.NewZone("example.com")
+	if err := zone.Add(dnswire.A("www.example.com", 300, [4]byte{192, 0, 2, 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := zone.Add(dnswire.A("mail.example.com", 300, [4]byte{192, 0, 2, 2})); err != nil {
+		t.Fatal(err)
+	}
+	origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{zone}}
+
+	lg := ledger.New(ledger.NewClassifier(), nil)
+	target, err := odoh.NewTarget(odoh.TargetName, origin, lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target.Instrument(tel)
+	proxy := odoh.NewProxy(odoh.ProxyName, target, lg)
+	proxy.Instrument(tel)
+	keyID, pub := target.KeyConfig()
+
+	for i, q := range []struct{ who, name string }{
+		{"client-0", "www.example.com"},
+		{"client-1", "mail.example.com"},
+	} {
+		c := odoh.NewClient(q.who, keyID, pub)
+		c.Instrument(tel)
+		resp, err := c.Query(q.name, dnswire.TypeA, proxy.Forward)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if len(resp.Answers) != 1 {
+			t.Fatalf("query %d: %d answers, want 1", i, len(resp.Answers))
+		}
+	}
+	return tel.Tracer()
+}
+
+// TestODoHTraceGolden pins the JSONL trace schema: the exact bytes a
+// 2-hop ODoH run exports. Run with -update after an intentional schema
+// change.
+func TestODoHTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := odohTrace(t).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "odoh_trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/telemetry -run ODoHTraceGolden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace diverged from golden file:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+// TestODoHTraceShape validates the same trace structurally via the
+// strict parser: each query is a 3-deep chain client.query →
+// proxy.forward → target.handle with the expected attributes.
+func TestODoHTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := odohTrace(t).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ParseJSONL(&buf)
+	if err != nil {
+		t.Fatalf("exported trace fails strict parse: %v", err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("got %d spans, want 6 (3 per query)", len(recs))
+	}
+	byID := map[uint64]telemetry.SpanRecord{}
+	for _, r := range recs {
+		if r.Trace != "odoh-golden" {
+			t.Errorf("span %d trace = %q", r.Span, r.Trace)
+		}
+		if r.StartNS != 0 || r.EndNS != 0 {
+			t.Errorf("span %d has nonzero time %d..%d; no clock was bound", r.Span, r.StartNS, r.EndNS)
+		}
+		byID[r.Span] = r
+	}
+	for q := 0; q < 2; q++ {
+		query, forward, handle := recs[3*q], recs[3*q+1], recs[3*q+2]
+		if query.Name != "odoh.client.query" || query.Parent != 0 {
+			t.Errorf("query %d root span wrong: %+v", q, query)
+		}
+		if forward.Name != "odoh.proxy.forward" || forward.Parent != query.Span {
+			t.Errorf("query %d: proxy span not nested under client: %+v", q, forward)
+		}
+		if handle.Name != "odoh.target.handle" || handle.Parent != forward.Span {
+			t.Errorf("query %d: target span not nested under proxy: %+v", q, handle)
+		}
+		if forward.Attrs["proxy"] != odoh.ProxyName || forward.Attrs["bytes"] == "" {
+			t.Errorf("query %d: forward attrs = %v", q, forward.Attrs)
+		}
+		if handle.Attrs["target"] != odoh.TargetName ||
+			handle.Attrs["name"] != dnswire.CanonicalName(query.Attrs["name"]) {
+			t.Errorf("query %d: handle attrs = %v (query attrs %v)", q, handle.Attrs, query.Attrs)
+		}
+	}
+}

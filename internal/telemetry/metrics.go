@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Canonical metric names shared between the instrumented layers and the
+// CLI summary, so consumers never re-type (and typo) them.
+const (
+	MetricSimnetMessages     = "decoupling_simnet_messages_total"
+	MetricSimnetBytes        = "decoupling_simnet_bytes_total"
+	MetricSimnetLost         = "decoupling_simnet_lost_total"
+	MetricSimnetLatency      = "decoupling_simnet_link_latency_seconds"
+	MetricLedgerObservations = "decoupling_ledger_observations_total"
+	MetricRunnerQueueWait    = "decoupling_runner_queue_wait_seconds"
+	MetricOdohForwarded      = "decoupling_odoh_forwarded_total"
+	MetricOdohHandled        = "decoupling_odoh_handled_total"
+	MetricOnionCells         = "decoupling_onion_cells_total"
+	MetricMixBatchSize       = "decoupling_mixnet_batch_size"
+)
+
+// Fixed bucket layouts. Keeping them package-level constants (rather
+// than per-call-site ad hoc slices) is what makes histogram exposition
+// deterministic and mergeable across experiments.
+var (
+	// LatencyBuckets covers virtual link latencies (seconds).
+	LatencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+	// SizeBuckets covers message sizes (bytes).
+	SizeBuckets = []float64{64, 128, 256, 512, 1024, 4096, 16384, 65536}
+	// WaitBuckets covers scheduler/queue waits (wall seconds).
+	WaitBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 1}
+	// BatchBuckets covers mix batch sizes (messages per flush).
+	BatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+)
+
+// Metrics is a registry of counters and fixed-bucket histograms. It is
+// safe for concurrent use: registration takes a lock, but updates on
+// returned handles are plain atomics, so parallel experiments sharing a
+// registry never contend beyond the first lookup of each series. A nil
+// *Metrics is valid and disabled.
+type Metrics struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter" or "histogram"
+	buckets []float64
+	series  map[string]*series
+}
+
+type series struct {
+	labels  []Attr // sorted by key
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // histogram sum, float64 bits
+	buckets []atomic.Uint64
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics { return &Metrics{families: map[string]*family{}} }
+
+// Counter returns the counter series for (name, labels), registering it
+// on first use. Returns nil (inert) on a nil registry.
+func (m *Metrics) Counter(name, help string, labels ...Attr) *Counter {
+	if m == nil {
+		return nil
+	}
+	return &Counter{m.seriesFor(name, help, "counter", nil, labels)}
+}
+
+// Histogram returns the histogram series for (name, labels) with the
+// given fixed upper bounds, registering it on first use. Returns nil
+// (inert) on a nil registry.
+func (m *Metrics) Histogram(name, help string, buckets []float64, labels ...Attr) *Histogram {
+	if m == nil {
+		return nil
+	}
+	s := m.seriesFor(name, help, "histogram", buckets, labels)
+	return &Histogram{s: s, bounds: buckets}
+}
+
+func (m *Metrics) seriesFor(name, help, typ string, buckets []float64, labels []Attr) *series {
+	sorted := append([]Attr(nil), labels...)
+	SortAttrs(sorted)
+	key := labelKey(sorted)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets, series: map[string]*series{}}
+		m.families[name] = f
+	}
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: sorted, buckets: make([]atomic.Uint64, len(f.buckets))}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing series handle. Nil-safe.
+type Counter struct{ s *series }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil || c.s == nil {
+		return
+	}
+	c.s.count.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil || c.s == nil {
+		return 0
+	}
+	return c.s.count.Load()
+}
+
+// Histogram is a fixed-bucket series handle. Nil-safe.
+type Histogram struct {
+	s      *series
+	bounds []float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.s == nil {
+		return
+	}
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.s.buckets[i].Add(1)
+			break
+		}
+	}
+	h.s.count.Add(1)
+	for {
+		old := h.s.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.s.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SeriesValue is one series' labels and scalar value, as returned by
+// CounterSeries for report summaries.
+type SeriesValue struct {
+	Labels []Attr
+	Value  float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (sv SeriesValue) Label(key string) string {
+	for _, a := range sv.Labels {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// CounterSeries returns every series of the named counter family,
+// sorted by descending value then label key (deterministic given
+// deterministic counts).
+func (m *Metrics) CounterSeries(name string) []SeriesValue {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	f := m.families[name]
+	var out []SeriesValue
+	if f != nil && f.typ == "counter" {
+		for _, s := range f.series {
+			out = append(out, SeriesValue{Labels: s.labels, Value: float64(s.count.Load())})
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return labelKey(out[i].Labels) < labelKey(out[j].Labels)
+	})
+	return out
+}
+
+// labelKey renders sorted labels into the exposition form used both as
+// a map key and in output: {k1="v1",k2="v2"} ("" for no labels).
+func labelKey(labels []Attr) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, a := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(a.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
