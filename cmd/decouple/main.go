@@ -1,6 +1,7 @@
 // Command decouple is the analysis CLI: it lists the paper's systems,
 // prints any published decoupling table, runs the verdict and coalition
-// analysis, and answers collusion what-ifs.
+// analysis, answers collusion what-ifs, and runs provenance audits that
+// explain WHY each measured tuple holds.
 //
 // Usage:
 //
@@ -9,9 +10,21 @@
 //	decouple show <system-id>       # table + verdict
 //	decouple analyze                # all systems, one verdict per line
 //	decouple collude <system-id> <entity> [<entity>...]
+//	decouple audit <scenario-id>    # run a scenario, explain every tuple
+//	decouple -explain <scenario-id> # shorthand for audit
 //
 // System ids: digitalcash, mixnet, privacypass, odns, pgpp, mpr, ppm,
-// vpn, ech.
+// vpn, ech. Audit scenario ids: mixnet, odns, odoh.
+//
+// Audit flags (after the subcommand):
+//
+//	-parallel N      client goroutines (output is byte-identical
+//	                 across values; that is the point)
+//	-stats           ledger stats on stderr, with per-observer
+//	                 distinct-handle counts
+//	-jsonl f         machine-readable audit (JSON Lines)
+//	-dot f           linkage graph in Graphviz DOT
+//	-graphjson f     linkage graph as one JSON document
 //
 // Profiling flags (shared with cmd/experiments):
 //
@@ -30,12 +43,16 @@ import (
 	"strings"
 
 	"decoupling/internal/core"
+	"decoupling/internal/experiments"
+	"decoupling/internal/provenance"
+	"decoupling/internal/telemetry"
 )
 
 func main() {
 	flag.Usage = usage
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to `file`")
+	explain := flag.String("explain", "", "run a provenance audit of `scenario` (shorthand for the audit subcommand)")
 	flag.Parse()
 	code := 0
 	defer func() { os.Exit(code) }()
@@ -68,56 +85,146 @@ func main() {
 			}
 		}()
 	}
-	code = run(os.Stdout, flag.Args())
+	args := flag.Args()
+	if *explain != "" {
+		args = append([]string{"audit", *explain}, args...)
+	}
+	code = run(os.Stdout, os.Stderr, args)
 }
 
-// run dispatches a command, writing output to w. It returns the exit
-// code; errors are printed to stderr.
-func run(w io.Writer, args []string) int {
+// run dispatches a command, writing output to out and diagnostics to
+// errw. It returns the exit code.
+func run(out, errw io.Writer, args []string) int {
 	if len(args) == 0 {
-		usage()
+		fprintUsage(errw)
 		return 2
 	}
 	var err error
 	switch args[0] {
 	case "list":
-		err = list(w)
+		err = list(out)
 	case "tables":
-		err = tables(w)
+		err = tables(out)
 	case "show":
 		if len(args) != 2 {
 			err = fmt.Errorf("usage: decouple show <system-id>")
 		} else {
-			err = show(w, args[1])
+			err = show(out, args[1])
 		}
 	case "analyze":
-		err = analyzeAll(w)
+		err = analyzeAll(out)
 	case "collude":
 		if len(args) < 3 {
 			err = fmt.Errorf("usage: decouple collude <system-id> <entity> [<entity>...]")
 		} else {
-			err = collude(w, args[1], args[2:])
+			err = collude(out, args[1], args[2:])
 		}
+	case "audit":
+		err = audit(out, errw, args[1:])
 	default:
-		usage()
+		fprintUsage(errw)
 		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "decouple:", err)
+		fmt.Fprintln(errw, "decouple:", err)
 		return 1
 	}
 	return 0
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `decouple — analyze systems with the Decoupling Principle
+func usage() { fprintUsage(os.Stderr) }
+
+func fprintUsage(w io.Writer) {
+	fmt.Fprint(w, `decouple — analyze systems with the Decoupling Principle
 
   decouple list                                list the paper's systems
   decouple tables                              print every published table
   decouple show <system-id>                    print a system's table and verdict
   decouple analyze                             verdicts for every system
   decouple collude <system-id> <entity>...     can this coalition re-couple?
+  decouple audit [flags] <scenario-id>         run a scenario, explain every tuple
+  decouple -explain <scenario-id>              shorthand for audit
 `)
+}
+
+// audit runs a scenario and renders its provenance audit: the
+// evidence chain behind every derived tuple component, the per-subject
+// linkage chains, and the coalition handle-partition graph.
+func audit(out, errw io.Writer, args []string) error {
+	fs := flag.NewFlagSet("decouple audit", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	parallel := fs.Int("parallel", 1, "client goroutines; audit output is byte-identical across values")
+	stats := fs.Bool("stats", false, "print ledger stats (per-observer observation and distinct-handle counts) to stderr")
+	jsonlFile := fs.String("jsonl", "", "write the machine-readable audit (JSON Lines) to `file`")
+	dotFile := fs.String("dot", "", "write the linkage graph in Graphviz DOT to `file`")
+	graphFile := fs.String("graphjson", "", "write the linkage graph as one JSON document to `file`")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: decouple audit [flags] <scenario-id> (one of: %s)", scenarioIDs())
+	}
+	sc, ok := experiments.FindAuditScenario(fs.Arg(0))
+	if !ok {
+		return fmt.Errorf("unknown audit scenario %q (try: %s)", fs.Arg(0), scenarioIDs())
+	}
+
+	// Tracing is on so ledger observations join their protocol phase;
+	// the spans themselves are discarded.
+	lg, err := sc.Run(telemetry.New("audit", true, nil), *parallel)
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", sc.ID, err)
+	}
+	a, err := provenance.Derive(lg, sc.Expected())
+	if err != nil {
+		return err
+	}
+	if err := provenance.WriteReport(out, a); err != nil {
+		return err
+	}
+	if *stats {
+		st := lg.Stats()
+		fmt.Fprintf(errw, "ledger stats: %d observations\n", st.Total)
+		for _, o := range st.Observers {
+			fmt.Fprintf(errw, "  %-24s %6d obs %6d handles\n", o.Observer, o.Observations, o.Handles)
+		}
+	}
+	for _, f := range []struct {
+		path  string
+		write func(io.Writer, *provenance.Audit) error
+	}{
+		{*jsonlFile, provenance.WriteJSONL},
+		{*dotFile, provenance.WriteDOT},
+		{*graphFile, provenance.WriteGraphJSON},
+	} {
+		if f.path == "" {
+			continue
+		}
+		if err := writeFile(f.path, a, f.write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, a *provenance.Audit, write func(io.Writer, *provenance.Audit) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, a); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func scenarioIDs() string {
+	var ids []string
+	for _, sc := range experiments.AuditScenarios() {
+		ids = append(ids, sc.ID)
+	}
+	return strings.Join(ids, ", ")
 }
 
 func sortedIDs() []string {

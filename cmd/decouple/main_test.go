@@ -2,14 +2,20 @@ package main
 
 import (
 	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
+var update = flag.Bool("update", false, "rewrite golden files")
+
 func runOut(t *testing.T, args ...string) (string, int) {
 	t.Helper()
-	var buf bytes.Buffer
-	code := run(&buf, args)
+	var buf, errBuf bytes.Buffer
+	code := run(&buf, &errBuf, args)
 	return buf.String(), code
 }
 
@@ -93,5 +99,99 @@ func TestNoArgsUsage(t *testing.T) {
 	}
 	if _, code := runOut(t, "bogus-command"); code != 2 {
 		t.Errorf("bad-command exit = %d, want 2", code)
+	}
+}
+
+// TestAuditGolden pins the audit report bytes for the ODoH scenario and
+// proves they are identical across -parallel settings: fresh HPKE keys,
+// fresh connection handles, and different goroutine interleavings per
+// invocation must not change a single byte. Refresh with: go test
+// ./cmd/decouple -run TestAuditGolden -update
+func TestAuditGolden(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "audit_odoh.golden")
+	base, code := runOut(t, "audit", "-parallel", "1", "odoh")
+	if code != 0 {
+		t.Fatalf("audit exit = %d", code)
+	}
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(base), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if base != string(golden) {
+		t.Errorf("audit odoh output differs from golden:\n%s", firstDiffLine(string(golden), base))
+	}
+	for _, parallel := range []string{"4", "8"} {
+		out, code := runOut(t, "audit", "-parallel", parallel, "odoh")
+		if code != 0 {
+			t.Fatalf("audit -parallel %s exit = %d", parallel, code)
+		}
+		if out != base {
+			t.Errorf("audit odoh -parallel %s differs from -parallel 1:\n%s",
+				parallel, firstDiffLine(base, out))
+		}
+	}
+}
+
+func firstDiffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, al[i], bl[i])
+		}
+	}
+	return "line counts differ"
+}
+
+// TestAuditExports exercises -stats (per-observer handle counts on
+// stderr) and the three export formats.
+func TestAuditExports(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "audit.jsonl")
+	dot := filepath.Join(dir, "linkage.dot")
+	graph := filepath.Join(dir, "linkage.json")
+	var out, errBuf bytes.Buffer
+	code := run(&out, &errBuf,
+		[]string{"audit", "-stats", "-jsonl", jsonl, "-dot", dot, "-graphjson", graph, "odoh"})
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "Audit: Oblivious DNS") {
+		t.Errorf("report missing header:\n%s", out.String())
+	}
+	stderr := errBuf.String()
+	if !strings.Contains(stderr, "ledger stats:") || !strings.Contains(stderr, "handles") {
+		t.Errorf("-stats output missing ledger summary:\n%s", stderr)
+	}
+	for _, o := range []string{"Resolver", "Oblivious Resolver", "Origin"} {
+		if !strings.Contains(stderr, o) {
+			t.Errorf("-stats missing observer %q:\n%s", o, stderr)
+		}
+	}
+	for path, want := range map[string]string{
+		jsonl: `"type":"audit"`,
+		dot:   "graph linkage {",
+		graph: `"system"`,
+	} {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("export %s: %v", path, err)
+		}
+		if !strings.Contains(string(b), want) {
+			t.Errorf("export %s missing %q:\n%s", path, want, b)
+		}
+	}
+}
+
+func TestAuditErrors(t *testing.T) {
+	if _, code := runOut(t, "audit", "nonsense"); code != 1 {
+		t.Errorf("unknown scenario exit = %d, want 1", code)
+	}
+	if _, code := runOut(t, "audit"); code != 1 {
+		t.Errorf("missing scenario exit = %d, want 1", code)
 	}
 }

@@ -22,6 +22,11 @@
 //	                  settings
 //	-metrics f.prom   counters and histograms in Prometheus text
 //	                  exposition format
+//	-audit f.jsonl    per-experiment provenance audits (canonical
+//	                  observation ids, handle aliases, linkage
+//	                  partitions) as JSONL — byte-identical across
+//	                  runs and -parallel settings for the
+//	                  deterministic experiments
 //	-stats            per-experiment ledger observation counts on
 //	                  stderr
 //	-cpuprofile f     pprof CPU profile of the whole run
@@ -38,6 +43,7 @@ import (
 	"sort"
 
 	"decoupling/internal/experiments"
+	"decoupling/internal/provenance"
 	"decoupling/internal/telemetry"
 )
 
@@ -55,6 +61,7 @@ func run(out, errw io.Writer, args []string) int {
 		"number of experiments to run concurrently (1 = sequential)")
 	traceFile := fs.String("trace", "", "write span traces as JSONL to `file`")
 	metricsFile := fs.String("metrics", "", "write metrics in Prometheus text format to `file`")
+	auditFile := fs.String("audit", "", "write per-experiment provenance audits as JSONL to `file`")
 	stats := fs.Bool("stats", false, "print per-experiment ledger stats to stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to `file`")
@@ -106,7 +113,9 @@ func run(out, errw io.Writer, args []string) int {
 	}
 
 	telemetryOn := *traceFile != "" || *metricsFile != ""
-	runner := experiments.Runner{Workers: *parallel, Trace: *traceFile != ""}
+	// -audit also enables tracing so ledger observations join their
+	// protocol phase; the spans are only written out under -trace.
+	runner := experiments.Runner{Workers: *parallel, Trace: *traceFile != "" || *auditFile != ""}
 	if telemetryOn {
 		runner.Metrics = telemetry.NewMetrics()
 	}
@@ -122,6 +131,12 @@ func run(out, errw io.Writer, args []string) int {
 	}
 	if *metricsFile != "" {
 		if err := writeMetrics(*metricsFile, runner.Metrics); err != nil {
+			fmt.Fprintf(errw, "experiments: %v\n", err)
+			return 2
+		}
+	}
+	if *auditFile != "" {
+		if err := writeAudits(*auditFile, results); err != nil {
 			fmt.Fprintf(errw, "experiments: %v\n", err)
 			return 2
 		}
@@ -162,6 +177,32 @@ func writeTraces(path string, results []experiments.RunnerResult) error {
 	}
 	for _, rr := range results {
 		if err := rr.Trace.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// writeAudits derives a provenance audit for every experiment that
+// retained its ledger and expected model, concatenated as JSONL in id
+// order. Each audit's header line carries the experiment id.
+func writeAudits(path string, results []experiments.RunnerResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, rr := range results {
+		if rr.Result == nil || rr.Result.Ledger == nil || rr.Result.Expected == nil {
+			continue
+		}
+		a, err := provenance.Derive(rr.Result.Ledger, rr.Result.Expected)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", rr.ID, err)
+		}
+		a.ID = rr.ID
+		if err := provenance.WriteJSONL(f, a); err != nil {
 			f.Close()
 			return err
 		}

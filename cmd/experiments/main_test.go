@@ -149,6 +149,50 @@ func TestMetricsAndStatsFlags(t *testing.T) {
 	}
 }
 
+// TestAuditDeterminism checks that -audit writes per-experiment
+// provenance audits that are byte-identical across -parallel settings
+// and across repeated runs (fresh keys, fresh ciphertexts), and that
+// the report bytes are unchanged by auditing. E2 and E4 cover the
+// simulated mixnet (virtual timestamps) and the two in-process DNS
+// reproductions.
+func TestAuditDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(name, parallel string) (audit []byte, stdout string) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		var out, errw bytes.Buffer
+		args := []string{"-parallel", parallel, "-audit", path, "E2", "E4"}
+		if code := run(&out, &errw, args); code != 0 {
+			t.Fatalf("exit = %d, stderr = %s", code, errw.String())
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, out.String()
+	}
+	a1, s1 := runOnce("a1.jsonl", "4")
+	a2, s2 := runOnce("a2.jsonl", "1")
+	a3, _ := runOnce("a3.jsonl", "4")
+	if !bytes.Equal(a1, a2) {
+		t.Errorf("audit bytes differ between -parallel 4 and -parallel 1")
+	}
+	if !bytes.Equal(a1, a3) {
+		t.Errorf("audit bytes differ between two -parallel 4 runs")
+	}
+	if s1 != s2 {
+		t.Errorf("report changed with parallelism while auditing")
+	}
+	for _, id := range []string{"E2", "E4"} {
+		if !strings.Contains(string(a1), `"experiment":"`+id+`"`) {
+			t.Errorf("audit file missing experiment %s header", id)
+		}
+	}
+	if !strings.Contains(string(a1), `"type":"obs"`) {
+		t.Errorf("audit file has no observation lines:\n%.400s", a1)
+	}
+}
+
 // TestProfileFlags checks -cpuprofile/-memprofile produce non-empty
 // pprof files.
 func TestProfileFlags(t *testing.T) {

@@ -27,6 +27,20 @@ type LinkResult struct {
 	IdentityValue string
 	DataValue     string
 	Linked        bool
+	// Path is the union-find merge path proving the link: the minimal
+	// chain of coalition observations, each sharing a handle with the
+	// next, from a sensitive identity observation of the subject to a
+	// sensitive (or partial) data observation. Populated only by
+	// LinkSubjectsEvidence; nil from the fast LinkSubjects.
+	Path []Hop
+}
+
+// Hop is one step of a linkage evidence chain: an observation (an
+// index into the slice passed to LinkSubjectsEvidence) and the handle
+// it shares with the next hop's observation ("" on the final hop).
+type Hop struct {
+	Obs    int
+	Handle string
 }
 
 // unionFind is a tiny string-keyed disjoint-set.

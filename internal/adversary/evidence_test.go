@@ -1,0 +1,181 @@
+package adversary_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"decoupling/internal/adversary"
+	"decoupling/internal/core"
+	"decoupling/internal/ledger"
+)
+
+// randomLedger builds a ledger with random observations spread over a
+// few observers, subjects, and a small handle universe, so linkage is
+// sometimes possible and sometimes not.
+func randomLedger(rng *rand.Rand, trial int) (*ledger.Ledger, []string) {
+	cls := ledger.NewClassifier()
+	lg := ledger.New(cls, nil)
+	observers := []string{"A", "B", "C", "D"}
+	for i := 0; i < 40; i++ {
+		subj := fmt.Sprintf("s%d", rng.Intn(5))
+		obsr := observers[rng.Intn(len(observers))]
+		handles := []string{}
+		for h := 0; h < 1+rng.Intn(2); h++ {
+			handles = append(handles, fmt.Sprintf("h%d", rng.Intn(12)))
+		}
+		if rng.Intn(2) == 0 {
+			v := fmt.Sprintf("id-%d-%d", trial, i)
+			lvl := core.Sensitive
+			if rng.Intn(4) == 0 {
+				lvl = core.NonSensitive
+			}
+			cls.RegisterIdentity(v, subj, "", lvl)
+			lg.SawIdentity(obsr, v, handles...)
+		} else {
+			v := fmt.Sprintf("d-%d-%d", trial, i)
+			lvl := core.Sensitive
+			switch rng.Intn(4) {
+			case 0:
+				lvl = core.NonSensitive
+			case 1:
+				lvl = core.Partial
+			}
+			cls.RegisterData(v, subj, "", lvl)
+			lg.SawData(obsr, v, handles...)
+		}
+	}
+	return lg, observers
+}
+
+// TestLinkEvidencePathValidity is the property test: for random
+// observation sets and coalitions, (1) LinkSubjectsEvidence agrees
+// with LinkSubjects on every Linked verdict, and (2) every reported
+// link carries a chain that actually proves it — consecutive
+// observations share the stated handle, every observation belongs to a
+// coalition member, the first is a sensitive identity of the subject,
+// and the last is sensitive-or-partial data of the subject.
+func TestLinkEvidencePathValidity(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		lg, observers := randomLedger(rng, trial)
+		coalition := observers[:1+rng.Intn(len(observers))]
+		obs := lg.Observations()
+
+		fast := adversary.LinkSubjects(obs, coalition)
+		withEv := adversary.LinkSubjectsEvidence(obs, coalition)
+		if len(fast) != len(withEv) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(fast), len(withEv))
+		}
+		members := map[string]bool{}
+		for _, m := range coalition {
+			members[m] = true
+		}
+		for i := range fast {
+			f, e := fast[i], withEv[i]
+			if f.Subject != e.Subject || f.Linked != e.Linked {
+				t.Fatalf("trial %d subject %q: fast Linked=%v evidence Linked=%v", trial, f.Subject, f.Linked, e.Linked)
+			}
+			if !e.Linked {
+				if e.Path != nil {
+					t.Errorf("trial %d subject %q: unlinked but path %v", trial, e.Subject, e.Path)
+				}
+				continue
+			}
+			if len(e.Path) == 0 {
+				t.Fatalf("trial %d subject %q: linked without a path", trial, e.Subject)
+			}
+			first := obs[e.Path[0].Obs]
+			last := obs[e.Path[len(e.Path)-1].Obs]
+			if first.Kind != core.Identity || first.Level != core.Sensitive || first.Subject != e.Subject {
+				t.Errorf("trial %d subject %q: chain starts at %+v, not a sensitive identity", trial, e.Subject, first)
+			}
+			if last.Kind != core.Data || last.Level < core.Partial || last.Subject != e.Subject {
+				t.Errorf("trial %d subject %q: chain ends at %+v, not sensitive/partial data", trial, e.Subject, last)
+			}
+			for j, hop := range e.Path {
+				o := obs[hop.Obs]
+				if !members[o.Observer] {
+					t.Errorf("trial %d subject %q hop %d: observer %q outside coalition", trial, e.Subject, j, o.Observer)
+				}
+				if j == len(e.Path)-1 {
+					if hop.Handle != "" {
+						t.Errorf("trial %d subject %q: final hop carries handle %q", trial, e.Subject, hop.Handle)
+					}
+					continue
+				}
+				if hop.Handle == "" {
+					t.Errorf("trial %d subject %q hop %d: missing handle", trial, e.Subject, j)
+					continue
+				}
+				if !hasHandle(o, hop.Handle) || !hasHandle(obs[e.Path[j+1].Obs], hop.Handle) {
+					t.Errorf("trial %d subject %q hop %d: handle %q not shared by both endpoints", trial, e.Subject, j, hop.Handle)
+				}
+			}
+		}
+	}
+}
+
+func hasHandle(o ledger.Observation, h string) bool {
+	for _, x := range o.Handles {
+		if x == h {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLinkEvidenceNoCollusion is the negative case: a coalition that
+// holds only one side of the join, or no entities at all, must report
+// no links and no paths even though the full observation set links.
+func TestLinkEvidenceNoCollusion(t *testing.T) {
+	t.Parallel()
+	cls := ledger.NewClassifier()
+	cls.RegisterIdentity("alice-addr", "alice", "", core.Sensitive)
+	cls.RegisterData("alice-query", "alice", "", core.Sensitive)
+	lg := ledger.New(cls, nil)
+	// Proxy holds the identity, server the data, joined via h-shared —
+	// but only when both collude.
+	lg.SawIdentity("Proxy", "alice-addr", "h-shared")
+	lg.SawData("Server", "alice-query", "h-shared")
+	obs := lg.Observations()
+
+	full := adversary.LinkSubjectsEvidence(obs, []string{"Proxy", "Server"})
+	if len(full) != 1 || !full[0].Linked || len(full[0].Path) != 2 {
+		t.Fatalf("full coalition should link via a 2-hop chain: %+v", full)
+	}
+	if full[0].Path[0].Handle != "h-shared" {
+		t.Errorf("chain handle = %q, want h-shared", full[0].Path[0].Handle)
+	}
+
+	for _, coalition := range [][]string{{"Proxy"}, {"Server"}, {}} {
+		res := adversary.LinkSubjectsEvidence(obs, coalition)
+		for _, r := range res {
+			if r.Linked || r.Path != nil {
+				t.Errorf("coalition %v: unexpected link %+v", coalition, r)
+			}
+		}
+	}
+}
+
+// TestLinkEvidenceSameObservation covers the degenerate chain: one
+// coalition member observed identity and data… as two observations
+// sharing a handle, and an entity that saw both in a single record
+// partition (VPN-style), producing minimal 2-hop chains.
+func TestLinkEvidenceSameObservation(t *testing.T) {
+	t.Parallel()
+	cls := ledger.NewClassifier()
+	cls.RegisterIdentity("10.0.0.1", "bob", "", core.Sensitive)
+	cls.RegisterData("http://x/secret", "bob", "", core.Sensitive)
+	lg := ledger.New(cls, nil)
+	lg.SawIdentity("VPN", "10.0.0.1", "sess1")
+	lg.SawData("VPN", "http://x/secret", "sess1")
+	res := adversary.LinkSubjectsEvidence(lg.Observations(), []string{"VPN"})
+	if len(res) != 1 || !res[0].Linked {
+		t.Fatalf("VPN alone must link: %+v", res)
+	}
+	if len(res[0].Path) != 2 {
+		t.Errorf("want minimal 2-hop chain, got %v", res[0].Path)
+	}
+}

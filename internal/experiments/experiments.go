@@ -58,6 +58,10 @@ type Result struct {
 	// (per-observer counts), surfaced by cmd/experiments -stats. Like
 	// WallElapsed it is diagnostic output, excluded from Render.
 	LedgerStats *ledger.Stats
+	// Ledger is the experiment's primary observation ledger, retained
+	// for provenance audits (cmd/experiments -audit). Diagnostic like
+	// LedgerStats: never rendered.
+	Ledger *ledger.Ledger
 }
 
 // Render formats the result for terminal output / EXPERIMENTS.md.

@@ -7,14 +7,10 @@ import (
 
 	"decoupling/internal/core"
 	"decoupling/internal/dcrypto/token"
-	"decoupling/internal/dns"
-	"decoupling/internal/dnswire"
 	"decoupling/internal/ech"
 	"decoupling/internal/ledger"
 	"decoupling/internal/mixnet"
 	"decoupling/internal/mpr"
-	"decoupling/internal/odns"
-	"decoupling/internal/odoh"
 	"decoupling/internal/pgpp"
 	"decoupling/internal/ppm"
 	"decoupling/internal/privacypass"
@@ -67,6 +63,7 @@ func E1DigitalCash(tel *telemetry.Telemetry) (*Result, error) {
 	r.Notes = append(r.Notes, fmt.Sprintf("%d coins withdrawn, %d deposited, 0 linkable", w, d))
 	r.Expected = core.DigitalCash()
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.Ledger = lg
 	r.LedgerStats = ledgerStats(lg)
 	return r, tableExperiment(r)
 }
@@ -144,6 +141,7 @@ func E2Mixnet(tel *telemetry.Telemetry) (*Result, error) {
 		"untraceable return address exercised: the receiver replied without learning the sender")
 	r.Expected = core.Mixnet(3)
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.Ledger = lg
 	r.LedgerStats = ledgerStats(lg)
 	return r, tableExperiment(r)
 }
@@ -188,6 +186,7 @@ func E3PrivacyPass(tel *telemetry.Telemetry) (*Result, error) {
 	r.Notes = append(r.Notes, fmt.Sprintf("%d tokens issued and redeemed; issuance/redemption unlinkable", clients*tokensEach))
 	r.Expected = core.PrivacyPass()
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.Ledger = lg
 	r.LedgerStats = ledgerStats(lg)
 	return r, tableExperiment(r)
 }
@@ -196,65 +195,21 @@ func E3PrivacyPass(tel *telemetry.Telemetry) (*Result, error) {
 // two named instantiations); both must match the same published table.
 func E4ObliviousDNS(tel *telemetry.Telemetry) (*Result, error) {
 	r := &Result{ID: "E4", Title: "Oblivious DNS (ODNS + ODoH)", Section: "3.2.2"}
-	names := []string{"www.example.com", "mail.example.com", "secret.example.com", "api.example.com"}
-	zone := func() *dns.Zone {
-		z := dns.NewZone("example.com")
-		for i, n := range names {
-			z.Add(dnswire.A(n, 300, [4]byte{192, 0, 2, byte(i)}))
-		}
-		return z
-	}
+	expected := core.ObliviousDNS()
 
-	// --- ODNS variant ---
-	phase := tel.Start("phase:odns")
-	clsA := ledger.NewClassifier()
-	lgA := ledger.New(clsA, nil)
-	originA := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{zone()}, Ledger: lgA}
-	oblivious, err := odns.NewObliviousResolver(originA, lgA)
+	// Both halves run through the shared audit scenario runners, so
+	// `decouple audit odns|odoh` explains exactly the runs measured here.
+	lgA, err := runODNSScenario(tel, 1)
 	if err != nil {
 		return nil, err
 	}
-	recursive := dns.NewResolver("Resolver", []dns.Authority{oblivious, originA}, lgA, nil)
-	for i := 0; i < 20; i++ {
-		who := fmt.Sprintf("client-%d", i)
-		name := names[i%len(names)]
-		clsA.RegisterIdentity(who, who, "", core.Sensitive)
-		clsA.RegisterData(dnswire.CanonicalName(name), who, "", core.Sensitive)
-		if _, err := odns.NewClient(who, oblivious.PublicKey(), recursive).Query(name, dnswire.TypeA); err != nil {
-			return nil, err
-		}
-	}
-	expected := core.ObliviousDNS()
 	measuredA := lgA.DeriveSystem(expected)
 	diffsA := core.CompareTuples(expected, measuredA)
-	phase.End()
 
-	// --- ODoH variant ---
-	phase = tel.Start("phase:odoh")
-	clsB := ledger.NewClassifier()
-	lgB := ledger.New(clsB, nil)
-	lgB.Instrument(tel)
-	originB := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{zone()}, Ledger: lgB}
-	target, err := odoh.NewTarget(odoh.TargetName, originB, lgB)
+	lgB, err := runODoHScenario(tel, 1)
 	if err != nil {
 		return nil, err
 	}
-	target.Instrument(tel)
-	proxy := odoh.NewProxy(odoh.ProxyName, target, lgB)
-	proxy.Instrument(tel)
-	keyID, pub := target.KeyConfig()
-	for i := 0; i < 20; i++ {
-		who := fmt.Sprintf("client-%d", i)
-		name := names[i%len(names)]
-		clsB.RegisterIdentity(who, who, "", core.Sensitive)
-		clsB.RegisterData(dnswire.CanonicalName(name), who, "", core.Sensitive)
-		c := odoh.NewClient(who, keyID, pub)
-		c.Instrument(tel)
-		if _, err := c.Query(name, dnswire.TypeA, proxy.Forward); err != nil {
-			return nil, err
-		}
-	}
-	phase.End()
 	measuredB := lgB.DeriveSystem(expected)
 	diffsB := core.CompareTuples(expected, measuredB)
 
@@ -272,6 +227,7 @@ func E4ObliviousDNS(tel *telemetry.Telemetry) (*Result, error) {
 		Rows:    tupleRows(measuredB),
 	})
 	r.Notes = append(r.Notes, "both ODNS and ODoH reproduce the same published table")
+	r.Ledger = lgB
 	r.LedgerStats = ledgerStats(lgB)
 	r.Pass = len(r.Diffs) == 0
 	return r, nil
@@ -306,6 +262,7 @@ func E5PGPP(tel *telemetry.Telemetry) (*Result, error) {
 	}
 	r.Expected = core.PGPP()
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.Ledger = lg
 	r.LedgerStats = ledgerStats(lg)
 	if err := tableExperiment(r); err != nil {
 		return nil, err
@@ -454,6 +411,7 @@ func E6MPR(tel *telemetry.Telemetry) (*Result, error) {
 		fmt.Sprintf("8 fetches, relay1 tunnels=%d relay2 tunnels=%d, token-gated first hop", stack.Relay1.Tunnels(), stack.Relay2.Tunnels()))
 	r.Expected = core.MPR()
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.Ledger = lg
 	r.LedgerStats = ledgerStats(lg)
 	return r, tableExperiment(r)
 }
@@ -492,6 +450,7 @@ func E7PPM(tel *telemetry.Telemetry) (*Result, error) {
 
 	r.Expected = core.PPM(2)
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.Ledger = lg
 	r.LedgerStats = ledgerStats(lg)
 	if err := tableExperiment(r); err != nil {
 		return nil, err
@@ -544,6 +503,7 @@ func E8VPN(tel *telemetry.Telemetry) (*Result, error) {
 	}
 	r.Expected = core.VPN()
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.Ledger = lg
 	r.LedgerStats = ledgerStats(lg)
 	if err := tableExperiment(r); err != nil {
 		return nil, err
@@ -582,6 +542,7 @@ func E9ECH(tel *telemetry.Telemetry) (*Result, error) {
 	}
 	r.Expected = core.ECH()
 	r.Measured = lg.DeriveSystem(r.Expected)
+	r.Ledger = lg
 	r.LedgerStats = ledgerStats(lg)
 	if err := tableExperiment(r); err != nil {
 		return nil, err

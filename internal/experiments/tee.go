@@ -78,6 +78,7 @@ func E13TEE(tel *telemetry.Telemetry) (*Result, error) {
 		},
 	})
 	r.Notes = append(r.Notes, "the enclave host observed only ciphertext; attestation bound the running code to the vendor's signature")
+	r.Ledger = lg
 	r.LedgerStats = ledgerStats(lg)
 	r.Pass = len(r.Diffs) == 0
 	return r, nil

@@ -1,0 +1,75 @@
+package ledger
+
+import (
+	"fmt"
+	"testing"
+
+	"decoupling/internal/core"
+)
+
+// benchLedger populates a ledger shaped like a mid-size experiment:
+// `observers` entities, `per` observations each, two handles per
+// observation.
+func benchLedger(observers, per int) (*Ledger, *core.System) {
+	cls := NewClassifier()
+	lg := New(cls, nil)
+	sys := &core.System{Name: "bench"}
+	sys.Entities = append(sys.Entities, core.Entity{
+		Name: "User", User: true, Knows: core.Tuple{core.SensID(), core.SensData()},
+	})
+	for o := 0; o < observers; o++ {
+		name := fmt.Sprintf("ent-%d", o)
+		sys.Entities = append(sys.Entities, core.Entity{
+			Name: name, Knows: core.Tuple{core.SensID(), core.NonSensData()},
+		})
+		for i := 0; i < per; i++ {
+			who := fmt.Sprintf("subject-%d", i%16)
+			cls.RegisterIdentity(who, who, "", core.Sensitive)
+			lg.SawIdentity(name, who, fmt.Sprintf("conn-%d-%d", o, i), fmt.Sprintf("sess-%d", i%8))
+		}
+	}
+	return lg, sys
+}
+
+// BenchmarkSawUninstrumented pins the provenance-off hot path: with no
+// telemetry attached, Saw must pay exactly one nil pointer check for
+// the phase join (plus the pre-existing classify + shard append).
+func BenchmarkSawUninstrumented(b *testing.B) {
+	cls := NewClassifier()
+	cls.RegisterIdentity("alice", "alice", "", core.Sensitive)
+	lg := New(cls, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg.SawIdentity("ent", "alice", "h1")
+	}
+}
+
+// BenchmarkDeriveSystem is the provenance-disabled derivation path the
+// audit layer must not slow down: regressions here mean DeriveTuple
+// picked up provenance bookkeeping it should only do in the Evidence
+// variants.
+func BenchmarkDeriveSystem(b *testing.B) {
+	lg, sys := benchLedger(4, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := lg.DeriveSystem(sys); len(m.Entities) != len(sys.Entities) {
+			b.Fatal("bad derivation")
+		}
+	}
+}
+
+// BenchmarkDeriveSystemEvidence measures the provenance-carrying
+// variant for comparison; it is allowed to cost more — it is run once
+// per audit, never on the reproduction hot path.
+func BenchmarkDeriveSystemEvidence(b *testing.B) {
+	lg, sys := benchLedger(4, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ev := lg.DeriveSystemEvidence(sys); len(ev.Entities) != len(sys.Entities) {
+			b.Fatal("bad derivation")
+		}
+	}
+}

@@ -40,10 +40,25 @@ type Observation struct {
 	Handles  []string   // linkage handles attached by the observer
 	Time     time.Duration
 
+	// Recognized reports whether the classifier had ground truth
+	// registered for the value. Unrecognized values are opaque blobs
+	// (ciphertexts, padding) whose concrete bytes are usually
+	// run-dependent; audit renderers redact them.
+	Recognized bool
+	// Phase is the protocol phase open when the observation was
+	// admitted (joined from the telemetry span stack); "" when the
+	// ledger is uninstrumented or no phase span is open.
+	Phase string
+
 	// seq is the ledger-global admission order, used to reconstruct a
 	// total order across per-observer shards.
 	seq uint64
 }
+
+// Seq returns the ledger-global admission sequence number (1-based).
+// Provenance tooling uses it to cross-reference evidence; it is only
+// comparable between observations of the same ledger.
+func (o Observation) Seq() uint64 { return o.seq }
 
 // classEntry is the registered classification of one concrete value.
 type classEntry struct {
@@ -87,7 +102,7 @@ func (c *Classifier) RegisterData(value, subject, label string, level core.Level
 	c.data[value] = classEntry{level: level, subject: subject, label: label}
 }
 
-func (c *Classifier) classify(kind core.Kind, value string) classEntry {
+func (c *Classifier) classify(kind core.Kind, value string) (classEntry, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	m := c.data
@@ -95,9 +110,9 @@ func (c *Classifier) classify(kind core.Kind, value string) classEntry {
 		m = c.identities
 	}
 	if e, ok := m[value]; ok {
-		return e
+		return e, true
 	}
-	return classEntry{level: core.NonSensitive}
+	return classEntry{level: core.NonSensitive}, false
 }
 
 // shard holds one observer's append-only observation log. Each observer
@@ -217,18 +232,22 @@ func (l *Ledger) lockAll() (map[string]*shard, func()) {
 // linkage handles. Classification (level, subject, axis label) comes
 // from the classifier, never from the protocol code.
 func (l *Ledger) Saw(observer string, kind core.Kind, value string, handles ...string) {
-	e := l.classifier.classify(kind, value)
+	e, recognized := l.classifier.classify(kind, value)
 	o := Observation{
-		Observer: observer,
-		Kind:     kind,
-		Label:    e.label,
-		Level:    e.level,
-		Subject:  e.subject,
-		Value:    value,
-		Handles:  append([]string(nil), handles...),
+		Observer:   observer,
+		Kind:       kind,
+		Label:      e.label,
+		Level:      e.level,
+		Subject:    e.subject,
+		Value:      value,
+		Handles:    append([]string(nil), handles...),
+		Recognized: recognized,
 	}
 	if l.clock != nil {
 		o.Time = l.clock()
+	}
+	if l.tel != nil { // one pointer check when uninstrumented
+		o.Phase = l.tel.CurrentPhase()
 	}
 	s := l.shardFor(observer)
 	s.mu.Lock()
@@ -354,10 +373,6 @@ func (l *Ledger) Handles(observer string) []string {
 // extra components rather than vanishing.
 func (l *Ledger) DeriveTuple(observer string, template core.Tuple) core.Tuple {
 	obs := l.ByObserver(observer)
-	type axis struct {
-		kind  core.Kind
-		label string
-	}
 	maxLevel := map[axis]core.Level{}
 	for _, o := range obs {
 		a := axis{o.Kind, o.Label}
@@ -379,16 +394,34 @@ func (l *Ledger) DeriveTuple(observer string, template core.Tuple) core.Tuple {
 			extras = append(extras, a)
 		}
 	}
-	sort.Slice(extras, func(i, j int) bool {
-		if extras[i].kind != extras[j].kind {
-			return extras[i].kind < extras[j].kind
-		}
-		return extras[i].label < extras[j].label
-	})
+	sortExtras(extras, maxLevel)
 	for _, a := range extras {
 		out = append(out, core.Component{Kind: a.kind, Label: a.label, Level: maxLevel[a]})
 	}
 	return out
+}
+
+// axis is one knowledge-tuple axis: a (kind, label) pair.
+type axis struct {
+	kind  core.Kind
+	label string
+}
+
+// sortExtras orders the extra (off-template) axes deterministically:
+// by kind, then label, then descending level. Axes are unique per
+// (kind, label), so the level tie-break only matters as a defensive
+// guarantee that reports stay byte-stable should two extras ever share
+// a kind+label prefix after future axis refactors.
+func sortExtras(extras []axis, maxLevel map[axis]core.Level) {
+	sort.Slice(extras, func(i, j int) bool {
+		if extras[i].kind != extras[j].kind {
+			return extras[i].kind < extras[j].kind
+		}
+		if extras[i].label != extras[j].label {
+			return extras[i].label < extras[j].label
+		}
+		return maxLevel[extras[i]] > maxLevel[extras[j]]
+	})
 }
 
 // DeriveSystem builds a measured core.System shaped like expected: same

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"decoupling/internal/dcrypto/hpke"
 	"decoupling/internal/dns"
@@ -95,8 +96,9 @@ type ObliviousResolver struct {
 	// Upstream answers the decrypted inner queries.
 	Upstream dns.Authority
 
-	handled int
-	dropped int
+	// Counters are atomic: Handle may serve concurrent clients.
+	handled atomic.Int64
+	dropped atomic.Int64
 }
 
 // NewObliviousResolver creates the .odns authority.
@@ -128,13 +130,13 @@ func (o *ObliviousResolver) Handle(from string, q *dnswire.Message) *dnswire.Mes
 	qname := q.Questions[0].Name
 	raw, err := decapsulate(qname)
 	if err != nil || len(raw) < hpke.NEnc+16 {
-		o.dropped++
+		o.dropped.Add(1)
 		r.RCode = dnswire.RCodeFormErr
 		return r
 	}
 	plain, err := hpke.Open(raw[:hpke.NEnc], o.kp, []byte(queryInfo), nil, raw[hpke.NEnc:])
 	if err != nil || len(plain) < respKeySize+2 {
-		o.dropped++
+		o.dropped.Add(1)
 		r.RCode = dnswire.RCodeServFail
 		return r
 	}
@@ -179,12 +181,14 @@ func (o *ObliviousResolver) Handle(from string, q *dnswire.Message) *dnswire.Mes
 		Class: dnswire.ClassIN, TTL: 0,
 		Data: dnswire.TXTData(b32.EncodeToString(sealed)),
 	}}
-	o.handled++
+	o.handled.Add(1)
 	return r
 }
 
 // Stats reports handled and dropped query counts.
-func (o *ObliviousResolver) Stats() (handled, dropped int) { return o.handled, o.dropped }
+func (o *ObliviousResolver) Stats() (handled, dropped int) {
+	return int(o.handled.Load()), int(o.dropped.Load())
+}
 
 // Client builds ODNS queries and decrypts answers. It talks to a plain
 // recursive resolver, which is where the architectural trick lives.

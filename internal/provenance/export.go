@@ -1,0 +1,172 @@
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteJSONL streams the full audit as machine-readable JSON Lines,
+// one self-describing object per line. Unlike the text report, nothing
+// is capped. Line types, in order: "audit" (header), "obs" (every
+// canonical observation), "component", "link" (per entity), "subject",
+// "partition". Byte-deterministic for a given audit.
+func WriteJSONL(w io.Writer, a *Audit) error {
+	emit := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	header := struct {
+		Type         string   `json:"type"`
+		Experiment   string   `json:"experiment,omitempty"`
+		System       string   `json:"system"`
+		Decoupled    bool     `json:"decoupled"`
+		Degree       int      `json:"degree"`
+		MinCoalition []string `json:"min_coalition,omitempty"`
+		Coalition    []string `json:"coalition"`
+		TotalObs     int      `json:"total_obs"`
+		Handles      int      `json:"handles"`
+	}{
+		Type:         "audit",
+		Experiment:   a.ID,
+		System:       a.System,
+		Decoupled:    a.Verdict.Decoupled,
+		Degree:       a.Verdict.Degree,
+		MinCoalition: a.Verdict.MinCoalition,
+		Coalition:    a.Coalition,
+		TotalObs:     a.TotalObs,
+		Handles:      a.HandleCount,
+	}
+	if err := emit(header); err != nil {
+		return err
+	}
+
+	for _, o := range a.Evidence {
+		if err := emit(struct {
+			Type string `json:"type"`
+			Evidence
+		}{"obs", o}); err != nil {
+			return err
+		}
+	}
+	for _, e := range a.Entities {
+		for _, c := range e.Components {
+			if err := emit(struct {
+				Type   string `json:"type"`
+				Entity string `json:"entity"`
+				Component
+			}{"component", e.Name, c}); err != nil {
+				return err
+			}
+		}
+		for _, l := range e.Links {
+			if err := emit(struct {
+				Type   string `json:"type"`
+				Entity string `json:"entity"`
+				Link
+			}{"link", e.Name, l}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range a.Subjects {
+		if err := emit(struct {
+			Type string `json:"type"`
+			SubjectLink
+		}{"subject", s}); err != nil {
+			return err
+		}
+	}
+	for _, p := range a.Partitions {
+		if err := emit(struct {
+			Type string `json:"type"`
+			Partition
+		}{"partition", p}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDOT renders the coalition linkage graph in Graphviz DOT: one
+// cluster per handle partition, entity nodes as ellipses, handle
+// aliases as boxes, edge labels counting the observations that carry
+// the handle. Coupled partitions — realized privacy violations — are
+// drawn filled.
+func WriteDOT(w io.Writer, a *Audit) error {
+	bw := &errWriter{w: w}
+	bw.printf("graph linkage {\n")
+	bw.printf("  label=%q;\n", a.System)
+	bw.printf("  node [fontsize=10];\n")
+	for _, p := range a.Partitions {
+		bw.printf("  subgraph cluster_p%d {\n", p.ID)
+		if p.Coupled {
+			bw.printf("    label=\"partition %d (COUPLED: %s)\";\n", p.ID, strings.Join(p.Subjects, ","))
+			bw.printf("    style=filled; fillcolor=mistyrose;\n")
+		} else {
+			bw.printf("    label=\"partition %d\";\n", p.ID)
+		}
+		for _, e := range p.Entities {
+			bw.printf("    %s [shape=ellipse,label=%q];\n", nodeID(p.ID, "e", e), e)
+		}
+		for _, h := range p.Handles {
+			bw.printf("    %s [shape=box,label=%q];\n", nodeID(p.ID, "h", h), h)
+		}
+		for _, edge := range p.Edges {
+			bw.printf("    %s -- %s [label=\"%d\"];\n",
+				nodeID(p.ID, "e", edge.Entity), nodeID(p.ID, "h", edge.Handle), edge.Count)
+		}
+		bw.printf("  }\n")
+	}
+	bw.printf("}\n")
+	return bw.err
+}
+
+// nodeID builds a partition-scoped DOT identifier: the same entity
+// appearing in two partitions gets distinct nodes, keeping clusters
+// disjoint.
+func nodeID(partition int, class, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%d_%s_", partition, class)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteGraphJSON exports the linkage graph as a single indented JSON
+// document for programmatic consumers that prefer one object over the
+// JSONL stream.
+func WriteGraphJSON(w io.Writer, a *Audit) error {
+	doc := struct {
+		System     string      `json:"system"`
+		Experiment string      `json:"experiment,omitempty"`
+		Decoupled  bool        `json:"decoupled"`
+		Degree     int         `json:"degree"`
+		Coalition  []string    `json:"coalition"`
+		Partitions []Partition `json:"partitions"`
+	}{
+		System:     a.System,
+		Experiment: a.ID,
+		Decoupled:  a.Verdict.Decoupled,
+		Degree:     a.Verdict.Degree,
+		Coalition:  a.Coalition,
+		Partitions: a.Partitions,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,155 @@
+package provenance
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Display caps for the human-readable report. The JSONL export is
+// uncapped; the report elides long lists but always says how many
+// entries it dropped — no silent truncation.
+const (
+	maxEvidenceLines = 3
+	maxHandleLines   = 4
+	maxSubjectChains = 5
+)
+
+// WriteReport renders the audit as a human-readable text report
+// answering, for every entity, "why does it know each component?" and,
+// for every subject, "how does the coalition link them?". Output is
+// deterministic byte for byte for a given audit.
+func WriteReport(w io.Writer, a *Audit) error {
+	bw := &errWriter{w: w}
+
+	title := a.System
+	if a.ID != "" {
+		title = a.ID + ": " + title
+	}
+	bw.printf("Audit: %s\n", title)
+	bw.printf("Verdict: %s\n", a.Verdict.String())
+	bw.printf("Coalition analyzed: %s\n", strings.Join(a.Coalition, " + "))
+	bw.printf("Observations: %d total, %d distinct handles\n", a.TotalObs, a.HandleCount)
+
+	for _, e := range a.Entities {
+		bw.printf("\nEntity: %s — knows %s\n", e.Name, e.Tuple)
+		if e.User {
+			bw.printf("  (user: tuple modeled, not measured — the user trivially knows themself)\n")
+			continue
+		}
+		for _, c := range e.Components {
+			origin := "expected axis"
+			if c.Extra {
+				origin = "UNEXPECTED LEAK (axis absent from model)"
+			}
+			bw.printf("  %s %s %s — %s; %d/%d observations establish the level\n",
+				c.Symbol, c.Kind, levelParen(c.Level), origin, len(c.Evidence), c.AxisTotal)
+			for i, id := range c.Evidence {
+				if i == maxEvidenceLines {
+					bw.printf("      … and %d more\n", len(c.Evidence)-maxEvidenceLines)
+					break
+				}
+				bw.printf("      %s\n", a.evidenceLine(id))
+			}
+			if len(c.Evidence) == 0 {
+				bw.printf("      (no observations on this axis — level defaults to non-sensitive)\n")
+			}
+		}
+		bw.printf("  links: %d handles\n", len(e.Links))
+		for i, l := range e.Links {
+			if i == maxHandleLines {
+				bw.printf("      … and %d more\n", len(e.Links)-maxHandleLines)
+				break
+			}
+			bw.printf("      %s carried by %s\n", l.Handle, idList(l.Obs))
+		}
+	}
+
+	bw.printf("\nSubject linkage under full collusion:\n")
+	for i, s := range a.Subjects {
+		if i == maxSubjectChains {
+			bw.printf("  … and %d more subjects\n", len(a.Subjects)-maxSubjectChains)
+			break
+		}
+		if !s.Linked {
+			bw.printf("  %s: not linkable — no handle chain joins identity to data\n", s.Subject)
+			continue
+		}
+		bw.printf("  %s: LINKED via %s\n", s.Subject, chainString(s.Chain))
+	}
+	if len(a.Subjects) == 0 {
+		bw.printf("  (no subjects with sensitive identity observations)\n")
+	}
+
+	bw.printf("\nCoalition handle partitions: %d\n", len(a.Partitions))
+	for _, p := range a.Partitions {
+		status := "uncoupled"
+		if p.Coupled {
+			status = "COUPLED"
+		}
+		bw.printf("  partition %d (%s): entities %s; %d handles; subjects %s\n",
+			p.ID, status, strings.Join(p.Entities, "+"), len(p.Handles), orNone(p.Subjects))
+	}
+	return bw.err
+}
+
+// evidenceLine renders one observation reference: canonical id, kind,
+// value, subject, handles, virtual time, and phase.
+func (a *Audit) evidenceLine(id int) string {
+	o := a.Evidence[id-1]
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s %q", o.ID, o.Kind, o.Value)
+	if o.Subject != "" {
+		fmt.Fprintf(&b, " subject=%s", o.Subject)
+	}
+	if len(o.Handles) > 0 {
+		fmt.Fprintf(&b, " handles=[%s]", strings.Join(o.Handles, " "))
+	}
+	fmt.Fprintf(&b, " t=%s", time.Duration(o.TimeNS))
+	if o.Phase != "" {
+		fmt.Fprintf(&b, " phase=%s", o.Phase)
+	}
+	return b.String()
+}
+
+func chainString(chain []ChainHop) string {
+	var parts []string
+	for i, hop := range chain {
+		parts = append(parts, fmt.Sprintf("#%d", hop.Obs))
+		if i < len(chain)-1 {
+			parts = append(parts, fmt.Sprintf("-(%s)-", hop.Handle))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func idList(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("#%d", id)
+	}
+	return strings.Join(parts, " ")
+}
+
+func levelParen(level string) string { return "(" + level + ")" }
+
+func orNone(ss []string) string {
+	if len(ss) == 0 {
+		return "none"
+	}
+	return strings.Join(ss, ",")
+}
+
+// errWriter folds per-line error checks into one terminal error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -144,6 +144,29 @@ func (t *Tracer) push(parent uint64, name string, start time.Duration, attrs []A
 	return s
 }
 
+// PhasePrefix is the span-name prefix experiments use to mark protocol
+// phases ("phase:forward", "phase:odoh", …). CurrentPhase strips it.
+const PhasePrefix = "phase:"
+
+// CurrentPhase returns the name (sans PhasePrefix) of the innermost
+// open span marking a protocol phase, or "" when no phase span is open.
+// The ledger joins observations to phases through this at Saw time, so
+// audit evidence can say *when in the protocol* an entity learned a
+// value. Safe on a nil tracer.
+func (t *Tracer) CurrentPhase() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if name := t.stack[i].Name; strings.HasPrefix(name, PhasePrefix) {
+			return name[len(PhasePrefix):]
+		}
+	}
+	return ""
+}
+
 // Current returns the innermost open span, or nil.
 func (t *Tracer) Current() *Span {
 	if t == nil {
@@ -386,6 +409,14 @@ func (t *Telemetry) Current() *Span {
 		return nil
 	}
 	return t.tr.Current()
+}
+
+// CurrentPhase returns the innermost open protocol-phase name, or "".
+func (t *Telemetry) CurrentPhase() string {
+	if t == nil {
+		return ""
+	}
+	return t.tr.CurrentPhase()
 }
 
 // Count adds n to the named counter, with the handle's base labels
