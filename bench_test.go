@@ -1,4 +1,4 @@
-// Root benchmark harness: one benchmark per paper artifact (E1-E13,
+// Root benchmark harness: one benchmark per paper artifact (E1-E16,
 // see DESIGN.md §3). Each benchmark runs the corresponding experiment
 // end to end, so `go test -bench=. -benchmem` regenerates every table
 // and figure of the reproduction and reports its cost.
@@ -75,14 +75,25 @@ func BenchmarkE12TrafficAnalysis(b *testing.B) { benchExperiment(b, experiments.
 // BenchmarkE13TEE regenerates the §4.3 TEE extension experiment.
 func BenchmarkE13TEE(b *testing.B) { benchExperiment(b, experiments.E13TEE) }
 
-// BenchmarkAllExperimentsSequential runs the full E1-E13 suite on a
+// BenchmarkE14ChaosAvailability regenerates the §4.3 fault sweep.
+func BenchmarkE14ChaosAvailability(b *testing.B) {
+	benchExperiment(b, experiments.E14ChaosAvailability)
+}
+
+// BenchmarkE15ChaosFailover regenerates the §4.2 failover experiment.
+func BenchmarkE15ChaosFailover(b *testing.B) { benchExperiment(b, experiments.E15ChaosFailover) }
+
+// BenchmarkE16ChaosFailOpen regenerates the fail-open counterexample.
+func BenchmarkE16ChaosFailOpen(b *testing.B) { benchExperiment(b, experiments.E16ChaosFailOpen) }
+
+// BenchmarkAllExperimentsSequential runs the full E1-E16 suite on a
 // single worker — the pre-runner baseline cost of regenerating every
 // artifact.
 func BenchmarkAllExperimentsSequential(b *testing.B) {
 	benchRunner(b, 1)
 }
 
-// BenchmarkAllExperimentsParallel runs the full E1-E13 suite on a
+// BenchmarkAllExperimentsParallel runs the full E1-E16 suite on a
 // GOMAXPROCS-wide worker pool. Compare against Sequential: on ≥2 cores
 // wall-clock time per run must drop.
 func BenchmarkAllExperimentsParallel(b *testing.B) {

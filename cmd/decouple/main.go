@@ -20,6 +20,11 @@
 //
 //	-parallel N      client goroutines (output is byte-identical
 //	                 across values; that is the point)
+//	-faults p        run the scenario under an injected fault plan: a
+//	                 named plan (flaky, split, tail) or a spec string
+//	                 (see simnet.ParseFaultPlan); clients run through
+//	                 the fail-closed resilience layer and the audit is
+//	                 byte-identical for a fixed plan
 //	-stats           ledger stats on stderr, with per-observer
 //	                 distinct-handle counts
 //	-jsonl f         machine-readable audit (JSON Lines)
@@ -44,7 +49,9 @@ import (
 
 	"decoupling/internal/core"
 	"decoupling/internal/experiments"
+	"decoupling/internal/ledger"
 	"decoupling/internal/provenance"
+	"decoupling/internal/simnet"
 	"decoupling/internal/telemetry"
 )
 
@@ -154,6 +161,7 @@ func audit(out, errw io.Writer, args []string) error {
 	fs := flag.NewFlagSet("decouple audit", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	parallel := fs.Int("parallel", 1, "client goroutines; audit output is byte-identical across values")
+	faults := fs.String("faults", "", "inject a fault `plan`: a named plan ("+strings.Join(simnet.NamedFaultPlans(), ", ")+") or a spec string like \"crash:proxy@0-;loss:*>*:0.2@10ms-\"")
 	stats := fs.Bool("stats", false, "print ledger stats (per-observer observation and distinct-handle counts) to stderr")
 	jsonlFile := fs.String("jsonl", "", "write the machine-readable audit (JSON Lines) to `file`")
 	dotFile := fs.String("dot", "", "write the linkage graph in Graphviz DOT to `file`")
@@ -169,9 +177,23 @@ func audit(out, errw io.Writer, args []string) error {
 		return fmt.Errorf("unknown audit scenario %q (try: %s)", fs.Arg(0), scenarioIDs())
 	}
 
+	plan, err := simnet.FaultPlanFromSpec(*faults)
+	if err != nil {
+		return err
+	}
+
 	// Tracing is on so ledger observations join their protocol phase;
 	// the spans themselves are discarded.
-	lg, err := sc.Run(telemetry.New("audit", true, nil), *parallel)
+	tel := telemetry.New("audit", true, nil)
+	var lg *ledger.Ledger
+	if plan != nil {
+		if sc.RunFaults == nil {
+			return fmt.Errorf("scenario %s does not support fault injection", sc.ID)
+		}
+		lg, err = sc.RunFaults(tel, *parallel, plan)
+	} else {
+		lg, err = sc.Run(tel, *parallel)
+	}
 	if err != nil {
 		return fmt.Errorf("scenario %s: %w", sc.ID, err)
 	}

@@ -1,4 +1,4 @@
-// Command experiments runs the complete E1-E13 reproduction suite and
+// Command experiments runs the complete E1-E16 reproduction suite and
 // prints a paper-vs-measured report (the content of EXPERIMENTS.md).
 //
 // Usage:
@@ -7,6 +7,7 @@
 //	experiments E4 E7          # run selected experiment ids
 //	experiments -parallel 1    # sequential (byte-identical output)
 //	experiments -trace t.jsonl -metrics m.prom E2 E10
+//	experiments -faults flaky E14   # extra chaos overlay on E14-E16
 //
 // Experiments execute on a worker pool (-parallel N, default
 // GOMAXPROCS); results are always reported in id order, so the report
@@ -44,6 +45,7 @@ import (
 
 	"decoupling/internal/experiments"
 	"decoupling/internal/provenance"
+	"decoupling/internal/simnet"
 	"decoupling/internal/telemetry"
 )
 
@@ -59,6 +61,8 @@ func run(out, errw io.Writer, args []string) int {
 	fs.SetOutput(errw)
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of experiments to run concurrently (1 = sequential)")
+	faults := fs.String("faults", "",
+		"overlay a fault `plan` on the chaos experiments' simulators (E14-E16): a named plan or a spec string; see simnet.ParseFaultPlan")
 	traceFile := fs.String("trace", "", "write span traces as JSONL to `file`")
 	metricsFile := fs.String("metrics", "", "write metrics in Prometheus text format to `file`")
 	auditFile := fs.String("audit", "", "write per-experiment provenance audits as JSONL to `file`")
@@ -68,6 +72,13 @@ func run(out, errw io.Writer, args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	plan, err := simnet.FaultPlanFromSpec(*faults)
+	if err != nil {
+		fmt.Fprintf(errw, "experiments: %v\n", err)
+		return 2
+	}
+	experiments.SetChaosFaults(plan)
+
 	want := map[string]bool{}
 	for _, a := range fs.Args() {
 		want[a] = true

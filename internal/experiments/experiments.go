@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation from the running implementations. Each experiment (E1-E13,
+// evaluation from the running implementations. Each experiment (E1-E16,
 // indexed in DESIGN.md) returns a structured Result holding the paper's
 // expected analysis, the empirically measured one, any divergences, and
 // the quantitative series for the figure-equivalent experiments.
@@ -9,7 +9,10 @@
 // series experiments (E10-E12) reproduce the qualitative shapes of
 // §4.2/§4.3/§5.1 — costs growing with the degree of decoupling, linkage
 // falling with batching and padding, per-resolver knowledge falling
-// with striping.
+// with striping. The chaos experiments (E14-E16) rerun the decoupled
+// stacks under injected partial failure: availability vs. fault rate,
+// failover across replicas, and the fail-open counterexample the
+// ledger audit must catch.
 package experiments
 
 import (
@@ -172,5 +175,8 @@ func All() []Experiment {
 		{"E11", E11Striping},
 		{"E12", E12TrafficAnalysis},
 		{"E13", E13TEE},
+		{"E14", E14ChaosAvailability},
+		{"E15", E15ChaosFailover},
+		{"E16", E16ChaosFailOpen},
 	}
 }

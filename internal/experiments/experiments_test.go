@@ -61,7 +61,7 @@ func TestRenderTableAlignment(t *testing.T) {
 }
 
 func TestExperimentIDsAreOrdered(t *testing.T) {
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
 	all := All()
 	if len(all) != len(wantIDs) {
 		t.Fatalf("experiments = %d, want %d", len(all), len(wantIDs))

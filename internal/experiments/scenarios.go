@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"decoupling/internal/core"
 	"decoupling/internal/dns"
@@ -11,6 +13,7 @@ import (
 	"decoupling/internal/mixnet"
 	"decoupling/internal/odns"
 	"decoupling/internal/odoh"
+	"decoupling/internal/resilience"
 	"decoupling/internal/simnet"
 	"decoupling/internal/telemetry"
 )
@@ -30,6 +33,14 @@ type AuditScenario struct {
 	// concurrency-safe; scenarios driven by the deterministic simulator
 	// ignore it. Audit output is byte-identical across parallel values.
 	Run func(tel *telemetry.Telemetry, parallel int) (*ledger.Ledger, error)
+	// RunFaults runs the scenario under an injected fault plan, with the
+	// protocol clients wrapped in the resilience layer (fail-closed).
+	// The simulator-driven scenario applies the plan to its network; the
+	// HTTP-shaped scenarios evaluate crash/partition/loss windows on a
+	// deterministic logical clock (fault node names: odoh "proxy", odns
+	// "oblivious"; latency spikes are simulator-only). Audit output is
+	// byte-identical for a fixed plan.
+	RunFaults func(tel *telemetry.Telemetry, parallel int, plan *simnet.FaultPlan) (*ledger.Ledger, error)
 }
 
 // AuditScenarios lists every scenario the audit CLI can run, in id
@@ -38,22 +49,25 @@ type AuditScenario struct {
 func AuditScenarios() []AuditScenario {
 	return []AuditScenario{
 		{
-			ID:       "mixnet",
-			Title:    "Chaum mix cascade (3 mixes, batch 4)",
-			Expected: func() *core.System { return core.Mixnet(3) },
-			Run:      runMixnetScenario,
+			ID:        "mixnet",
+			Title:     "Chaum mix cascade (3 mixes, batch 4)",
+			Expected:  func() *core.System { return core.Mixnet(3) },
+			Run:       runMixnetScenario,
+			RunFaults: runMixnetScenarioFaults,
 		},
 		{
-			ID:       "odns",
-			Title:    "Oblivious DNS (encrypted-name variant)",
-			Expected: core.ObliviousDNS,
-			Run:      runODNSScenario,
+			ID:        "odns",
+			Title:     "Oblivious DNS (encrypted-name variant)",
+			Expected:  core.ObliviousDNS,
+			Run:       runODNSScenario,
+			RunFaults: runODNSScenarioFaults,
 		},
 		{
-			ID:       "odoh",
-			Title:    "Oblivious DoH (RFC 9230 shape)",
-			Expected: core.ObliviousDNS,
-			Run:      runODoHScenario,
+			ID:        "odoh",
+			Title:     "Oblivious DoH (RFC 9230 shape)",
+			Expected:  core.ObliviousDNS,
+			Run:       runODoHScenario,
+			RunFaults: runODoHScenarioFaults,
 		},
 	}
 }
@@ -222,6 +236,198 @@ func runMixnetScenario(tel *telemetry.Telemetry, _ int) (*ledger.Ledger, error) 
 	net.Run()
 	if got := len(rcv.Inbox()); got != 8 {
 		return nil, fmt.Errorf("mixnet scenario: delivered %d of 8 messages", got)
+	}
+	return lg, nil
+}
+
+// scenarioHopDelay is the logical per-hop clock step the HTTP-shaped
+// fault runners use to place query i / attempt j inside a fault
+// plan's windows: the event happens at (i+j) * scenarioHopDelay.
+const scenarioHopDelay = 10 * time.Millisecond
+
+// faultGate evaluates one HTTP-shaped hop attempt against a fault
+// plan: a crash of node or a partition of src->node fails the attempt
+// fast; active loss fails it with a deterministic splitmix64 draw
+// keyed by (i, j) — never a shared RNG, so parallel clients cannot
+// perturb each other. Latency spikes have no HTTP equivalent here and
+// are ignored (simulator-only).
+func faultGate(plan *simnet.FaultPlan, src, node simnet.Addr, i, j int) error {
+	t := time.Duration(i+j) * scenarioHopDelay
+	if plan.CrashedAt(node, t) {
+		return fmt.Errorf("scenario fault: %s at t=%s: %w", node, t, simnet.ErrNodeDown)
+	}
+	if plan.PartitionedAt(src, node, t) {
+		return fmt.Errorf("scenario fault: link %s->%s partitioned at t=%s", src, node, t)
+	}
+	if l := plan.LossAt(src, node, t); l > 0 && chaosFrac(0xFA017, uint64(i)<<16|uint64(j)) < l {
+		return fmt.Errorf("scenario fault: link %s->%s dropped attempt %d at t=%s", src, node, j, t)
+	}
+	return nil
+}
+
+// runODoHScenarioFaults is runODoHScenario with the client→proxy hop
+// gated by the plan (fault node "proxy") and the clients wrapped in
+// the fail-closed resilience layer. Each client's logical clock is a
+// pure function of (client index, attempt), so the run stays
+// parallel-safe and byte-identical for a fixed plan.
+func runODoHScenarioFaults(tel *telemetry.Telemetry, parallel int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+	cls := ledger.NewClassifier()
+	lg := ledger.New(cls, nil)
+	lg.Instrument(tel)
+	registerDNSGroundTruth(cls, odoh.ProxyName, odoh.TargetName, "Origin")
+
+	origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{auditZone()}, Ledger: lg}
+	target, err := odoh.NewTarget(odoh.TargetName, origin, lg)
+	if err != nil {
+		return nil, err
+	}
+	target.Instrument(tel)
+	proxy := odoh.NewProxy(odoh.ProxyName, target, lg)
+	proxy.Instrument(tel)
+	keyID, pub := target.KeyConfig()
+
+	phase := tel.Start("phase:odoh-faults")
+	defer phase.End()
+	err = forEachClient(parallel, func(i int) error {
+		who := fmt.Sprintf("client-%d", i)
+		c := odoh.NewClient(who, keyID, pub)
+		c.Instrument(tel)
+		attempt := 0 // per-client, so parallel clients share nothing
+		rc := &odoh.ResilientClient{
+			Client: c, Policy: resilience.Default("odoh"),
+			Forwards: []odoh.ForwardFunc{func(clientAddr string, raw []byte) ([]byte, error) {
+				j := attempt
+				attempt++
+				if gerr := faultGate(plan, "client", "proxy", i, j); gerr != nil {
+					return nil, gerr
+				}
+				return proxy.Forward(clientAddr, raw)
+			}},
+		}
+		rc.Instrument(tel)
+		// Fail-closed: a client inside a permanent fault window errors
+		// out (wrapping resilience.ErrExhausted) rather than bypassing
+		// the proxy; the audit then explains the healthy clients.
+		_, qerr := rc.Query(auditDNSNames[i%len(auditDNSNames)], dnswire.TypeA)
+		if qerr != nil && !errors.Is(qerr, resilience.ErrExhausted) {
+			return qerr
+		}
+		return nil
+	})
+	return lg, err
+}
+
+// runODNSScenarioFaults is runODNSScenario with the recursive→oblivious
+// hop gated by the plan (fault node "oblivious"). The gate's logical
+// clock is the shared upstream call counter, so this runner is
+// internally sequential regardless of parallel — the cost of keeping
+// audits byte-identical.
+func runODNSScenarioFaults(tel *telemetry.Telemetry, _ int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+	cls := ledger.NewClassifier()
+	lg := ledger.New(cls, nil)
+	lg.Instrument(tel)
+	registerDNSGroundTruth(cls, "Resolver", odns.ObliviousResolverName, "Origin")
+
+	origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{auditZone()}, Ledger: lg}
+	oblivious, err := odns.NewObliviousResolver(origin, lg)
+	if err != nil {
+		return nil, err
+	}
+	gated := &gatedAuthority{inner: oblivious, plan: plan}
+	recursive := dns.NewResolver("Resolver", []dns.Authority{gated, origin}, lg, nil)
+
+	phase := tel.Start("phase:odns-faults")
+	defer phase.End()
+	for i := 0; i < auditDNSClients; i++ {
+		who := fmt.Sprintf("client-%d", i)
+		c := odns.NewClient(who, oblivious.PublicKey(), recursive)
+		_, qerr := c.QueryResilient(auditDNSNames[i%len(auditDNSNames)], dnswire.TypeA, resilience.Default("odns"), tel, nil)
+		if qerr != nil && !errors.Is(qerr, resilience.ErrExhausted) {
+			return nil, qerr
+		}
+	}
+	return lg, nil
+}
+
+// gatedAuthority fails upstream queries whose position on the logical
+// clock falls inside the plan's fault windows for node "oblivious".
+type gatedAuthority struct {
+	inner dns.Authority
+	plan  *simnet.FaultPlan
+	calls int
+}
+
+func (g *gatedAuthority) Serves(name string) bool { return g.inner.Serves(name) }
+
+func (g *gatedAuthority) Handle(from string, q *dnswire.Message) *dnswire.Message {
+	n := g.calls
+	g.calls++
+	if err := faultGate(g.plan, "resolver", "oblivious", n, 0); err != nil {
+		r := q.Reply()
+		r.RCode = dnswire.RCodeServFail
+		return r
+	}
+	return g.inner.Handle(from, q)
+}
+
+// runMixnetScenarioFaults is runMixnetScenario with the plan applied
+// to the simulator and the senders driven through RetryAsync on the
+// virtual clock (fail-closed; staggered sends so retries interleave
+// deterministically). Unlike the healthy runner it tolerates losses —
+// the audit's job under faults is to explain what WAS observed.
+func runMixnetScenarioFaults(tel *telemetry.Telemetry, _ int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+	cls := ledger.NewClassifier()
+	net := simnet.New(2)
+	net.Instrument(tel)
+	lg := ledger.New(cls, net.Now)
+	lg.Instrument(tel)
+
+	var route []mixnet.NodeInfo
+	for i := 1; i <= 3; i++ {
+		addr := fmt.Sprintf("mix%d", i)
+		cls.RegisterIdentity(addr, "", "", core.NonSensitive)
+		m, err := mixnet.NewMix(net, fmt.Sprintf("Mix %d", i), simnet.Addr(addr), 4, 0, lg)
+		if err != nil {
+			return nil, err
+		}
+		m.Instrument(tel)
+		route = append(route, m.Info())
+	}
+	rcv, err := mixnet.NewReceiver(net, "Receiver", "receiver", false, lg)
+	if err != nil {
+		return nil, err
+	}
+	rcv.Instrument(tel)
+	net.ApplyFaults(plan)
+
+	phase := tel.Start("phase:forward-faults")
+	defer phase.End()
+	p := resilience.Default("mixnet")
+	p.Timeout = 80 * time.Millisecond
+	for i := 0; i < 8; i++ {
+		i := i
+		sender := fmt.Sprintf("sender%02d", i)
+		msg := fmt.Sprintf("private message %02d", i)
+		cls.RegisterIdentity(sender, sender, "", core.Sensitive)
+		cls.RegisterData(msg, sender, "", core.Sensitive)
+		s := &mixnet.Sender{Addr: simnet.Addr(sender)}
+		net.After(time.Duration(i)*time.Millisecond, func() {
+			resilience.RetryAsync(net, tel, p, uint64(0xA0D17<<8)|uint64(i),
+				func(int) error { return s.Send(net, route, rcv.Info(), []byte(msg)) },
+				func() bool {
+					for _, got := range rcv.Inbox() {
+						if string(got.Body) == msg {
+							return true
+						}
+					}
+					return false
+				},
+				nil)
+		})
+	}
+	net.Run()
+	if len(rcv.Inbox()) == 0 && !plan.Empty() {
+		return nil, fmt.Errorf("mixnet fault scenario: nothing delivered (plan too severe to audit)")
 	}
 	return lg, nil
 }

@@ -406,6 +406,7 @@ func mixTimingRun(tel *telemetry.Telemetry, batch, senders int, padded bool) (ac
 	route := []mixnet.NodeInfo{m.Info()}
 	var entries []adversary.Event
 	var sendTimes []time.Duration
+	var sendErrs []error
 	for i := 0; i < senders; i++ {
 		who := fmt.Sprintf("s%02d", i)
 		at := time.Duration(i) * time.Millisecond
@@ -414,11 +415,18 @@ func mixTimingRun(tel *telemetry.Telemetry, batch, senders int, padded bool) (ac
 			s.PadTo = 512
 		}
 		msg := []byte(who)
-		net.After(at, func() { s.Send(net, route, rcv.Info(), msg) })
+		net.After(at, func() {
+			if serr := s.Send(net, route, rcv.Info(), msg); serr != nil {
+				sendErrs = append(sendErrs, fmt.Errorf("mixTimingRun: send %s: %w", who, serr))
+			}
+		})
 		entries = append(entries, adversary.Event{Time: at, Subject: who})
 		sendTimes = append(sendTimes, at)
 	}
 	net.Run()
+	if len(sendErrs) > 0 {
+		return 0, 0, 0, sendErrs[0]
+	}
 	inbox := rcv.Inbox()
 	if len(inbox) != senders {
 		return 0, 0, 0, fmt.Errorf("mixTimingRun: delivered %d of %d", len(inbox), senders)

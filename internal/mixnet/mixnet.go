@@ -25,6 +25,7 @@ import (
 
 	"decoupling/internal/dcrypto/hpke"
 	"decoupling/internal/ledger"
+	"decoupling/internal/resilience"
 	"decoupling/internal/simnet"
 	"decoupling/internal/telemetry"
 )
@@ -369,6 +370,37 @@ func (s *Sender) Send(net *simnet.Network, route []NodeInfo, receiver NodeInfo, 
 		return err
 	}
 	return net.Send(s.Addr, route[0].Addr, append([]byte{tagOnion}, onion...))
+}
+
+// SendResilient wraps message for a fresh random route and injects it,
+// failing over to a different entry mix when the injection fails fast
+// (entry inside a crash window). Each attempt draws a new route from
+// the network's seeded RNG, so chaos runs remain byte-reproducible.
+// Degradation policy: fail-closed — when every attempt fails the
+// message errors (wrapping resilience.ErrExhausted) rather than being
+// handed to the receiver outside the mixnet. It returns the route that
+// was ultimately used, for experiments that need ground truth.
+func (s *Sender) SendResilient(net *simnet.Network, pool []NodeInfo, receiver NodeInfo, message []byte, hops int, tel *telemetry.Telemetry) ([]NodeInfo, error) {
+	p := resilience.Default("mixnet")
+	if len(pool) > p.MaxAttempts {
+		p.MaxAttempts = len(pool)
+	}
+	var route []NodeInfo
+	err := resilience.Do(p, tel, uint64(net.Rand(1<<30)), nil, func(attempt int) error {
+		r, rerr := RandomRoute(net, pool, hops)
+		if rerr != nil {
+			return rerr
+		}
+		if serr := s.Send(net, r, receiver, message); serr != nil {
+			return serr
+		}
+		route = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return route, nil
 }
 
 // RandomRoute draws a route of `hops` distinct mixes from pool using

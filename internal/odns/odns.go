@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"sync/atomic"
 
@@ -28,6 +29,8 @@ import (
 	"decoupling/internal/dns"
 	"decoupling/internal/dnswire"
 	"decoupling/internal/ledger"
+	"decoupling/internal/resilience"
+	"decoupling/internal/telemetry"
 )
 
 // TLD is the pseudo-TLD the oblivious resolver is authoritative for.
@@ -43,6 +46,9 @@ var (
 	ErrBadEncapsulation = errors.New("odns: malformed encapsulated query")
 	// ErrBadResponse is returned when a response fails to decrypt.
 	ErrBadResponse = errors.New("odns: response decryption failed")
+	// ErrOuterFailed is wrapped when the recursive leg returns a
+	// non-success RCode (a transient upstream failure, retryable).
+	ErrOuterFailed = errors.New("odns: outer query failed")
 )
 
 // b32 is unpadded base32 in lowercase-safe hex alphabet (DNS labels are
@@ -227,7 +233,8 @@ func (c *Client) Query(name string, qtype dnswire.Type) (*dnswire.Message, error
 
 	outer := c.recursive.Resolve(c.ID, dnswire.NewQuery(1, qname, dnswire.TypeTXT))
 	if outer.RCode != dnswire.RCodeNoError || len(outer.Answers) != 1 {
-		return nil, fmt.Errorf("odns: outer query failed: rcode=%v answers=%d", outer.RCode, len(outer.Answers))
+		return nil, fmt.Errorf("odns: outer query failed: rcode=%v answers=%d: %w",
+			outer.RCode, len(outer.Answers), ErrOuterFailed)
 	}
 	txt, err := outer.Answers[0].TXT()
 	if err != nil {
@@ -242,4 +249,30 @@ func (c *Client) Query(name string, qtype dnswire.Type) (*dnswire.Message, error
 		return nil, ErrBadResponse
 	}
 	return dnswire.Decode(innerWire)
+}
+
+// QueryResilient retries Query under the policy with a fresh response
+// key per attempt. The degradation policy is fail-closed by
+// construction: the ONLY path out of this client runs through the
+// recursive resolver carrying ciphertext labels — there is no direct
+// leg to fall back to, so exhaustion is an error, never a plaintext
+// query.
+func (c *Client) QueryResilient(name string, qtype dnswire.Type, p resilience.Policy, tel *telemetry.Telemetry, sleep resilience.Sleeper) (*dnswire.Message, error) {
+	h := fnv.New64a()
+	h.Write([]byte(c.ID))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	var resp *dnswire.Message
+	err := resilience.Do(p, tel, h.Sum64(), sleep, func(int) error {
+		r, qerr := c.Query(name, qtype)
+		if qerr != nil {
+			return qerr
+		}
+		resp = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
 }

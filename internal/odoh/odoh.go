@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 
 	"decoupling/internal/dcrypto/hpke"
@@ -58,8 +59,19 @@ const (
 var (
 	ErrMalformed  = errors.New("odoh: malformed oblivious message")
 	ErrUnknownKey = errors.New("odoh: unknown key id")
-	ErrType       = errors.New("odoh: unexpected message type")
+	// ErrStaleKey reports a query sealed to a key config that WAS valid
+	// but has been expired by rotation — distinct from ErrUnknownKey
+	// (never published) so a client racing ExpireOldKeys can refetch the
+	// config and retry instead of treating the failure as fatal.
+	ErrStaleKey = errors.New("odoh: stale key id (expired by rotation)")
+	ErrType     = errors.New("odoh: unexpected message type")
 )
+
+// IsStaleKey reports whether err is (or carries, after a trip through
+// an HTTP error body) the stale-key condition.
+func IsStaleKey(err error) bool {
+	return err != nil && (errors.Is(err, ErrStaleKey) || strings.Contains(err.Error(), ErrStaleKey.Error()))
+}
 
 // Message is the ObliviousDoHMessage envelope.
 type Message struct {
@@ -117,6 +129,7 @@ type Target struct {
 
 	mu      sync.Mutex
 	keys    map[string]*hpke.KeyPair // keyID -> key, all accepted
+	expired map[string]bool          // keyIDs rotated out by ExpireOldKeys
 	current string                   // keyID of the published config
 	handled int
 }
@@ -128,7 +141,8 @@ func keyIDOf(pub []byte) []byte {
 
 // NewTarget creates a target resolving through upstream.
 func NewTarget(name string, upstream dns.Authority, lg *ledger.Ledger) (*Target, error) {
-	t := &Target{Name: name, lg: lg, Upstream: upstream, keys: map[string]*hpke.KeyPair{}}
+	t := &Target{Name: name, lg: lg, Upstream: upstream,
+		keys: map[string]*hpke.KeyPair{}, expired: map[string]bool{}}
 	if _, _, err := t.RotateKey(); err != nil {
 		return nil, err
 	}
@@ -156,13 +170,17 @@ func (t *Target) RotateKey() (keyID, pub []byte, err error) {
 // from fresh key material and would break trace determinism.
 func (t *Target) Instrument(tel *telemetry.Telemetry) { t.tel = tel }
 
-// ExpireOldKeys drops every config except the current one.
+// ExpireOldKeys drops every config except the current one. Expired ids
+// are remembered so an in-flight query racing the rotation gets the
+// typed ErrStaleKey (refetch and retry) rather than the fatal
+// ErrUnknownKey.
 func (t *Target) ExpireOldKeys() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for id := range t.keys {
 		if id != t.current {
 			delete(t.keys, id)
+			t.expired[id] = true
 		}
 	}
 }
@@ -199,8 +217,12 @@ func (t *Target) HandleQuery(from string, raw []byte) ([]byte, error) {
 	}
 	t.mu.Lock()
 	kp, ok := t.keys[string(m.KeyID)]
+	stale := t.expired[string(m.KeyID)]
 	t.mu.Unlock()
 	if !ok {
+		if stale {
+			return nil, ErrStaleKey
+		}
 		return nil, ErrUnknownKey
 	}
 	if len(m.Body) < hpke.NEnc+16 {
@@ -325,6 +347,14 @@ func (c *Client) Instrument(tel *telemetry.Telemetry) { c.tel = tel }
 // NewClient creates a client for the given target key config.
 func NewClient(id string, keyID, targetPub []byte) *Client {
 	return &Client{ID: id, targetKey: targetPub, keyID: keyID}
+}
+
+// SetKeyConfig swaps in a freshly fetched key config (after a rotation
+// signalled by ErrStaleKey). Not safe concurrently with Query on the
+// same client; refresh between attempts, as ResilientClient does.
+func (c *Client) SetKeyConfig(keyID, targetPub []byte) {
+	c.keyID = append([]byte(nil), keyID...)
+	c.targetKey = append([]byte(nil), targetPub...)
 }
 
 // ForwardFunc relays an oblivious query and returns the raw response.

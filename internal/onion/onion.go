@@ -23,6 +23,7 @@ import (
 
 	"decoupling/internal/dcrypto/hpke"
 	"decoupling/internal/ledger"
+	"decoupling/internal/resilience"
 	"decoupling/internal/simnet"
 	"decoupling/internal/telemetry"
 )
@@ -340,6 +341,7 @@ type Origin struct {
 	ResponseSize int
 	lg           *ledger.Ledger
 	requests     []string
+	dropped      int
 }
 
 // NewOrigin creates an origin node.
@@ -366,11 +368,19 @@ func (o *Origin) handle(net *simnet.Network, msg simnet.Message) {
 	body := make([]byte, o.ResponseSize)
 	copy(body, "response to: "+req)
 	resp = append(resp, body...)
-	net.Send(o.Addr, msg.Src, resp)
+	if err := net.Send(o.Addr, msg.Src, resp); err != nil {
+		// The exit died between request and response; surfacing the
+		// drop keeps retry logic and the simnet loss counters agreed.
+		o.dropped++
+	}
 }
 
 // Requests returns the plaintext requests the origin has served.
 func (o *Origin) Requests() []string { return append([]string(nil), o.requests...) }
+
+// Dropped reports responses the origin could not send back (the exit
+// was down or unregistered).
+func (o *Origin) Dropped() int { return o.dropped }
 
 // Response is a reassembled backward payload delivered to the client.
 type Response struct {
@@ -455,6 +465,52 @@ func (c *Client) BuildCircuit(relays []RelayInfo) (*Circuit, error) {
 	}
 	c.circuits[circ.cids[0]] = circ
 	if err := c.net.Send(c.Addr, circ.entry, append([]byte{wireSetup}, inner...)); err != nil {
+		return nil, err
+	}
+	return circ, nil
+}
+
+// BuildCircuitResilient builds a circuit of `hops` relays drawn from
+// pool, failing over to a different entry relay when a send into the
+// network fails fast (entry inside a crash window). The rotation start
+// is drawn from the network RNG, so runs are deterministic per seed.
+// Degradation policy: fail-closed — if every candidate entry is down
+// the build errors (wrapping resilience.ErrExhausted); the client never
+// contacts the origin directly. Mid-route crashes are invisible at
+// build time (the setup onion is fire-and-forget); callers needing
+// end-to-end confirmation arm a resilience.Watchdog on the first
+// request.
+func (c *Client) BuildCircuitResilient(pool []RelayInfo, hops int, tel *telemetry.Telemetry) (*Circuit, error) {
+	if hops <= 0 || hops > len(pool) {
+		return nil, fmt.Errorf("onion: cannot pick %d distinct relays from a pool of %d", hops, len(pool))
+	}
+	p := resilience.Default("onion")
+	p.MaxAttempts = len(pool)
+	start := c.net.Rand(len(pool))
+	var circ *Circuit
+	_, err := resilience.DoFailover(p, tel, uint64(start), nil, len(pool),
+		func(attempt, endpoint int) error {
+			// Entry rotates with the endpoint; the rest of the route is
+			// filled from pool order, skipping the entry.
+			entry := pool[(start+endpoint)%len(pool)]
+			route := make([]RelayInfo, 0, hops)
+			route = append(route, entry)
+			for _, r := range pool {
+				if len(route) == hops {
+					break
+				}
+				if r.Addr != entry.Addr {
+					route = append(route, r)
+				}
+			}
+			built, berr := c.BuildCircuit(route)
+			if berr != nil {
+				return berr
+			}
+			circ = built
+			return nil
+		})
+	if err != nil {
 		return nil, err
 	}
 	return circ, nil

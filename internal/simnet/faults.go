@@ -1,0 +1,411 @@
+// Fault injection for the deterministic simulator.
+//
+// A FaultPlan is a declarative schedule of failures — node crash/restart
+// windows, link partitions, burst loss, and latency spikes — evaluated
+// against the virtual clock. Every fault draws randomness (when it needs
+// any) from the network's single seeded RNG, so a chaos run is exactly
+// as reproducible as a healthy one: same seed + same plan = same bytes.
+//
+// Determinism rules for fault plans:
+//
+//   - Windows are half-open [From, Until) in virtual time; Until <= 0
+//     means the fault never clears.
+//   - Crash and restart transitions are scheduled as ordinary queue
+//     events when ApplyFaults is called, so their ordering against
+//     same-timestamp deliveries follows the queue's FIFO seq tiebreak:
+//     apply the plan before sending and the crash wins; the reverse
+//     order lets the in-flight delivery land first.
+//   - Link faults (partition, loss, spike) are evaluated at Send time
+//     from the sender's virtual clock; loss consumes one RNG draw
+//     exactly when the effective loss probability is positive.
+//
+// Crashed nodes drop inbound datagrams (counted as fault drops), refuse
+// new sends with ErrNodeDown, and have their pending After timers
+// cancelled — a mix's batch-timeout flush does not survive its crash.
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrNodeDown is wrapped into Send errors when the source or destination
+// node is inside a crash window. Unlike silent link loss, a send to a
+// crashed node fails fast — the caller's retry logic gets an immediate,
+// typed signal (the moral equivalent of a connection refused).
+var ErrNodeDown = errors.New("simnet: node down")
+
+// Wildcard matches any node in a fault's Node/Src/Dst position.
+const Wildcard Addr = "*"
+
+// FaultKind enumerates the injectable failure modes.
+type FaultKind int
+
+const (
+	// FaultCrash takes a node down for a window: inbound datagrams are
+	// dropped, sends from/to it fail with ErrNodeDown, and its pending
+	// timers are cancelled.
+	FaultCrash FaultKind = iota
+	// FaultPartition silently drops every datagram on a directed link
+	// for a window (the wire gives no error — only timeouts notice).
+	FaultPartition
+	// FaultLoss raises a directed link's drop probability for a window
+	// (burst loss).
+	FaultLoss
+	// FaultSpike adds fixed extra latency on a directed link for a
+	// window.
+	FaultSpike
+)
+
+// Fault is one scheduled failure. Src/Dst/Node may be Wildcard.
+type Fault struct {
+	Kind FaultKind
+	Node Addr // FaultCrash target
+	Src  Addr // link faults: directed source
+	Dst  Addr // link faults: directed destination
+	// Window [From, Until) in virtual time; Until <= 0 = never clears.
+	From, Until time.Duration
+	Loss        float64       // FaultLoss probability in [0, 1]
+	Extra       time.Duration // FaultSpike added latency
+}
+
+func (f Fault) active(t time.Duration) bool {
+	return t >= f.From && (f.Until <= 0 || t < f.Until)
+}
+
+func matchAddr(pat, a Addr) bool { return pat == Wildcard || pat == a }
+
+// FaultPlan is an immutable-once-applied schedule of faults. The
+// builder methods return the plan for chaining.
+type FaultPlan struct {
+	faults []Fault
+}
+
+// NewFaultPlan returns an empty plan.
+func NewFaultPlan() *FaultPlan { return &FaultPlan{} }
+
+// Crash schedules node down during [from, until); until <= 0 means no
+// restart.
+func (p *FaultPlan) Crash(node Addr, from, until time.Duration) *FaultPlan {
+	p.faults = append(p.faults, Fault{Kind: FaultCrash, Node: node, From: from, Until: until})
+	return p
+}
+
+// Partition severs the link between a and b in both directions during
+// [from, until).
+func (p *FaultPlan) Partition(a, b Addr, from, until time.Duration) *FaultPlan {
+	return p.PartitionOneWay(a, b, from, until).PartitionOneWay(b, a, from, until)
+}
+
+// PartitionOneWay severs only the directed link src->dst.
+func (p *FaultPlan) PartitionOneWay(src, dst Addr, from, until time.Duration) *FaultPlan {
+	p.faults = append(p.faults, Fault{Kind: FaultPartition, Src: src, Dst: dst, From: from, Until: until})
+	return p
+}
+
+// Loss raises the directed link's drop probability to at least prob
+// during [from, until).
+func (p *FaultPlan) Loss(src, dst Addr, prob float64, from, until time.Duration) *FaultPlan {
+	p.faults = append(p.faults, Fault{Kind: FaultLoss, Src: src, Dst: dst, Loss: prob, From: from, Until: until})
+	return p
+}
+
+// LatencySpike adds extra delay on the directed link during [from,
+// until). Overlapping spikes sum.
+func (p *FaultPlan) LatencySpike(src, dst Addr, extra, from, until time.Duration) *FaultPlan {
+	p.faults = append(p.faults, Fault{Kind: FaultSpike, Src: src, Dst: dst, Extra: extra, From: from, Until: until})
+	return p
+}
+
+// Merge appends every fault of o (overlay semantics).
+func (p *FaultPlan) Merge(o *FaultPlan) *FaultPlan {
+	if o != nil {
+		p.faults = append(p.faults, o.faults...)
+	}
+	return p
+}
+
+// Faults returns a copy of the schedule.
+func (p *FaultPlan) Faults() []Fault {
+	if p == nil {
+		return nil
+	}
+	return append([]Fault(nil), p.faults...)
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *FaultPlan) Empty() bool { return p == nil || len(p.faults) == 0 }
+
+// CrashedAt reports whether node is inside any crash window at t. It is
+// a pure window query: protocols that run outside the simulator (the
+// HTTP-based stacks) can evaluate the same plan against their own
+// logical clocks.
+func (p *FaultPlan) CrashedAt(node Addr, t time.Duration) bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.faults {
+		if f.Kind == FaultCrash && matchAddr(f.Node, node) && f.active(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionedAt reports whether the directed link src->dst is severed
+// at t.
+func (p *FaultPlan) PartitionedAt(src, dst Addr, t time.Duration) bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.faults {
+		if f.Kind == FaultPartition && matchAddr(f.Src, src) && matchAddr(f.Dst, dst) && f.active(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// LossAt returns the highest injected loss probability on src->dst at t
+// (0 when no loss fault is active).
+func (p *FaultPlan) LossAt(src, dst Addr, t time.Duration) float64 {
+	if p == nil {
+		return 0
+	}
+	var loss float64
+	for _, f := range p.faults {
+		if f.Kind == FaultLoss && matchAddr(f.Src, src) && matchAddr(f.Dst, dst) && f.active(t) && f.Loss > loss {
+			loss = f.Loss
+		}
+	}
+	return loss
+}
+
+// SpikeAt returns the summed extra latency on src->dst at t.
+func (p *FaultPlan) SpikeAt(src, dst Addr, t time.Duration) time.Duration {
+	if p == nil {
+		return 0
+	}
+	var extra time.Duration
+	for _, f := range p.faults {
+		if f.Kind == FaultSpike && matchAddr(f.Src, src) && matchAddr(f.Dst, dst) && f.active(t) {
+			extra += f.Extra
+		}
+	}
+	return extra
+}
+
+// ParseFaultPlan parses a compact spec string:
+//
+//	crash:NODE@FROM-[UNTIL]
+//	partition:A<>B@FROM-[UNTIL]     (both directions)
+//	partition:A>B@FROM-[UNTIL]      (one direction)
+//	loss:SRC>DST:PROB@FROM-[UNTIL]
+//	spike:SRC>DST:EXTRA@FROM-[UNTIL]
+//
+// Faults are ';'-separated; addresses may be "*"; FROM/UNTIL are Go
+// durations ("25ms"); an empty UNTIL means the fault never clears.
+//
+//	crash:mix2@25ms-120ms;loss:*>mix1:0.3@0-;spike:exit>origin:40ms@50ms-90ms
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	p := NewFaultPlan()
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("simnet: fault %q: missing kind", part)
+		}
+		body, window, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("simnet: fault %q: missing @window", part)
+		}
+		from, until, err := parseWindow(window)
+		if err != nil {
+			return nil, fmt.Errorf("simnet: fault %q: %w", part, err)
+		}
+		switch kind {
+		case "crash":
+			if body == "" {
+				return nil, fmt.Errorf("simnet: fault %q: missing node", part)
+			}
+			p.Crash(Addr(body), from, until)
+		case "partition":
+			if a, b, ok := strings.Cut(body, "<>"); ok {
+				p.Partition(Addr(a), Addr(b), from, until)
+			} else if a, b, ok := strings.Cut(body, ">"); ok {
+				p.PartitionOneWay(Addr(a), Addr(b), from, until)
+			} else {
+				return nil, fmt.Errorf("simnet: fault %q: want A<>B or A>B", part)
+			}
+		case "loss":
+			link, probStr, ok := strings.Cut(body, ":")
+			src, dst, ok2 := strings.Cut(link, ">")
+			if !ok || !ok2 {
+				return nil, fmt.Errorf("simnet: fault %q: want SRC>DST:PROB", part)
+			}
+			prob, err := strconv.ParseFloat(probStr, 64)
+			if err != nil || prob < 0 || prob > 1 {
+				return nil, fmt.Errorf("simnet: fault %q: loss probability must be in [0,1]", part)
+			}
+			p.Loss(Addr(src), Addr(dst), prob, from, until)
+		case "spike":
+			link, extraStr, ok := strings.Cut(body, ":")
+			src, dst, ok2 := strings.Cut(link, ">")
+			if !ok || !ok2 {
+				return nil, fmt.Errorf("simnet: fault %q: want SRC>DST:EXTRA", part)
+			}
+			extra, err := time.ParseDuration(extraStr)
+			if err != nil || extra < 0 {
+				return nil, fmt.Errorf("simnet: fault %q: bad spike duration %q", part, extraStr)
+			}
+			p.LatencySpike(Addr(src), Addr(dst), extra, from, until)
+		default:
+			return nil, fmt.Errorf("simnet: fault %q: unknown kind %q (crash, partition, loss, spike)", part, kind)
+		}
+	}
+	return p, nil
+}
+
+func parseWindow(w string) (from, until time.Duration, err error) {
+	fromStr, untilStr, ok := strings.Cut(w, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("window %q: want FROM-[UNTIL]", w)
+	}
+	if fromStr != "" {
+		if from, err = time.ParseDuration(fromStr); err != nil || from < 0 {
+			return 0, 0, fmt.Errorf("window %q: bad FROM", w)
+		}
+	}
+	if untilStr != "" {
+		if until, err = time.ParseDuration(untilStr); err != nil || until <= from {
+			return 0, 0, fmt.Errorf("window %q: UNTIL must be a duration after FROM", w)
+		}
+	}
+	return from, until, nil
+}
+
+// namedFaultPlans are the canonical chaos schedules selectable by name
+// via the -faults flag (spec strings remain accepted for ad-hoc plans).
+var namedFaultPlans = map[string]string{
+	// flaky: 20% burst loss on every link from t=0, forever.
+	"flaky": "loss:*>*:0.2@0-",
+	// split: every link severed for a mid-run window.
+	"split": "partition:*>*@30ms-80ms",
+	// tail: a latency spike on every link mid-run.
+	"tail": "spike:*>*:40ms@30ms-120ms",
+}
+
+// NamedFaultPlans returns the selectable plan names, sorted.
+func NamedFaultPlans() []string {
+	names := make([]string, 0, len(namedFaultPlans))
+	for n := range namedFaultPlans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FaultPlanFromSpec resolves a -faults argument: a registered plan name
+// or a ParseFaultPlan spec string. Empty means no plan (nil).
+func FaultPlanFromSpec(spec string) (*FaultPlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if named, ok := namedFaultPlans[spec]; ok {
+		spec = named
+	}
+	return ParseFaultPlan(spec)
+}
+
+// ApplyFaults overlays a plan on the network. Link faults take effect
+// immediately (window queries at Send time); crash/restart transitions
+// are pushed onto the event queue NOW, which fixes their FIFO order
+// relative to any same-timestamp delivery: transitions applied before a
+// send precede it. Wildcard crashes expand over the currently
+// registered nodes in sorted order. May be called repeatedly; plans
+// merge.
+func (n *Network) ApplyFaults(p *FaultPlan) {
+	if p.Empty() {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.plan == nil {
+		n.plan = NewFaultPlan()
+	}
+	n.plan.Merge(p)
+	for _, f := range p.faults {
+		if f.Kind != FaultCrash {
+			continue
+		}
+		for _, node := range n.expandLocked(f.Node) {
+			node := node
+			// Clamp to the present: applying a plan mid-run must never
+			// rewind the virtual clock.
+			down, up := max(f.From, n.now), max(f.Until, n.now)
+			n.seq++
+			heap.Push(&n.queue, &event{at: down, seq: n.seq, fire: func() { n.setCrashed(node, true) }})
+			if f.Until > 0 {
+				n.seq++
+				heap.Push(&n.queue, &event{at: up, seq: n.seq, fire: func() { n.setCrashed(node, false) }})
+			}
+		}
+	}
+}
+
+// expandLocked resolves a node pattern against registered nodes.
+func (n *Network) expandLocked(pat Addr) []Addr {
+	if pat != Wildcard {
+		return []Addr{pat}
+	}
+	nodes := make([]Addr, 0, len(n.nodes))
+	for a := range n.nodes {
+		nodes = append(nodes, a)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// setCrashed flips a node's crash state. Crashing cancels the node's
+// pending timers: a timer armed by a node that later dies must not fire
+// after its owner is gone (a crashed mix does not flush its batch).
+func (n *Network) setCrashed(node Addr, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.crashed == nil {
+		n.crashed = map[Addr]bool{}
+	}
+	n.crashed[node] = down
+	if down {
+		for _, e := range n.queue {
+			if e.fire != nil && e.owner == node {
+				e.cancelled = true
+			}
+		}
+	}
+}
+
+// CrashedNow reports whether node is currently down (for tests and
+// example programs; protocols should just observe Send errors).
+func (n *Network) CrashedNow(node Addr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[node]
+}
+
+// FaultDrops returns the all-time count of datagrams dropped by
+// injected faults (crashes and partitions; burst loss counts under
+// Lost alongside ordinary link loss).
+func (n *Network) FaultDrops() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.faultDrops
+}

@@ -67,6 +67,12 @@ type event struct {
 	deliver *Message
 	fire    func()
 
+	// owner is the node whose handler armed this timer ("" for timers
+	// set from outside the event loop); cancelled marks timers whose
+	// owner crashed before they fired.
+	owner     Addr
+	cancelled bool
+
 	// Telemetry context, populated only when the network is
 	// instrumented: the virtual send time and the span that was current
 	// when Send was called (so relay-hop chains nest: a handler that
@@ -110,6 +116,14 @@ type Network struct {
 	capture     []PacketRecord
 	delivered   uint64
 	lost        uint64
+
+	// Fault-injection state (see faults.go): the merged plan, the set of
+	// currently crashed nodes, drops attributable to faults, and the
+	// node whose handler is executing (so After can attribute timers).
+	plan       *FaultPlan
+	crashed    map[Addr]bool
+	faultDrops uint64
+	running    Addr
 
 	// tel is the optional telemetry sink. When nil (the default) the
 	// hot paths pay exactly one pointer check.
@@ -179,18 +193,35 @@ func (n *Network) Rand(max int) int {
 }
 
 // Send enqueues a datagram from src to dst, to be delivered after the
-// link's latency (+ jitter).
+// link's latency (+ jitter, + any active latency spike). Sends to or
+// from a crashed node fail fast with an error wrapping ErrNodeDown;
+// partitions and loss drop silently, as the wire would.
 func (n *Network) Send(src, dst Addr, payload []byte) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.nodes[dst]; !ok {
 		return fmt.Errorf("simnet: send to unregistered node %q", dst)
 	}
+	if n.crashed[dst] {
+		n.dropLocked("crash", src, dst)
+		return fmt.Errorf("simnet: send %s->%s: %w", src, dst, ErrNodeDown)
+	}
+	if n.crashed[src] {
+		return fmt.Errorf("simnet: send %s->%s: source %w", src, dst, ErrNodeDown)
+	}
+	if n.plan.PartitionedAt(src, dst, n.now) {
+		n.dropLocked("partition", src, dst)
+		return nil // partitions are silent: only timeouts notice
+	}
 	l, ok := n.links[[2]Addr{src, dst}]
 	if !ok {
 		l = n.defaultLink
 	}
-	if l.Loss > 0 && n.rng.Float64() < l.Loss {
+	loss := l.Loss
+	if burst := n.plan.LossAt(src, dst, n.now); burst > loss {
+		loss = burst
+	}
+	if loss > 0 && n.rng.Float64() < loss {
 		n.lost++
 		if n.tel != nil {
 			n.tel.Count(telemetry.MetricSimnetLost, "Datagrams dropped by link loss.", 1,
@@ -198,7 +229,7 @@ func (n *Network) Send(src, dst Addr, payload []byte) error {
 		}
 		return nil // silently dropped, as the wire would
 	}
-	delay := l.Latency
+	delay := l.Latency + n.plan.SpikeAt(src, dst, n.now)
 	if l.Jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(l.Jitter)))
 	}
@@ -216,13 +247,29 @@ func (n *Network) Send(src, dst Addr, payload []byte) error {
 	return nil
 }
 
+// dropLocked accounts one fault-caused drop. Fault drops also count
+// under lost so the simnet_lost counter and retry logic agree on what
+// the network ate.
+func (n *Network) dropLocked(reason string, src, dst Addr) {
+	n.lost++
+	n.faultDrops++
+	if n.tel != nil {
+		n.tel.Count(telemetry.MetricSimnetFaultDrops, "Datagrams dropped by injected faults.", 1,
+			telemetry.A("reason", reason), telemetry.A("src", string(src)), telemetry.A("dst", string(dst)))
+		n.tel.Count(telemetry.MetricSimnetLost, "Datagrams dropped by link loss.", 1,
+			telemetry.A("src", string(src)), telemetry.A("dst", string(dst)))
+	}
+}
+
 // After schedules fn to run on the event loop after delay. It models
-// node-local timers (mix batch timeouts, chaff generators).
+// node-local timers (mix batch timeouts, chaff generators). A timer
+// armed from inside a node's handler belongs to that node and dies with
+// it if the node crashes before the timer fires.
 func (n *Network) After(delay time.Duration, fn func()) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.seq++
-	heap.Push(&n.queue, &event{at: n.now + delay, seq: n.seq, fire: fn})
+	heap.Push(&n.queue, &event{at: n.now + delay, seq: n.seq, fire: fn, owner: n.running})
 }
 
 // Run processes events until the queue drains, returning the number of
@@ -241,6 +288,7 @@ func (n *Network) RunUntil(deadline time.Duration) uint64 {
 			if deadline >= 0 && deadline > n.now {
 				n.now = deadline
 			}
+			n.running = ""
 			n.mu.Unlock()
 			return delivered
 		}
@@ -249,20 +297,34 @@ func (n *Network) RunUntil(deadline time.Duration) uint64 {
 		var h Handler
 		var msg Message
 		tel := n.tel
+		fire := e.fire
+		if fire != nil && e.cancelled {
+			fire = nil // owner crashed before the timer fired
+		}
 		if e.deliver != nil {
 			msg = *e.deliver
+			if n.crashed[msg.Dst] {
+				// Crashed nodes drop inbound datagrams on arrival: the
+				// packet made it across the wire but nobody is listening.
+				n.dropLocked("crash", msg.Src, msg.Dst)
+				n.mu.Unlock()
+				continue
+			}
 			h = n.nodes[msg.Dst]
 			n.capture = append(n.capture, PacketRecord{
 				Time: e.at, Src: msg.Src, Dst: msg.Dst, Size: len(msg.Payload),
 			})
 			n.delivered++
 			delivered++
+			n.running = msg.Dst
+		} else {
+			n.running = e.owner
 		}
 		n.mu.Unlock()
 
 		// Run callbacks outside the lock so they can call Send/After.
-		if e.fire != nil {
-			e.fire()
+		if fire != nil {
+			fire()
 		}
 		if h != nil {
 			var sp *telemetry.Span
@@ -297,7 +359,8 @@ func (n *Network) Delivered() uint64 {
 	return n.delivered
 }
 
-// Lost returns the all-time count of messages dropped by link loss.
+// Lost returns the all-time count of messages dropped by link loss or
+// injected faults (FaultDrops breaks out the fault-attributable share).
 func (n *Network) Lost() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()

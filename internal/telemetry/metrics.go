@@ -15,7 +15,12 @@ const (
 	MetricSimnetMessages     = "decoupling_simnet_messages_total"
 	MetricSimnetBytes        = "decoupling_simnet_bytes_total"
 	MetricSimnetLost         = "decoupling_simnet_lost_total"
+	MetricSimnetFaultDrops   = "decoupling_simnet_fault_drops_total"
 	MetricSimnetLatency      = "decoupling_simnet_link_latency_seconds"
+	MetricRetries            = "decoupling_resilience_retries_total"
+	MetricTimeouts           = "decoupling_resilience_timeouts_total"
+	MetricFailovers          = "decoupling_resilience_failovers_total"
+	MetricExhausted          = "decoupling_resilience_exhausted_total"
 	MetricLedgerObservations = "decoupling_ledger_observations_total"
 	MetricRunnerQueueWait    = "decoupling_runner_queue_wait_seconds"
 	MetricOdohForwarded      = "decoupling_odoh_forwarded_total"
