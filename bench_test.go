@@ -25,7 +25,7 @@ func benchExperiment(b *testing.B, f experiments.ExperimentFunc) {
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r, err := f(nil)
+		r, err := f(experiments.Ctx{})
 		if err != nil {
 			b.Fatal(err)
 		}

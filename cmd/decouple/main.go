@@ -12,6 +12,14 @@
 //	decouple collude <system-id> <entity> [<entity>...]
 //	decouple audit <scenario-id>    # run a scenario, explain every tuple
 //	decouple -explain <scenario-id> # shorthand for audit
+//	decouple replay <trace-file>    # re-execute an explorer counterexample
+//
+// Replay re-executes a minimized counterexample serialized by
+// `experiments -explore -traces DIR`: the recorded case (probe or
+// experiment, schedules, faults, clients) runs once, the invariant
+// oracles are re-asserted, and the output states whether the recorded
+// violation reproduced. Output is byte-identical across -parallel
+// values.
 //
 // System ids: digitalcash, mixnet, privacypass, odns, pgpp, mpr, ppm,
 // vpn, ech. Audit scenario ids: mixnet, odns, odoh.
@@ -49,6 +57,7 @@ import (
 
 	"decoupling/internal/core"
 	"decoupling/internal/experiments"
+	"decoupling/internal/explore"
 	"decoupling/internal/ledger"
 	"decoupling/internal/provenance"
 	"decoupling/internal/simnet"
@@ -128,6 +137,8 @@ func run(out, errw io.Writer, args []string) int {
 		}
 	case "audit":
 		err = audit(out, errw, args[1:])
+	case "replay":
+		err = replay(out, errw, args[1:])
 	default:
 		fprintUsage(errw)
 		return 2
@@ -151,7 +162,36 @@ func fprintUsage(w io.Writer) {
   decouple collude <system-id> <entity>...     can this coalition re-couple?
   decouple audit [flags] <scenario-id>         run a scenario, explain every tuple
   decouple -explain <scenario-id>              shorthand for audit
+  decouple replay [flags] <trace-file>         re-execute an explorer counterexample
 `)
+}
+
+// replay re-executes a serialized explorer counterexample and
+// re-asserts the invariant oracles against it.
+func replay(out, errw io.Writer, args []string) error {
+	fs := flag.NewFlagSet("decouple replay", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	parallel := fs.Int("parallel", 1, "client goroutines; replay output is byte-identical across values")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: decouple replay [flags] <trace-file>")
+	}
+	b, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	t, err := explore.DecodeTrace(b)
+	if err != nil {
+		return err
+	}
+	res, err := explore.Replay(t, *parallel)
+	if err != nil {
+		return fmt.Errorf("replaying %s: %w", t.Probe, err)
+	}
+	_, err = io.WriteString(out, res.Render())
+	return err
 }
 
 // audit runs a scenario and renders its provenance audit: the
@@ -190,9 +230,9 @@ func audit(out, errw io.Writer, args []string) error {
 		if sc.RunFaults == nil {
 			return fmt.Errorf("scenario %s does not support fault injection", sc.ID)
 		}
-		lg, err = sc.RunFaults(tel, *parallel, plan)
+		lg, err = sc.RunFaults(experiments.Ctx{Tel: tel}, *parallel, plan)
 	} else {
-		lg, err = sc.Run(tel, *parallel)
+		lg, err = sc.Run(experiments.Ctx{Tel: tel}, *parallel)
 	}
 	if err != nil {
 		return fmt.Errorf("scenario %s: %w", sc.ID, err)

@@ -137,6 +137,57 @@ func TestAuditGolden(t *testing.T) {
 	}
 }
 
+// TestReplayGolden pins `decouple replay` output for one committed
+// minimized counterexample (the planted odoh fail-open leak, shrunk by
+// the schedule explorer) and asserts the bytes are identical across
+// -parallel 1/4/8.
+func TestReplayGolden(t *testing.T) {
+	tracePath := filepath.Join("testdata", "replay_failopen.trace.json")
+	goldenPath := filepath.Join("testdata", "replay_failopen.golden")
+	base, code := runOut(t, "replay", "-parallel", "1", tracePath)
+	if code != 0 {
+		t.Fatalf("replay exit = %d", code)
+	}
+	if !strings.Contains(base, "recorded oracle no-leak: REPRODUCED") {
+		t.Fatalf("replay did not reproduce the recorded violation:\n%s", base)
+	}
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(base), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if base != string(golden) {
+		t.Errorf("replay output differs from golden:\n%s", firstDiffLine(string(golden), base))
+	}
+	for _, parallel := range []string{"4", "8"} {
+		out, code := runOut(t, "replay", "-parallel", parallel, tracePath)
+		if code != 0 {
+			t.Fatalf("replay -parallel %s exit = %d", parallel, code)
+		}
+		if out != base {
+			t.Errorf("replay -parallel %s differs from -parallel 1:\n%s",
+				parallel, firstDiffLine(base, out))
+		}
+	}
+}
+
+func TestReplayBadInput(t *testing.T) {
+	if _, code := runOut(t, "replay"); code != 1 {
+		t.Errorf("replay with no file: exit = %d, want 1", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"format":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := runOut(t, "replay", bad); code != 1 {
+		t.Errorf("replay with bad trace: exit = %d, want 1", code)
+	}
+}
+
 func firstDiffLine(a, b string) string {
 	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
 	for i := 0; i < len(al) && i < len(bl); i++ {

@@ -32,6 +32,17 @@
 //	                  stderr
 //	-cpuprofile f     pprof CPU profile of the whole run
 //	-memprofile f     pprof heap profile written at exit
+//
+// Schedule exploration (-explore) switches the command into seed-sweep
+// model-checking mode: every fault-tolerant probe scenario is run under
+// -seeds synthesized (fault plan, schedule) cases, every registered
+// experiment under -seeds permuted schedules, and the invariant oracles
+// are asserted after each case quiesces. Violating cases are shrunk to
+// minimal counterexamples; -traces DIR serializes them as replayable
+// trace files for `decouple replay`. The report is byte-reproducible
+// for a fixed seed list. Exit status is nonzero if any fail-closed case
+// violates an oracle, or if the planted fail-open probe escapes
+// detection.
 package main
 
 import (
@@ -39,11 +50,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 
 	"decoupling/internal/experiments"
+	"decoupling/internal/explore"
 	"decoupling/internal/provenance"
 	"decoupling/internal/simnet"
 	"decoupling/internal/telemetry"
@@ -69,8 +82,17 @@ func run(out, errw io.Writer, args []string) int {
 	stats := fs.Bool("stats", false, "print per-experiment ledger stats to stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to `file`")
+	doExplore := fs.Bool("explore", false,
+		"seed-sweep schedule exploration: model-check the decoupling invariants instead of printing the report")
+	seeds := fs.Int("seeds", 64, "number of exploration seeds (with -explore)")
+	seedBase := fs.Uint64("seedbase", 1, "first exploration seed (with -explore)")
+	tracesDir := fs.String("traces", "",
+		"write minimized counterexample traces to `dir` (with -explore)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *doExplore {
+		return runExplore(out, errw, fs.Args(), *seeds, *seedBase, *parallel, *tracesDir, *metricsFile)
 	}
 	plan, err := simnet.FaultPlanFromSpec(*faults)
 	if err != nil {
@@ -176,6 +198,96 @@ func run(out, errw io.Writer, args []string) int {
 	}
 	fmt.Fprintf(out, "all %d experiments reproduce the paper\n", len(selected))
 	return 0
+}
+
+// runExplore executes the seed-sweep schedule explorer. ids filters
+// both the probes and the experiments (empty = everything); parallel
+// sizes the case worker pool (the report bytes do not depend on it).
+func runExplore(out, errw io.Writer, ids []string, seeds int, seedBase uint64, parallel int, tracesDir, metricsFile string) int {
+	if seeds < 1 {
+		fmt.Fprintln(errw, "experiments: -seeds must be at least 1")
+		return 2
+	}
+	want := map[string]bool{}
+	for _, a := range ids {
+		want[a] = true
+	}
+	opts := explore.Options{
+		Seeds:   explore.SeedList(seedBase, seeds),
+		Workers: parallel,
+	}
+	var metrics *telemetry.Metrics
+	if metricsFile != "" {
+		metrics = telemetry.NewMetrics()
+		opts.Tel = telemetry.New("explore", false, metrics)
+	}
+	matched := map[string]bool{}
+	for _, p := range experiments.ExploreProbes() {
+		if len(want) > 0 && !want[p.ID] {
+			continue
+		}
+		matched[p.ID] = true
+		opts.Probes = append(opts.Probes, p)
+	}
+	for _, c := range explore.DefaultExperimentCases() {
+		if len(want) > 0 && !want[c.Exp.ID] {
+			continue
+		}
+		matched[c.Exp.ID] = true
+		opts.Experiments = append(opts.Experiments, c)
+	}
+	for id := range want {
+		if !matched[id] {
+			fmt.Fprintf(errw, "experiments: no probe or experiment %q\n", id)
+			return 2
+		}
+	}
+	if len(opts.Probes)+len(opts.Experiments) == 0 {
+		fmt.Fprintln(errw, "experiments: nothing to explore")
+		return 2
+	}
+
+	report := explore.Sweep(opts)
+	fmt.Fprint(out, report.Render())
+
+	if metricsFile != "" {
+		if err := writeMetrics(metricsFile, metrics); err != nil {
+			fmt.Fprintf(errw, "experiments: %v\n", err)
+			return 2
+		}
+	}
+	if tracesDir != "" {
+		if err := writeCounterexamples(tracesDir, report); err != nil {
+			fmt.Fprintf(errw, "experiments: %v\n", err)
+			return 2
+		}
+	}
+	if report.FailClosedViolations() > 0 {
+		return 1
+	}
+	if report.PlantedSwept() && !report.PlantedFound() {
+		return 1
+	}
+	return 0
+}
+
+// writeCounterexamples serializes every minimized finding as a replay
+// trace file under dir, named <kind>-<id>.trace.json.
+func writeCounterexamples(dir string, report *explore.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range report.Findings {
+		b, err := explore.EncodeTrace(f.Trace)
+		if err != nil {
+			return fmt.Errorf("encoding %s %s trace: %w", f.Kind, f.ID, err)
+		}
+		path := filepath.Join(dir, f.Kind+"-"+f.ID+".trace.json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeTraces concatenates every experiment's spans in input (id) order.

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"decoupling/internal/explore"
 	"decoupling/internal/telemetry"
 )
 
@@ -221,5 +222,72 @@ func TestRunMultipleIDs(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "E9") || !strings.Contains(s, "E13") {
 		t.Errorf("output missing experiments:\n%s", s)
+	}
+}
+
+// TestExploreFindsPlantedViolation runs a small sweep over the planted
+// fail-open probe and one fail-closed probe: the planted violation must
+// be found, shrunk to a small replayable trace on disk, and the exit
+// code must stay 0 (the planted probe is the negative control, not a
+// failure).
+func TestExploreFindsPlantedViolation(t *testing.T) {
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	code := run(&out, &errw, []string{"-explore", "-seeds", "2", "-traces", dir,
+		"odoh", "odoh-failopen"})
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errw.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "planted fail-open violation found and shrunk") {
+		t.Errorf("planted violation not reported:\n%s", s)
+	}
+	if !strings.Contains(s, "zero invariant violations on fail-closed cases") {
+		t.Errorf("fail-closed cases not clean:\n%s", s)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "probe-odoh-failopen.trace.json"))
+	if err != nil {
+		t.Fatalf("minimized trace not written: %v", err)
+	}
+	tr, err := explore.DecodeTrace(b)
+	if err != nil {
+		t.Fatalf("trace artifact does not decode: %v", err)
+	}
+	if e := tr.Events(); e > 5 {
+		t.Errorf("minimized trace has %d events, want <= 5", e)
+	}
+}
+
+// TestExploreSelectionErrors pins the flag-validation and id-selection
+// error paths.
+func TestExploreSelectionErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-explore", "-seeds", "0"}); code != 2 {
+		t.Errorf("-seeds 0: exit = %d, want 2", code)
+	}
+	out.Reset()
+	errw.Reset()
+	if code := run(&out, &errw, []string{"-explore", "bogus-id"}); code != 2 {
+		t.Errorf("unknown id: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "bogus-id") {
+		t.Errorf("diagnostic should name the id: %s", errw.String())
+	}
+}
+
+// TestExploreReportByteIdenticalAcrossWorkers: the sweep report must
+// not depend on the worker-pool width.
+func TestExploreReportByteIdenticalAcrossWorkers(t *testing.T) {
+	runWith := func(parallel string) string {
+		var out, errw bytes.Buffer
+		if code := run(&out, &errw, []string{"-explore", "-seeds", "2", "-parallel", parallel,
+			"odns", "odoh-failopen"}); code != 0 {
+			t.Fatalf("-parallel %s: exit = %d, stderr = %s", parallel, code, errw.String())
+		}
+		return out.String()
+	}
+	base := runWith("1")
+	if got := runWith("8"); got != base {
+		t.Errorf("report differs between -parallel 1 and 8:\n%s\n---\n%s", base, got)
 	}
 }

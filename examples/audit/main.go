@@ -26,7 +26,7 @@ func main() {
 	}
 
 	// Tracing on so every observation records its protocol phase.
-	lg, err := sc.Run(telemetry.New("audit", true, nil), 4)
+	lg, err := sc.Run(experiments.Ctx{Tel: telemetry.New("audit", true, nil)}, 4)
 	if err != nil {
 		log.Fatal(err)
 	}

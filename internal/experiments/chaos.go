@@ -38,7 +38,6 @@ import (
 	"decoupling/internal/provenance"
 	"decoupling/internal/resilience"
 	"decoupling/internal/simnet"
-	"decoupling/internal/telemetry"
 )
 
 // chaosOverlay is an extra fault plan merged into every simulator the
@@ -146,8 +145,9 @@ var chaosRates = []float64{0, 0.1, 0.3}
 // mixnetChaosRun sends 16 staggered messages through a 3-mix cascade
 // with burst loss injected on the entry link, driven by RetryAsync on
 // the virtual clock. retry=false caps the policy at a single attempt.
-func mixnetChaosRun(tel *telemetry.Telemetry, rate float64, retry bool) (delivered, retries int, elapsed time.Duration, err error) {
-	net := simnet.New(14)
+func mixnetChaosRun(ctx Ctx, rate float64, retry bool) (delivered, retries int, elapsed time.Duration, err error) {
+	tel := ctx.Tel
+	net := ctx.NewNet(14)
 	net.Instrument(tel)
 	var route []mixnet.NodeInfo
 	for i := 1; i <= 3; i++ {
@@ -207,8 +207,9 @@ func mixnetChaosRun(tel *telemetry.Telemetry, rate float64, retry bool) (deliver
 // issues one request after the crash. Without retries the request dies
 // at the dead entry; with retries the client rebuilds through a
 // surviving entry (BuildCircuitResilient) and the response arrives.
-func onionChaosRun(tel *telemetry.Telemetry, retry bool) (delivered int, err error) {
-	net := simnet.New(15)
+func onionChaosRun(ctx Ctx, retry bool) (delivered int, err error) {
+	tel := ctx.Tel
+	net := ctx.NewNet(15)
 	net.Instrument(tel)
 	var pool []onion.RelayInfo
 	for i := 1; i <= 4; i++ {
@@ -261,11 +262,12 @@ func onionChaosRun(tel *telemetry.Telemetry, retry bool) (delivered int, err err
 // client→proxy hop. Failed attempts never reach the proxy: the injected
 // fault models an unreachable proxy, so retries cost the client wire
 // attempts but leak nothing new to any observer.
-func odohChaosRun(tel *telemetry.Telemetry, rate float64, retry bool) (ok int, lg *ledger.Ledger, link *flakyLink, err error) {
+func odohChaosRun(ctx Ctx, rate float64, retry bool) (ok int, lg *ledger.Ledger, link *flakyLink, err error) {
+	tel := ctx.Tel
 	cls := ledger.NewClassifier()
 	lg = ledger.New(cls, nil)
 	lg.Instrument(tel)
-	registerDNSGroundTruth(cls, odoh.ProxyName, odoh.TargetName, "Origin")
+	registerDNSGroundTruth(cls, auditDNSClients, odoh.ProxyName, odoh.TargetName, "Origin")
 
 	origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{auditZone()}, Ledger: lg}
 	target, err := odoh.NewTarget(odoh.TargetName, origin, lg)
@@ -307,11 +309,12 @@ func odohChaosRun(tel *telemetry.Telemetry, rate float64, retry bool) (ok int, l
 // BEHIND the recursive resolver: every retried attempt is one more
 // (opaque) query in the resolver's logs — the count leak E14 verifies
 // is counts-only.
-func odnsChaosRun(tel *telemetry.Telemetry, rate float64, retry bool) (ok int, lg *ledger.Ledger, link *flakyLink, err error) {
+func odnsChaosRun(ctx Ctx, rate float64, retry bool) (ok int, lg *ledger.Ledger, link *flakyLink, err error) {
+	tel := ctx.Tel
 	cls := ledger.NewClassifier()
 	lg = ledger.New(cls, nil)
 	lg.Instrument(tel)
-	registerDNSGroundTruth(cls, "Resolver", odns.ObliviousResolverName, "Origin")
+	registerDNSGroundTruth(cls, auditDNSClients, "Resolver", odns.ObliviousResolverName, "Origin")
 
 	origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{auditZone()}, Ledger: lg}
 	oblivious, err := odns.NewObliviousResolver(origin, lg)
@@ -346,7 +349,7 @@ func odnsChaosRun(tel *telemetry.Telemetry, rate float64, retry bool) (ok int, l
 // for each decoupled protocol, with and without the resilience layer,
 // and verifies the knowledge tuples survive the faults: retries may
 // leak counts, never names.
-func E14ChaosAvailability(tel *telemetry.Telemetry) (*Result, error) {
+func E14ChaosAvailability(ctx Ctx) (*Result, error) {
 	r := &Result{ID: "E14", Title: "Chaos: availability vs fault rate (retries leak counts, not names)", Section: "4.3"}
 
 	// Mixnet: burst loss on the entry link.
@@ -355,11 +358,11 @@ func E14ChaosAvailability(tel *telemetry.Telemetry) (*Result, error) {
 		Columns: []string{"loss rate", "delivered (no retry)", "delivered (retry)", "retries", "virtual time (retry)"},
 	}
 	for _, rate := range chaosRates {
-		d0, _, _, err := mixnetChaosRun(tel, rate, false)
+		d0, _, _, err := mixnetChaosRun(ctx, rate, false)
 		if err != nil {
 			return nil, err
 		}
-		d1, retries, elapsed, err := mixnetChaosRun(tel, rate, true)
+		d1, retries, elapsed, err := mixnetChaosRun(ctx, rate, true)
 		if err != nil {
 			return nil, err
 		}
@@ -379,11 +382,11 @@ func E14ChaosAvailability(tel *telemetry.Telemetry) (*Result, error) {
 	r.Tables = append(r.Tables, mixT)
 
 	// Onion: entry-relay crash mid-session.
-	o0, err := onionChaosRun(tel, false)
+	o0, err := onionChaosRun(ctx, false)
 	if err != nil {
 		return nil, err
 	}
-	o1, err := onionChaosRun(tel, true)
+	o1, err := onionChaosRun(ctx, true)
 	if err != nil {
 		return nil, err
 	}
@@ -406,11 +409,11 @@ func E14ChaosAvailability(tel *telemetry.Telemetry) (*Result, error) {
 	}
 	expected := core.ObliviousDNS()
 	for _, rate := range chaosRates {
-		ok0, _, _, err := odohChaosRun(tel, rate, false)
+		ok0, _, _, err := odohChaosRun(ctx, rate, false)
 		if err != nil {
 			return nil, err
 		}
-		ok1, lg1, link1, err := odohChaosRun(tel, rate, true)
+		ok1, lg1, link1, err := odohChaosRun(ctx, rate, true)
 		if err != nil {
 			return nil, err
 		}
@@ -438,11 +441,11 @@ func E14ChaosAvailability(tel *telemetry.Telemetry) (*Result, error) {
 		}
 	}
 	for _, rate := range chaosRates {
-		ok0, _, _, err := odnsChaosRun(tel, rate, false)
+		ok0, _, _, err := odnsChaosRun(ctx, rate, false)
 		if err != nil {
 			return nil, err
 		}
-		ok1, lg1, link1, err := odnsChaosRun(tel, rate, true)
+		ok1, lg1, link1, err := odnsChaosRun(ctx, rate, true)
 		if err != nil {
 			return nil, err
 		}
@@ -475,7 +478,8 @@ func E14ChaosAvailability(tel *telemetry.Telemetry) (*Result, error) {
 // §4.2 degrees-of-decoupling cost. Replicating the SAME role adds
 // attempts and latency but leaves the knowledge tuples and the
 // coalition degree untouched.
-func E15ChaosFailover(tel *telemetry.Telemetry) (*Result, error) {
+func E15ChaosFailover(ctx Ctx) (*Result, error) {
+	tel := ctx.Tel
 	r := &Result{ID: "E15", Title: "Chaos: failover across N proxies vs the degrees-of-decoupling cost", Section: "4.2"}
 	expected := core.ObliviousDNS()
 	t := Table{
@@ -486,7 +490,7 @@ func E15ChaosFailover(tel *telemetry.Telemetry) (*Result, error) {
 		cls := ledger.NewClassifier()
 		lg := ledger.New(cls, nil)
 		lg.Instrument(tel)
-		registerDNSGroundTruth(cls, odoh.ProxyName, odoh.TargetName, "Origin")
+		registerDNSGroundTruth(cls, auditDNSClients, odoh.ProxyName, odoh.TargetName, "Origin")
 		origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{auditZone()}, Ledger: lg}
 		target, err := odoh.NewTarget(odoh.TargetName, origin, lg)
 		if err != nil {
@@ -566,11 +570,12 @@ func E15ChaosFailover(tel *telemetry.Telemetry) (*Result, error) {
 // and a total proxy outage (clients 10-19) under the given degradation
 // mode. In FailOpen mode the client is deliberately misconfigured with
 // a direct-resolver fallback — the re-coupling the paper warns about.
-func e16Run(tel *telemetry.Telemetry, mode resilience.Mode) (lg *ledger.Ledger, okHealthy, fallbacks, exhaustions int, err error) {
+func e16Run(ctx Ctx, mode resilience.Mode) (lg *ledger.Ledger, okHealthy, fallbacks, exhaustions int, err error) {
+	tel := ctx.Tel
 	cls := ledger.NewClassifier()
 	lg = ledger.New(cls, nil)
 	lg.Instrument(tel)
-	registerDNSGroundTruth(cls, odoh.ProxyName, odoh.TargetName, "Origin")
+	registerDNSGroundTruth(cls, auditDNSClients, odoh.ProxyName, odoh.TargetName, "Origin")
 
 	origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{auditZone()}, Ledger: lg}
 	target, terr := odoh.NewTarget(odoh.TargetName, origin, lg)
@@ -635,18 +640,18 @@ func e16Run(tel *telemetry.Telemetry, mode resilience.Mode) (lg *ledger.Ledger, 
 // tuple flips to (▲,●), the verdict to NOT decoupled, and the
 // provenance audit flags the partition COUPLED. The experiment PASSES
 // when the audit catches the misconfiguration.
-func E16ChaosFailOpen(tel *telemetry.Telemetry) (*Result, error) {
+func E16ChaosFailOpen(ctx Ctx) (*Result, error) {
 	r := &Result{ID: "E16", Title: "Chaos: fail-closed vs fail-open under total proxy outage", Section: "3.3"}
 	expected := core.ObliviousDNS()
 
-	lgClosed, okC, fbC, exC, err := e16Run(tel, resilience.FailClosed)
+	lgClosed, okC, fbC, exC, err := e16Run(ctx, resilience.FailClosed)
 	if err != nil {
 		return nil, err
 	}
 	measuredClosed := lgClosed.DeriveSystem(expected)
 	diffsClosed := core.CompareTuples(expected, measuredClosed)
 
-	lgOpen, okO, fbO, exO, err := e16Run(tel, resilience.FailOpen)
+	lgOpen, okO, fbO, exO, err := e16Run(ctx, resilience.FailOpen)
 	if err != nil {
 		return nil, err
 	}

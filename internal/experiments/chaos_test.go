@@ -23,7 +23,7 @@ import (
 func TestFailClosedInvariantUnderTotalOutage(t *testing.T) {
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
-	registerDNSGroundTruth(cls, odoh.ProxyName, odoh.TargetName, "Origin")
+	registerDNSGroundTruth(cls, auditDNSClients, odoh.ProxyName, odoh.TargetName, "Origin")
 	origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{auditZone()}, Ledger: lg}
 	target, err := odoh.NewTarget(odoh.TargetName, origin, lg)
 	if err != nil {
@@ -76,7 +76,7 @@ func TestFailClosedInvariantUnderTotalOutage(t *testing.T) {
 // run's ledger must flip the Resolver tuple, break the verdict, and
 // yield at least one COUPLED provenance partition.
 func TestFailOpenFallbackIsFlaggedCoupled(t *testing.T) {
-	lg, okHealthy, fallbacks, exhaustions, err := e16Run(nil, resilience.FailOpen)
+	lg, okHealthy, fallbacks, exhaustions, err := e16Run(Ctx{}, resilience.FailOpen)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestFlakyLinkIsDeterministic(t *testing.T) {
 func TestChaosOverlayAffectsSimulatorRuns(t *testing.T) {
 	SetChaosFaults(simnet.NewFaultPlan().Crash("mix2", 0, 0))
 	defer SetChaosFaults(nil)
-	delivered, _, _, err := mixnetChaosRun(nil, 0, false)
+	delivered, _, _, err := mixnetChaosRun(Ctx{}, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestChaosOverlayAffectsSimulatorRuns(t *testing.T) {
 	}
 
 	SetChaosFaults(nil)
-	delivered, _, _, err = mixnetChaosRun(nil, 0, false)
+	delivered, _, _, err = mixnetChaosRun(Ctx{}, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,11 +192,11 @@ func TestChaosExperimentsAreDeterministic(t *testing.T) {
 		{"E15", E15ChaosFailover},
 		{"E16", E16ChaosFailOpen},
 	} {
-		r1, err := exp.fn(nil)
+		r1, err := exp.fn(Ctx{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		r2, err := exp.fn(nil)
+		r2, err := exp.fn(Ctx{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"sync"
+
+	"decoupling/internal/simnet"
+	"decoupling/internal/telemetry"
+)
+
+// Ctx is the execution context threaded through every experiment: the
+// telemetry handle plus an optional hook over simulated-network
+// construction. The zero value is valid (no telemetry, no hook) and is
+// what tests use; the runner passes Ctx{Tel: tel}; the schedule
+// explorer passes WithNetHook to install schedulers on each net an
+// experiment builds and harvest their recorded schedules afterwards.
+type Ctx struct {
+	// Tel is the experiment's telemetry handle (nil when observability
+	// is off; all telemetry methods are nil-receiver safe).
+	Tel *telemetry.Telemetry
+
+	hooks *netHooks
+}
+
+// netHooks is the shared hook state behind a Ctx. It lives behind a
+// pointer so Ctx stays a copyable value while construction indices stay
+// globally ordered, and it is mutex-guarded because scenario runners
+// may construct nets from parallel client goroutines.
+type netHooks struct {
+	mu   sync.Mutex
+	next int
+	hook func(index int, n *simnet.Network)
+}
+
+// WithNetHook returns a Ctx that invokes hook on every simulated
+// network the experiment constructs through NewNet, in construction
+// order (index 0, 1, ...). The hook runs before the experiment touches
+// the net, so it can install a Scheduler or ReplaySchedule; keeping the
+// *simnet.Network lets the caller read RecordedSchedule after the run.
+func WithNetHook(tel *telemetry.Telemetry, hook func(index int, n *simnet.Network)) Ctx {
+	return Ctx{Tel: tel, hooks: &netHooks{hook: hook}}
+}
+
+// NewNet constructs the experiment's next simulated network. All
+// experiment code must build nets through this (never simnet.New
+// directly) so a schedule-exploring Ctx sees every decision point.
+func (c Ctx) NewNet(seed int64) *simnet.Network {
+	n := simnet.New(seed)
+	if c.hooks != nil {
+		c.hooks.mu.Lock()
+		idx := c.hooks.next
+		c.hooks.next++
+		hook := c.hooks.hook
+		c.hooks.mu.Unlock()
+		if hook != nil {
+			hook(idx, n)
+		}
+	}
+	return n
+}

@@ -22,7 +22,6 @@ import (
 
 	"decoupling/internal/core"
 	"decoupling/internal/ledger"
-	"decoupling/internal/telemetry"
 )
 
 // Table is a generic rendered result table.
@@ -141,10 +140,10 @@ func tableExperiment(r *Result) error {
 	return nil
 }
 
-// ExperimentFunc runs one experiment. tel is the experiment's telemetry
+// ExperimentFunc runs one experiment. ctx carries the telemetry
 // handle (nil when observability is off); implementations thread it to
 // the layers they build and may ignore it entirely.
-type ExperimentFunc func(tel *telemetry.Telemetry) (*Result, error)
+type ExperimentFunc func(ctx Ctx) (*Result, error)
 
 // ledgerStats snapshots a ledger for Result.LedgerStats.
 func ledgerStats(lg *ledger.Ledger) *ledger.Stats {

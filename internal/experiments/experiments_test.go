@@ -13,7 +13,7 @@ func TestAllExperimentsPass(t *testing.T) {
 		t.Skip("full experiment suite skipped in -short mode")
 	}
 	for _, exp := range All() {
-		r, err := exp.Run(nil)
+		r, err := exp.Run(Ctx{})
 		if err != nil {
 			t.Fatalf("experiment runner error: %v", err)
 		}
@@ -32,7 +32,7 @@ func TestAllExperimentsPass(t *testing.T) {
 }
 
 func TestResultRender(t *testing.T) {
-	r, err := E8VPN(nil)
+	r, err := E8VPN(Ctx{})
 	if err != nil {
 		t.Fatal(err)
 	}

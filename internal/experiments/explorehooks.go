@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"decoupling/internal/core"
+	"decoupling/internal/ledger"
+	"decoupling/internal/simnet"
+)
+
+// ExploreProbe is a fault-tolerant scenario packaged for the schedule
+// explorer (internal/explore): a paper model plus a runner
+// parameterized by client count and fault plan, so a failing (clients,
+// plan, schedule) triple can be delta-debugged down to a minimal
+// counterexample. Probes are the subset of scenarios built to survive
+// faults — the table experiments E1-E15 run under exploration too, but
+// only with schedule permutation, never synthesized faults, because
+// their pass criteria assume a healthy network.
+type ExploreProbe struct {
+	ID    string
+	Title string
+	// Expected returns the paper's model; oracles compare ledger-derived
+	// knowledge against it.
+	Expected func() *core.System
+	// FailClosed declares the probe's contract: under ANY fault plan and
+	// ANY admissible schedule, observed knowledge must stay within the
+	// paper's tuples (faults may erase knowledge, never add it). The
+	// explorer treats a violation as a bug. The one non-fail-closed
+	// probe is the planted E16 misconfiguration the explorer exists to
+	// find.
+	FailClosed bool
+	// FaultNodes are the node names fault synthesis may target with
+	// crash/partition/loss clauses (the names the runner's fault gates
+	// evaluate).
+	FaultNodes []simnet.Addr
+	// MaxClients bounds the client count synthesis may request;
+	// shrinking lowers it toward 1.
+	MaxClients int
+	// Run drives `clients` clients under plan and returns the quiesced
+	// ledger. parallel is the client goroutine fan-out (runs are
+	// byte-identical across values; simulator-driven probes ignore it).
+	// It must build any simulated network through ctx.NewNet so the
+	// explorer's scheduler hook sees every decision point.
+	Run func(ctx Ctx, parallel, clients int, plan *simnet.FaultPlan) (*ledger.Ledger, error)
+}
+
+// ExploreProbes returns the registered probes in id order. The
+// "odoh-failopen" probe is deliberately misconfigured (FailClosed:
+// false): any plan that exhausts a client's oblivious path triggers a
+// direct-resolver fallback, handing the proxy operator plaintext names
+// — the explorer must find that leak and shrink it.
+func ExploreProbes() []ExploreProbe {
+	return []ExploreProbe{
+		{
+			ID:         "mixnet",
+			Title:      "Chaum mix cascade under faults (fail-closed)",
+			Expected:   func() *core.System { return core.Mixnet(3) },
+			FailClosed: true,
+			FaultNodes: []simnet.Addr{"mix1", "mix2", "mix3"},
+			MaxClients: 8,
+			Run: func(ctx Ctx, _, clients int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+				return mixnetFaultsRun(ctx, clients, plan, false)
+			},
+		},
+		{
+			ID:         "odns",
+			Title:      "Oblivious DNS under faults (fail-closed)",
+			Expected:   core.ObliviousDNS,
+			FailClosed: true,
+			FaultNodes: []simnet.Addr{"oblivious"},
+			MaxClients: auditDNSClients,
+			Run: func(ctx Ctx, _, clients int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+				return odnsFaultsRun(ctx, clients, plan)
+			},
+		},
+		{
+			ID:         "odoh",
+			Title:      "Oblivious DoH under faults (fail-closed)",
+			Expected:   core.ObliviousDNS,
+			FailClosed: true,
+			FaultNodes: []simnet.Addr{"proxy"},
+			MaxClients: auditDNSClients,
+			Run: func(ctx Ctx, parallel, clients int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+				return odohFaultsRun(ctx, parallel, clients, plan, false)
+			},
+		},
+		{
+			ID:         "odoh-failopen",
+			Title:      "Oblivious DoH, fail-open misconfiguration (planted E16 violation)",
+			Expected:   core.ObliviousDNS,
+			FailClosed: false,
+			FaultNodes: []simnet.Addr{"proxy"},
+			MaxClients: auditDNSClients,
+			Run: func(ctx Ctx, parallel, clients int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+				return odohFaultsRun(ctx, parallel, clients, plan, true)
+			},
+		},
+	}
+}
+
+// FindExploreProbe returns the probe with the given id.
+func FindExploreProbe(id string) (ExploreProbe, bool) {
+	for _, p := range ExploreProbes() {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return ExploreProbe{}, false
+}

@@ -99,7 +99,7 @@ func TestResultRenderPassGolden(t *testing.T) {
 // regression fence for the whole table pipeline.
 func TestE8RenderGolden(t *testing.T) {
 	t.Parallel()
-	r, err := E8VPN(nil)
+	r, err := E8VPN(Ctx{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -113,7 +113,7 @@ func runOne(exp Experiment, tel *telemetry.Telemetry) (res *Result, err error) {
 			err = fmt.Errorf("%s: panic: %v", exp.ID, p)
 		}
 	}()
-	return exp.Run(tel)
+	return exp.Run(Ctx{Tel: tel})
 }
 
 // RunAll is shorthand for running every registered experiment with the

@@ -7,8 +7,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
-
-	"decoupling/internal/telemetry"
 )
 
 // TestRunnerOrdersResults checks that results come back in input order
@@ -19,7 +17,7 @@ func TestRunnerOrdersResults(t *testing.T) {
 	var exps []Experiment
 	for i := 0; i < n; i++ {
 		id := fmt.Sprintf("X%d", i)
-		exps = append(exps, Experiment{ID: id, Run: func(*telemetry.Telemetry) (*Result, error) {
+		exps = append(exps, Experiment{ID: id, Run: func(Ctx) (*Result, error) {
 			return &Result{ID: id, Pass: true}, nil
 		}})
 	}
@@ -45,7 +43,7 @@ func TestRunnerBoundsWorkers(t *testing.T) {
 	var mu sync.Mutex
 	var exps []Experiment
 	for i := 0; i < 12; i++ {
-		exps = append(exps, Experiment{ID: fmt.Sprintf("X%d", i), Run: func(*telemetry.Telemetry) (*Result, error) {
+		exps = append(exps, Experiment{ID: fmt.Sprintf("X%d", i), Run: func(Ctx) (*Result, error) {
 			cur := inFlight.Add(1)
 			mu.Lock()
 			if cur > peak.Load() {
@@ -70,9 +68,9 @@ func TestRunnerErrorsAndPanicsIsolated(t *testing.T) {
 	t.Parallel()
 	boom := errors.New("boom")
 	exps := []Experiment{
-		{ID: "ok", Run: func(*telemetry.Telemetry) (*Result, error) { return &Result{ID: "ok", Pass: true}, nil }},
-		{ID: "err", Run: func(*telemetry.Telemetry) (*Result, error) { return nil, boom }},
-		{ID: "panic", Run: func(*telemetry.Telemetry) (*Result, error) { panic("kaboom") }},
+		{ID: "ok", Run: func(Ctx) (*Result, error) { return &Result{ID: "ok", Pass: true}, nil }},
+		{ID: "err", Run: func(Ctx) (*Result, error) { return nil, boom }},
+		{ID: "panic", Run: func(Ctx) (*Result, error) { panic("kaboom") }},
 	}
 	r := Runner{Workers: 2}
 	out := r.Run(exps)

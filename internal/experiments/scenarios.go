@@ -15,7 +15,6 @@ import (
 	"decoupling/internal/odoh"
 	"decoupling/internal/resilience"
 	"decoupling/internal/simnet"
-	"decoupling/internal/telemetry"
 )
 
 // AuditScenario is a runnable system reproduction packaged for the
@@ -32,7 +31,7 @@ type AuditScenario struct {
 	// client load across that many goroutines where the protocol is
 	// concurrency-safe; scenarios driven by the deterministic simulator
 	// ignore it. Audit output is byte-identical across parallel values.
-	Run func(tel *telemetry.Telemetry, parallel int) (*ledger.Ledger, error)
+	Run func(ctx Ctx, parallel int) (*ledger.Ledger, error)
 	// RunFaults runs the scenario under an injected fault plan, with the
 	// protocol clients wrapped in the resilience layer (fail-closed).
 	// The simulator-driven scenario applies the plan to its network; the
@@ -40,7 +39,7 @@ type AuditScenario struct {
 	// deterministic logical clock (fault node names: odoh "proxy", odns
 	// "oblivious"; latency spikes are simulator-only). Audit output is
 	// byte-identical for a fixed plan.
-	RunFaults func(tel *telemetry.Telemetry, parallel int, plan *simnet.FaultPlan) (*ledger.Ledger, error)
+	RunFaults func(ctx Ctx, parallel int, plan *simnet.FaultPlan) (*ledger.Ledger, error)
 }
 
 // AuditScenarios lists every scenario the audit CLI can run, in id
@@ -97,9 +96,10 @@ func auditZone() *dns.Zone {
 
 // registerDNSGroundTruth registers the client identities and query
 // names (sensitive) plus the infrastructure names (non-sensitive, so
-// audit reports render them unredacted) for a DNS scenario.
-func registerDNSGroundTruth(cls *ledger.Classifier, infra ...string) {
-	for i := 0; i < auditDNSClients; i++ {
+// audit reports render them unredacted) for a DNS scenario driving
+// the given number of clients.
+func registerDNSGroundTruth(cls *ledger.Classifier, clients int, infra ...string) {
+	for i := 0; i < clients; i++ {
 		who := fmt.Sprintf("client-%d", i)
 		cls.RegisterIdentity(who, who, "", core.Sensitive)
 		cls.RegisterData(dnswire.CanonicalName(auditDNSNames[i%len(auditDNSNames)]), who, "", core.Sensitive)
@@ -109,9 +109,9 @@ func registerDNSGroundTruth(cls *ledger.Classifier, infra ...string) {
 	}
 }
 
-// forEachClient fans the client loop out over `parallel` goroutines
-// (at least 1) and returns the first error.
-func forEachClient(parallel int, fn func(i int) error) error {
+// forEachClient fans a loop over `clients` client indices out over
+// `parallel` goroutines (at least 1) and returns the first error.
+func forEachClient(parallel, clients int, fn func(i int) error) error {
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -121,7 +121,7 @@ func forEachClient(parallel int, fn func(i int) error) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := w; i < auditDNSClients; i += parallel {
+			for i := w; i < clients; i += parallel {
 				if err := fn(i); err != nil {
 					errs <- err
 					return
@@ -137,11 +137,12 @@ func forEachClient(parallel int, fn func(i int) error) error {
 // runODoHScenario drives the §3.2.2 ODoH reproduction: clients
 // HPKE-encrypt queries through the proxy to the target, which resolves
 // via the origin. This is the same run E4's ODoH half measures.
-func runODoHScenario(tel *telemetry.Telemetry, parallel int) (*ledger.Ledger, error) {
+func runODoHScenario(ctx Ctx, parallel int) (*ledger.Ledger, error) {
+	tel := ctx.Tel
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
 	lg.Instrument(tel)
-	registerDNSGroundTruth(cls, odoh.ProxyName, odoh.TargetName, "Origin")
+	registerDNSGroundTruth(cls, auditDNSClients, odoh.ProxyName, odoh.TargetName, "Origin")
 
 	origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{auditZone()}, Ledger: lg}
 	target, err := odoh.NewTarget(odoh.TargetName, origin, lg)
@@ -155,7 +156,7 @@ func runODoHScenario(tel *telemetry.Telemetry, parallel int) (*ledger.Ledger, er
 
 	phase := tel.Start("phase:odoh")
 	defer phase.End()
-	err = forEachClient(parallel, func(i int) error {
+	err = forEachClient(parallel, auditDNSClients, func(i int) error {
 		who := fmt.Sprintf("client-%d", i)
 		c := odoh.NewClient(who, keyID, pub)
 		c.Instrument(tel)
@@ -169,11 +170,12 @@ func runODoHScenario(tel *telemetry.Telemetry, parallel int) (*ledger.Ledger, er
 // encrypted-name queries through a recursive resolver to the oblivious
 // resolver, which decrypts and resolves via the origin. Same run as
 // E4's ODNS half.
-func runODNSScenario(tel *telemetry.Telemetry, parallel int) (*ledger.Ledger, error) {
+func runODNSScenario(ctx Ctx, parallel int) (*ledger.Ledger, error) {
+	tel := ctx.Tel
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
 	lg.Instrument(tel)
-	registerDNSGroundTruth(cls, "Resolver", odns.ObliviousResolverName, "Origin")
+	registerDNSGroundTruth(cls, auditDNSClients, "Resolver", odns.ObliviousResolverName, "Origin")
 
 	origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{auditZone()}, Ledger: lg}
 	oblivious, err := odns.NewObliviousResolver(origin, lg)
@@ -184,7 +186,7 @@ func runODNSScenario(tel *telemetry.Telemetry, parallel int) (*ledger.Ledger, er
 
 	phase := tel.Start("phase:odns")
 	defer phase.End()
-	err = forEachClient(parallel, func(i int) error {
+	err = forEachClient(parallel, auditDNSClients, func(i int) error {
 		who := fmt.Sprintf("client-%d", i)
 		_, err := odns.NewClient(who, oblivious.PublicKey(), recursive).Query(auditDNSNames[i%len(auditDNSNames)], dnswire.TypeA)
 		return err
@@ -197,9 +199,10 @@ func runODNSScenario(tel *telemetry.Telemetry, parallel int) (*ledger.Ledger, er
 // clock, so audit evidence carries real virtual timestamps. parallel
 // is ignored: the simulator is single-threaded and already
 // deterministic.
-func runMixnetScenario(tel *telemetry.Telemetry, _ int) (*ledger.Ledger, error) {
+func runMixnetScenario(ctx Ctx, _ int) (*ledger.Ledger, error) {
+	tel := ctx.Tel
 	cls := ledger.NewClassifier()
-	net := simnet.New(2)
+	net := ctx.NewNet(2)
 	net.Instrument(tel)
 	lg := ledger.New(cls, net.Now)
 	lg.Instrument(tel)
@@ -270,11 +273,23 @@ func faultGate(plan *simnet.FaultPlan, src, node simnet.Addr, i, j int) error {
 // the fail-closed resilience layer. Each client's logical clock is a
 // pure function of (client index, attempt), so the run stays
 // parallel-safe and byte-identical for a fixed plan.
-func runODoHScenarioFaults(tel *telemetry.Telemetry, parallel int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+func runODoHScenarioFaults(ctx Ctx, parallel int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+	return odohFaultsRun(ctx, parallel, auditDNSClients, plan, false)
+}
+
+// odohFaultsRun is the parameterized core behind runODoHScenarioFaults
+// and the schedule explorer's ODoH probes: a configurable client count
+// (so counterexamples shrink) and, when failOpen is set, the E16
+// misconfiguration — a direct-resolver fallback that re-couples the
+// proxy operator's knowledge whenever the plan exhausts the oblivious
+// path. failOpen is the explorer's planted violation; every other
+// caller stays fail-closed.
+func odohFaultsRun(ctx Ctx, parallel, clients int, plan *simnet.FaultPlan, failOpen bool) (*ledger.Ledger, error) {
+	tel := ctx.Tel
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
 	lg.Instrument(tel)
-	registerDNSGroundTruth(cls, odoh.ProxyName, odoh.TargetName, "Origin")
+	registerDNSGroundTruth(cls, clients, odoh.ProxyName, odoh.TargetName, "Origin")
 
 	origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{auditZone()}, Ledger: lg}
 	target, err := odoh.NewTarget(odoh.TargetName, origin, lg)
@@ -286,9 +301,17 @@ func runODoHScenarioFaults(tel *telemetry.Telemetry, parallel int, plan *simnet.
 	proxy.Instrument(tel)
 	keyID, pub := target.KeyConfig()
 
+	// The fail-open escape hatch mirrors e16Run: a plain recursive
+	// resolver registered under the proxy's own role, so falling back
+	// hands the proxy operator plaintext names.
+	var direct *dns.Resolver
+	if failOpen {
+		direct = dns.NewResolver(odoh.ProxyName, []dns.Authority{origin}, lg, nil)
+	}
+
 	phase := tel.Start("phase:odoh-faults")
 	defer phase.End()
-	err = forEachClient(parallel, func(i int) error {
+	err = forEachClient(parallel, clients, func(i int) error {
 		who := fmt.Sprintf("client-%d", i)
 		c := odoh.NewClient(who, keyID, pub)
 		c.Instrument(tel)
@@ -305,6 +328,19 @@ func runODoHScenarioFaults(tel *telemetry.Telemetry, parallel int, plan *simnet.
 			}},
 		}
 		rc.Instrument(tel)
+		if failOpen {
+			// The ResilientClient only consults Fallback under an
+			// explicit FailOpen policy — the misconfiguration takes
+			// both the mode AND the hook, exactly like e16Run.
+			rc.Policy.Mode = resilience.FailOpen
+			rc.Fallback = func(name string, qtype dnswire.Type) (*dnswire.Message, error) {
+				resp := direct.Resolve(who, dnswire.NewQuery(1, name, qtype))
+				if resp.RCode != dnswire.RCodeNoError {
+					return nil, fmt.Errorf("direct fallback failed: rcode=%v", resp.RCode)
+				}
+				return resp, nil
+			}
+		}
 		// Fail-closed: a client inside a permanent fault window errors
 		// out (wrapping resilience.ErrExhausted) rather than bypassing
 		// the proxy; the audit then explains the healthy clients.
@@ -322,11 +358,18 @@ func runODoHScenarioFaults(tel *telemetry.Telemetry, parallel int, plan *simnet.
 // clock is the shared upstream call counter, so this runner is
 // internally sequential regardless of parallel — the cost of keeping
 // audits byte-identical.
-func runODNSScenarioFaults(tel *telemetry.Telemetry, _ int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+func runODNSScenarioFaults(ctx Ctx, _ int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+	return odnsFaultsRun(ctx, auditDNSClients, plan)
+}
+
+// odnsFaultsRun is the parameterized core behind runODNSScenarioFaults
+// and the explorer's ODNS probe.
+func odnsFaultsRun(ctx Ctx, clients int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+	tel := ctx.Tel
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
 	lg.Instrument(tel)
-	registerDNSGroundTruth(cls, "Resolver", odns.ObliviousResolverName, "Origin")
+	registerDNSGroundTruth(cls, clients, "Resolver", odns.ObliviousResolverName, "Origin")
 
 	origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{auditZone()}, Ledger: lg}
 	oblivious, err := odns.NewObliviousResolver(origin, lg)
@@ -338,7 +381,7 @@ func runODNSScenarioFaults(tel *telemetry.Telemetry, _ int, plan *simnet.FaultPl
 
 	phase := tel.Start("phase:odns-faults")
 	defer phase.End()
-	for i := 0; i < auditDNSClients; i++ {
+	for i := 0; i < clients; i++ {
 		who := fmt.Sprintf("client-%d", i)
 		c := odns.NewClient(who, oblivious.PublicKey(), recursive)
 		_, qerr := c.QueryResilient(auditDNSNames[i%len(auditDNSNames)], dnswire.TypeA, resilience.Default("odns"), tel, nil)
@@ -375,9 +418,19 @@ func (g *gatedAuthority) Handle(from string, q *dnswire.Message) *dnswire.Messag
 // virtual clock (fail-closed; staggered sends so retries interleave
 // deterministically). Unlike the healthy runner it tolerates losses —
 // the audit's job under faults is to explain what WAS observed.
-func runMixnetScenarioFaults(tel *telemetry.Telemetry, _ int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+func runMixnetScenarioFaults(ctx Ctx, _ int, plan *simnet.FaultPlan) (*ledger.Ledger, error) {
+	return mixnetFaultsRun(ctx, 8, plan, true)
+}
+
+// mixnetFaultsRun is the parameterized core behind
+// runMixnetScenarioFaults and the explorer's mixnet probe. strict
+// keeps the audit CLI's guard that a plan severe enough to silence
+// every sender is an error; the explorer passes false because fault
+// synthesis is allowed to find such plans (silence leaks nothing).
+func mixnetFaultsRun(ctx Ctx, senders int, plan *simnet.FaultPlan, strict bool) (*ledger.Ledger, error) {
+	tel := ctx.Tel
 	cls := ledger.NewClassifier()
-	net := simnet.New(2)
+	net := ctx.NewNet(2)
 	net.Instrument(tel)
 	lg := ledger.New(cls, net.Now)
 	lg.Instrument(tel)
@@ -404,7 +457,7 @@ func runMixnetScenarioFaults(tel *telemetry.Telemetry, _ int, plan *simnet.Fault
 	defer phase.End()
 	p := resilience.Default("mixnet")
 	p.Timeout = 80 * time.Millisecond
-	for i := 0; i < 8; i++ {
+	for i := 0; i < senders; i++ {
 		i := i
 		sender := fmt.Sprintf("sender%02d", i)
 		msg := fmt.Sprintf("private message %02d", i)
@@ -426,7 +479,7 @@ func runMixnetScenarioFaults(tel *telemetry.Telemetry, _ int, plan *simnet.Fault
 		})
 	}
 	net.Run()
-	if len(rcv.Inbox()) == 0 && !plan.Empty() {
+	if strict && len(rcv.Inbox()) == 0 && !plan.Empty() {
 		return nil, fmt.Errorf("mixnet fault scenario: nothing delivered (plan too severe to audit)")
 	}
 	return lg, nil

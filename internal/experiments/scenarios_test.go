@@ -16,7 +16,7 @@ func renderScenario(t *testing.T, id string, parallel int) string {
 	if !ok {
 		t.Fatalf("scenario %q not found", id)
 	}
-	lg, err := sc.Run(nil, parallel)
+	lg, err := sc.Run(Ctx{}, parallel)
 	if err != nil {
 		t.Fatalf("scenario %s: %v", id, err)
 	}
@@ -78,7 +78,7 @@ func TestAuditScenariosMatchExperiments(t *testing.T) {
 		sc := sc
 		t.Run(sc.ID, func(t *testing.T) {
 			t.Parallel()
-			lg, err := sc.Run(nil, 2)
+			lg, err := sc.Run(Ctx{}, 2)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -23,7 +23,7 @@ import (
 // hops/aggregators are added. The paper's claim is qualitative — cost
 // grows with degree and eventually "offers limited return in privacy at
 // great cost" — so the reproduction asserts the monotone shape.
-func E10Degrees(tel *telemetry.Telemetry) (*Result, error) {
+func E10Degrees(ctx Ctx) (*Result, error) {
 	r := &Result{ID: "E10", Title: "Degrees of decoupling (cost vs. benefit)", Section: "4.2"}
 
 	// --- Relay path length: onion circuits with 1..5 hops ---
@@ -34,7 +34,7 @@ func E10Degrees(tel *telemetry.Telemetry) (*Result, error) {
 	var prevRTT time.Duration
 	var prevDegree int
 	for hops := 1; hops <= 5; hops++ {
-		rtt, degree, elapsed, err := onionRun(tel, hops)
+		rtt, degree, elapsed, err := onionRun(ctx, hops)
 		if err != nil {
 			return nil, err
 		}
@@ -94,13 +94,14 @@ func E10Degrees(tel *telemetry.Telemetry) (*Result, error) {
 // onionRun measures the request RTT through an n-hop circuit and the
 // minimum coalition of relays able to re-couple (from the measured
 // ledger structure). It also reports the virtual time the run consumed.
-func onionRun(tel *telemetry.Telemetry, hops int) (time.Duration, int, time.Duration, error) {
+func onionRun(ctx Ctx, hops int) (time.Duration, int, time.Duration, error) {
+	tel := ctx.Tel
 	phase := tel.Start("phase:hops", telemetry.A("hops", telemetry.Itoa(hops)))
 	defer phase.End()
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
 	lg.Instrument(tel)
-	net := simnet.New(int64(hops))
+	net := ctx.NewNet(int64(hops))
 	net.Instrument(tel)
 
 	var infos []onion.RelayInfo
@@ -157,7 +158,8 @@ func onionRun(tel *telemetry.Telemetry, hops int) (time.Duration, int, time.Dura
 
 // E11Striping reproduces the §5.1 argument: distributing DNS queries
 // across k resolvers limits the profile any single resolver can build.
-func E11Striping(tel *telemetry.Telemetry) (*Result, error) {
+func E11Striping(ctx Ctx) (*Result, error) {
+	tel := ctx.Tel
 	r := &Result{ID: "E11", Title: "Resolver striping (§5.1)", Section: "5.1"}
 
 	const users, queriesPerUser, nameCount = 20, 50, 40
@@ -248,7 +250,7 @@ func E11Striping(tel *telemetry.Telemetry) (*Result, error) {
 // E12TrafficAnalysis reproduces §4.3: the timing/size traffic-analysis
 // attacks and the cost of the defenses (batching latency, padding
 // bytes, chaff bandwidth) — the anonymity-trilemma shape.
-func E12TrafficAnalysis(tel *telemetry.Telemetry) (*Result, error) {
+func E12TrafficAnalysis(ctx Ctx) (*Result, error) {
 	r := &Result{ID: "E12", Title: "Traffic analysis and defenses (§4.3)", Section: "4.3"}
 
 	// --- Timing attack vs. batch size ---
@@ -259,7 +261,7 @@ func E12TrafficAnalysis(tel *telemetry.Telemetry) (*Result, error) {
 	}
 	var accs []float64
 	for _, batch := range []int{1, 4, 16, 64} {
-		acc, lat, elapsed, err := mixTimingRun(tel, batch, senders, false)
+		acc, lat, elapsed, err := mixTimingRun(ctx, batch, senders, false)
 		if err != nil {
 			return nil, err
 		}
@@ -283,7 +285,7 @@ func E12TrafficAnalysis(tel *telemetry.Telemetry) (*Result, error) {
 		Columns: []string{"padding", "linkage accuracy", "bytes on first hop"},
 	}
 	for _, padded := range []bool{false, true} {
-		acc, bytes, err := mixSizeRun(tel, 32, padded)
+		acc, bytes, err := mixSizeRun(ctx, 32, padded)
 		if err != nil {
 			return nil, err
 		}
@@ -308,7 +310,7 @@ func E12TrafficAnalysis(tel *telemetry.Telemetry) (*Result, error) {
 	}
 	base := 0
 	for _, rate := range []int{0, 1, 2, 4} {
-		cells, err := onionChaffRun(tel, rate)
+		cells, err := onionChaffRun(ctx, rate)
 		if err != nil {
 			return nil, err
 		}
@@ -388,10 +390,11 @@ func disclosureRun(cover bool) (topReceiver string, topScore float64) {
 
 // mixTimingRun stages senders 1ms apart through a 1-mix net with the
 // given batch threshold and runs the rank-order timing attack.
-func mixTimingRun(tel *telemetry.Telemetry, batch, senders int, padded bool) (accuracy float64, meanLatency time.Duration, elapsed time.Duration, err error) {
+func mixTimingRun(ctx Ctx, batch, senders int, padded bool) (accuracy float64, meanLatency time.Duration, elapsed time.Duration, err error) {
+	tel := ctx.Tel
 	phase := tel.Start("phase:batch", telemetry.A("threshold", telemetry.Itoa(batch)))
 	defer phase.End()
-	net := simnet.New(int64(batch) + 100)
+	net := ctx.NewNet(int64(batch) + 100)
 	net.Instrument(tel)
 	m, err := mixnet.NewMix(net, "Mix 1", "mix1", batch, 0, nil)
 	if err != nil {
@@ -443,10 +446,11 @@ func mixTimingRun(tel *telemetry.Telemetry, batch, senders int, padded bool) (ac
 
 // mixSizeRun sends distinct-length messages through a fully batched mix
 // and mounts the rank-order size attack on the global capture.
-func mixSizeRun(tel *telemetry.Telemetry, senders int, padded bool) (accuracy float64, firstHopBytes int, err error) {
+func mixSizeRun(ctx Ctx, senders int, padded bool) (accuracy float64, firstHopBytes int, err error) {
+	tel := ctx.Tel
 	phase := tel.Start("phase:padding", telemetry.A("padded", fmt.Sprint(padded)))
 	defer phase.End()
-	net := simnet.New(7)
+	net := ctx.NewNet(7)
 	net.Instrument(tel)
 	m, err := mixnet.NewMix(net, "Mix 1", "mix1", senders, 0, nil)
 	if err != nil {
@@ -502,10 +506,11 @@ func mixSizeRun(tel *telemetry.Telemetry, senders int, padded bool) (accuracy fl
 
 // onionChaffRun counts cells on the wire for one data request plus rate
 // chaff cells through a 3-hop circuit.
-func onionChaffRun(tel *telemetry.Telemetry, rate int) (cells int, err error) {
+func onionChaffRun(ctx Ctx, rate int) (cells int, err error) {
+	tel := ctx.Tel
 	phase := tel.Start("phase:chaff", telemetry.A("rate", telemetry.Itoa(rate)))
 	defer phase.End()
-	net := simnet.New(int64(rate) + 5)
+	net := ctx.NewNet(int64(rate) + 5)
 	net.Instrument(tel)
 	var infos []onion.RelayInfo
 	for i := 1; i <= 3; i++ {

@@ -15,7 +15,6 @@ import (
 	"decoupling/internal/ppm"
 	"decoupling/internal/privacypass"
 	"decoupling/internal/simnet"
-	"decoupling/internal/telemetry"
 	"decoupling/internal/vpn"
 	"decoupling/internal/workload"
 
@@ -29,7 +28,8 @@ const keyBits = 1024
 // E1DigitalCash reproduces the §3.1.1 blind-signature digital-currency
 // table: 20 buyers withdraw and spend coins; Signer, Verifier, and
 // Seller tuples are measured.
-func E1DigitalCash(tel *telemetry.Telemetry) (*Result, error) {
+func E1DigitalCash(ctx Ctx) (*Result, error) {
+	tel := ctx.Tel
 	r := &Result{ID: "E1", Title: "Digital cash (blind signatures)", Section: "3.1.1"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
@@ -70,12 +70,13 @@ func E1DigitalCash(tel *telemetry.Telemetry) (*Result, error) {
 
 // E2Mixnet reproduces the §3.1.2 table and Figure 1 with a 3-mix
 // cascade carrying 64 senders' messages, batch threshold 8.
-func E2Mixnet(tel *telemetry.Telemetry) (*Result, error) {
+func E2Mixnet(ctx Ctx) (*Result, error) {
+	tel := ctx.Tel
 	r := &Result{ID: "E2", Title: "Mix-net (Figure 1)", Section: "3.1.2"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
 	lg.Instrument(tel)
-	net := simnet.New(2)
+	net := ctx.NewNet(2)
 	net.Instrument(tel)
 
 	var route []mixnet.NodeInfo
@@ -148,7 +149,8 @@ func E2Mixnet(tel *telemetry.Telemetry) (*Result, error) {
 
 // E3PrivacyPass reproduces the §3.2.1 table and Figure 2: clients prove
 // legitimacy to the issuer, redeem unlinkable tokens at the origin.
-func E3PrivacyPass(tel *telemetry.Telemetry) (*Result, error) {
+func E3PrivacyPass(ctx Ctx) (*Result, error) {
+	tel := ctx.Tel
 	r := &Result{ID: "E3", Title: "Privacy Pass (Figure 2)", Section: "3.2.1"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
@@ -193,20 +195,20 @@ func E3PrivacyPass(tel *telemetry.Telemetry) (*Result, error) {
 
 // E4ObliviousDNS reproduces the §3.2.2 table for both ODNS and ODoH (the
 // two named instantiations); both must match the same published table.
-func E4ObliviousDNS(tel *telemetry.Telemetry) (*Result, error) {
+func E4ObliviousDNS(ctx Ctx) (*Result, error) {
 	r := &Result{ID: "E4", Title: "Oblivious DNS (ODNS + ODoH)", Section: "3.2.2"}
 	expected := core.ObliviousDNS()
 
 	// Both halves run through the shared audit scenario runners, so
 	// `decouple audit odns|odoh` explains exactly the runs measured here.
-	lgA, err := runODNSScenario(tel, 1)
+	lgA, err := runODNSScenario(ctx, 1)
 	if err != nil {
 		return nil, err
 	}
 	measuredA := lgA.DeriveSystem(expected)
 	diffsA := core.CompareTuples(expected, measuredA)
 
-	lgB, err := runODoHScenario(tel, 1)
+	lgB, err := runODoHScenario(ctx, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +253,8 @@ func tupleRows(s *core.System) [][]string {
 
 // E5PGPP reproduces the §3.2.3 table (with the ▲_H/▲_N decomposition)
 // and adds the shuffle-policy ablation the PGPP design motivates.
-func E5PGPP(tel *telemetry.Telemetry) (*Result, error) {
+func E5PGPP(ctx Ctx) (*Result, error) {
+	tel := ctx.Tel
 	r := &Result{ID: "E5", Title: "Pretty Good Phone Privacy", Section: "3.2.3"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
@@ -339,7 +342,8 @@ func E5PGPP(tel *telemetry.Telemetry) (*Result, error) {
 // E6MPR reproduces the §3.2.4 Multi-Party Relay table over real
 // loopback TCP with nested TLS tunnels, with Privacy Pass tokens gating
 // relay 1 (the composition deployed systems use).
-func E6MPR(tel *telemetry.Telemetry) (*Result, error) {
+func E6MPR(ctx Ctx) (*Result, error) {
+	tel := ctx.Tel
 	r := &Result{ID: "E6", Title: "Multi-Party Relay", Section: "3.2.4"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
@@ -418,7 +422,8 @@ func E6MPR(tel *telemetry.Telemetry) (*Result, error) {
 
 // E7PPM reproduces the §3.2.5 private aggregate statistics table and
 // records correctness of the aggregate.
-func E7PPM(tel *telemetry.Telemetry) (*Result, error) {
+func E7PPM(ctx Ctx) (*Result, error) {
+	tel := ctx.Tel
 	r := &Result{ID: "E7", Title: "Private aggregate statistics (PPM/Prio)", Section: "3.2.5"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
@@ -461,7 +466,8 @@ func E7PPM(tel *telemetry.Telemetry) (*Result, error) {
 
 // E8VPN reproduces the §3.3 cautionary-tale table: the VPN server
 // measures coupled and the verdict is NOT decoupled.
-func E8VPN(tel *telemetry.Telemetry) (*Result, error) {
+func E8VPN(ctx Ctx) (*Result, error) {
+	tel := ctx.Tel
 	r := &Result{ID: "E8", Title: "Centralized VPN (cautionary tale)", Section: "3.3"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
@@ -519,7 +525,8 @@ func E8VPN(tel *telemetry.Telemetry) (*Result, error) {
 
 // E9ECH reproduces the §3.3 ECH discussion: the network's view improves
 // but the system remains coupled at the server.
-func E9ECH(tel *telemetry.Telemetry) (*Result, error) {
+func E9ECH(ctx Ctx) (*Result, error) {
+	tel := ctx.Tel
 	r := &Result{ID: "E9", Title: "TLS Encrypted ClientHello (cautionary tale)", Section: "3.3"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)

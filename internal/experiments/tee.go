@@ -6,7 +6,6 @@ import (
 	"decoupling/internal/core"
 	"decoupling/internal/ledger"
 	"decoupling/internal/tee"
-	"decoupling/internal/telemetry"
 )
 
 // E13TEE is the §4.3 extension experiment: Trusted Execution
@@ -15,7 +14,8 @@ import (
 // CACTI (client-side private rate-limiting state instead of CAPTCHAs)
 // and Phoenix (keyless CDNs). Both run here, and the measured CDN
 // operator tuple is compared against the traditional-CDN baseline.
-func E13TEE(tel *telemetry.Telemetry) (*Result, error) {
+func E13TEE(ctx Ctx) (*Result, error) {
+	tel := ctx.Tel
 	r := &Result{ID: "E13", Title: "TEEs as a decoupling mechanism (CACTI + Phoenix)", Section: "4.3"}
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)

@@ -1,0 +1,59 @@
+package explore
+
+import (
+	"bytes"
+	"testing"
+
+	"decoupling/internal/simnet"
+)
+
+// FuzzScheduleTrace round-trips replay traces through the decoder and
+// canonical encoder: any input the decoder accepts must re-encode to a
+// fixpoint (encode(decode(x)) == encode(decode(encode(decode(x))))),
+// and the canonical form must satisfy the same validation the decoder
+// enforces. This pins the trace format against silent drift — a replay
+// artifact written by one build must stay readable by the next.
+func FuzzScheduleTrace(f *testing.F) {
+	seedTraces := []*Trace{
+		{Probe: "odoh-failopen", Seed: 1, Clients: 1, Faults: "crash:proxy@0s-", Oracle: OracleNoLeak},
+		{Probe: "mixnet", Seed: 7, Clients: 8, Faults: "loss:*>*:0.5@10ms-90ms;partition:c0>mix1@0s-",
+			Schedules: []simnet.ScheduleTrace{{1, 0, 2}, nil, {3}}},
+		{Probe: "E12", Seed: 3},
+		{Probe: "odns", Seed: 9, Clients: 20, Detail: []string{"note"}},
+	}
+	for _, tr := range seedTraces {
+		b, err := EncodeTrace(tr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{"format":"decoupling-explore-trace/v1","probe":"x","clients":0}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTrace(data)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		enc, err := EncodeTrace(tr)
+		if err != nil {
+			t.Fatalf("decoded trace failed to encode: %v", err)
+		}
+		tr2, err := DecodeTrace(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected by decoder: %v\n%s", err, enc)
+		}
+		enc2, err := EncodeTrace(tr2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding not a fixpoint:\n%s\n%s", enc, enc2)
+		}
+		if tr2.Events() != tr.Events() {
+			t.Fatalf("round trip changed event count: %d -> %d", tr.Events(), tr2.Events())
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package explore
+
+import (
+	"fmt"
+
+	"decoupling/internal/core"
+	"decoupling/internal/ledger"
+)
+
+// Oracle names. An oracle is an invariant asserted over a quiesced run;
+// violations carry the name so shrinking can hold the counterexample to
+// the SAME bug while it minimizes.
+const (
+	// OracleTupleEquality: with no faults injected and the canonical
+	// client count, every admissible schedule must measure exactly the
+	// paper's knowledge tuples — the §2.4 verdict tables are claims
+	// about the protocol, not about one lucky delivery order.
+	OracleTupleEquality = "tuple-equality"
+	// OracleNoLeak: under ANY fault plan, faults may erase knowledge
+	// (lost messages observe nothing) but never add it — no entity's
+	// measured level on any (kind, label) axis may exceed the paper's.
+	// This is the fail-closed contract; the planted fail-open probe
+	// violates exactly this.
+	OracleNoLeak = "no-leak"
+	// OracleVerdictStability: the coalition analysis of the measured
+	// system must never be weaker than the paper's — a decoupled system
+	// stays decoupled, and the minimum re-coupling coalition never
+	// shrinks below the published degree.
+	OracleVerdictStability = "verdict-stability"
+	// OracleAdmissionOrder: the ledger's global admission order is
+	// linearizable — sequence numbers are unique, contiguous from 1,
+	// and each observer's shard order embeds into the global order.
+	OracleAdmissionOrder = "admission-order"
+	// OracleDeterminism: replaying the recorded (schedule, faults,
+	// clients) case must reproduce the audit report byte-for-byte and
+	// re-record the identical normalized schedule. Violations are
+	// produced by the sweep's replay pass, not by Check.
+	OracleDeterminism = "determinism"
+	// OracleReproduction: the case must execute without error, and a
+	// swept experiment's own PASS criterion must hold under every
+	// explored schedule. Violations are produced by the sweep, not by
+	// Check.
+	OracleReproduction = "reproduction"
+)
+
+// Violation is one oracle failure with a deterministic description.
+type Violation struct {
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Oracle + ": " + v.Detail }
+
+// Check runs the post-quiescence oracle library over a case's ledger.
+// expected is the paper's model; healthy selects the tuple-equality
+// oracle (no faults, canonical client count) in addition to the
+// subsumption oracles that hold under any plan.
+func Check(lg *ledger.Ledger, expected *core.System, healthy bool) []Violation {
+	var out []Violation
+	measured := lg.DeriveSystem(expected)
+
+	if healthy {
+		for _, d := range core.CompareTuples(expected, measured) {
+			out = append(out, Violation{OracleTupleEquality, d})
+		}
+	}
+	out = append(out, checkNoLeak(expected, measured)...)
+	out = append(out, checkVerdict(expected, measured)...)
+	out = append(out, checkAdmissionOrder(lg)...)
+	return out
+}
+
+// levelsByAxis folds a tuple to its per-(kind, label) maximum level.
+func levelsByAxis(t core.Tuple) map[[2]string]core.Level {
+	m := map[[2]string]core.Level{}
+	for _, c := range t {
+		k := [2]string{fmt.Sprint(int(c.Kind)), c.Label}
+		if c.Level > m[k] {
+			m[k] = c.Level
+		}
+	}
+	return m
+}
+
+// checkNoLeak asserts measured knowledge is subsumed by the paper's:
+// for every non-user entity and axis, measured level <= expected level.
+func checkNoLeak(expected, measured *core.System) []Violation {
+	var out []Violation
+	for _, e := range expected.Entities {
+		if e.User {
+			continue
+		}
+		m := measured.Entity(e.Name)
+		if m == nil {
+			continue
+		}
+		want := levelsByAxis(e.Knows)
+		for _, c := range m.Knows {
+			k := [2]string{fmt.Sprint(int(c.Kind)), c.Label}
+			if c.Level > want[k] {
+				out = append(out, Violation{OracleNoLeak, fmt.Sprintf(
+					"entity %q leaked %s: measured %s, paper allows at most %s",
+					e.Name, c.Symbol(), c.Level, want[k])})
+			}
+		}
+	}
+	return out
+}
+
+// checkVerdict asserts the measured coalition analysis is at least as
+// strong as the paper's: decoupled stays decoupled, and the minimum
+// re-coupling coalition never gets smaller (degree 0 = no coalition
+// suffices, the strongest outcome).
+func checkVerdict(expected, measured *core.System) []Violation {
+	ev, err := core.Analyze(expected)
+	if err != nil {
+		return []Violation{{OracleVerdictStability, "analyzing expected model: " + err.Error()}}
+	}
+	mv, err := core.Analyze(measured)
+	if err != nil {
+		return []Violation{{OracleVerdictStability, "analyzing measured system: " + err.Error()}}
+	}
+	var out []Violation
+	if ev.Decoupled && !mv.Decoupled {
+		out = append(out, Violation{OracleVerdictStability, fmt.Sprintf(
+			"expected DECOUPLED, measured %s", mv)})
+	}
+	if mv.Degree != 0 && mv.Degree < ev.Degree {
+		out = append(out, Violation{OracleVerdictStability, fmt.Sprintf(
+			"re-coupling coalition shrank: degree %d (paper %d)", mv.Degree, ev.Degree)})
+	}
+	return out
+}
+
+// checkAdmissionOrder asserts the ledger's global admission order is a
+// linearization: sequence numbers unique and contiguous from 1, global
+// order sorted, and every observer's shard order embedded in it.
+func checkAdmissionOrder(lg *ledger.Ledger) []Violation {
+	obs := lg.Observations()
+	var out []Violation
+	for i, o := range obs {
+		if o.Seq() != uint64(i+1) {
+			out = append(out, Violation{OracleAdmissionOrder, fmt.Sprintf(
+				"admission seq not contiguous: position %d holds seq %d", i, o.Seq())})
+			break
+		}
+	}
+	// Per-shard order must embed in the global order: each observer's
+	// log, as appended, must carry strictly increasing seqs.
+	seen := map[string]uint64{}
+	violated := map[string]bool{}
+	byObserver := map[string][]uint64{}
+	for _, o := range obs {
+		byObserver[o.Observer] = append(byObserver[o.Observer], o.Seq())
+	}
+	for _, e := range lg.Stats().Observers {
+		for i, s := range shardSeqs(lg, e.Observer) {
+			if i > 0 && s <= seen[e.Observer] && !violated[e.Observer] {
+				violated[e.Observer] = true
+				out = append(out, Violation{OracleAdmissionOrder, fmt.Sprintf(
+					"observer %q shard order not linearizable: seq %d after %d", e.Observer, s, seen[e.Observer])})
+			}
+			seen[e.Observer] = s
+		}
+		if len(byObserver[e.Observer]) != e.Observations {
+			out = append(out, Violation{OracleAdmissionOrder, fmt.Sprintf(
+				"observer %q: %d observations in global order, %d in shard",
+				e.Observer, len(byObserver[e.Observer]), e.Observations)})
+		}
+	}
+	return out
+}
+
+// shardSeqs returns one observer's admission seqs in shard append order.
+func shardSeqs(lg *ledger.Ledger, observer string) []uint64 {
+	obs := lg.ByObserver(observer)
+	out := make([]uint64, len(obs))
+	for i, o := range obs {
+		out[i] = o.Seq()
+	}
+	return out
+}

@@ -40,6 +40,13 @@ import (
 // typed signal (the moral equivalent of a connection refused).
 var ErrNodeDown = errors.New("simnet: node down")
 
+// ErrOverlappingCrash is wrapped into ParseFaultPlan errors when two
+// crash windows can cover the same node at the same instant. Overlap is
+// rejected rather than merged because the transitions are scheduled
+// independently: the first window's restart would bring the node up in
+// the middle of the second window, silently contradicting the spec.
+var ErrOverlappingCrash = errors.New("simnet: overlapping crash windows for the same node")
+
 // Wildcard matches any node in a fault's Node/Src/Dst position.
 const Wildcard Addr = "*"
 
@@ -200,6 +207,61 @@ func (p *FaultPlan) SpikeAt(src, dst Addr, t time.Duration) time.Duration {
 	return extra
 }
 
+// Spec renders the plan in the ParseFaultPlan grammar, one clause per
+// fault in schedule order. The output is canonical — parsing it yields
+// an equal plan whose Spec is byte-identical — which is what lets
+// fault plans ride inside replay traces and shrink by clause removal.
+// Both-direction partitions built with Partition serialize as their two
+// one-way clauses.
+func (p *FaultPlan) Spec() string {
+	if p.Empty() {
+		return ""
+	}
+	clauses := make([]string, 0, len(p.faults))
+	for _, f := range p.faults {
+		w := f.From.String() + "-"
+		if f.Until > 0 {
+			w += f.Until.String()
+		}
+		switch f.Kind {
+		case FaultCrash:
+			clauses = append(clauses, fmt.Sprintf("crash:%s@%s", f.Node, w))
+		case FaultPartition:
+			clauses = append(clauses, fmt.Sprintf("partition:%s>%s@%s", f.Src, f.Dst, w))
+		case FaultLoss:
+			clauses = append(clauses, fmt.Sprintf("loss:%s>%s:%s@%s",
+				f.Src, f.Dst, strconv.FormatFloat(f.Loss, 'g', -1, 64), w))
+		case FaultSpike:
+			clauses = append(clauses, fmt.Sprintf("spike:%s>%s:%s@%s", f.Src, f.Dst, f.Extra, w))
+		}
+	}
+	return strings.Join(clauses, ";")
+}
+
+// validateCrashWindows rejects plans where two crash windows can cover
+// the same node at the same instant (Wildcard overlaps everything).
+func validateCrashWindows(faults []Fault) error {
+	var crashes []Fault
+	for _, f := range faults {
+		if f.Kind == FaultCrash {
+			crashes = append(crashes, f)
+		}
+	}
+	for i, f := range crashes {
+		for _, g := range crashes[i+1:] {
+			if f.Node != g.Node && f.Node != Wildcard && g.Node != Wildcard {
+				continue
+			}
+			// Half-open windows [From, Until) with Until <= 0 = forever.
+			disjoint := (f.Until > 0 && f.Until <= g.From) || (g.Until > 0 && g.Until <= f.From)
+			if !disjoint {
+				return fmt.Errorf("%w: %s@%s- and %s@%s-", ErrOverlappingCrash, f.Node, f.From, g.Node, g.From)
+			}
+		}
+	}
+	return nil
+}
+
 // ParseFaultPlan parses a compact spec string:
 //
 //	crash:NODE@FROM-[UNTIL]
@@ -252,7 +314,7 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 				return nil, fmt.Errorf("simnet: fault %q: want SRC>DST:PROB", part)
 			}
 			prob, err := strconv.ParseFloat(probStr, 64)
-			if err != nil || prob < 0 || prob > 1 {
+			if err != nil || !(prob >= 0 && prob <= 1) {
 				return nil, fmt.Errorf("simnet: fault %q: loss probability must be in [0,1]", part)
 			}
 			p.Loss(Addr(src), Addr(dst), prob, from, until)
@@ -270,6 +332,9 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 		default:
 			return nil, fmt.Errorf("simnet: fault %q: unknown kind %q (crash, partition, loss, spike)", part, kind)
 		}
+	}
+	if err := validateCrashWindows(p.faults); err != nil {
+		return nil, err
 	}
 	return p, nil
 }

@@ -128,7 +128,21 @@ type Network struct {
 	// tel is the optional telemetry sink. When nil (the default) the
 	// hot paths pay exactly one pointer check.
 	tel *telemetry.Telemetry
+
+	// Schedule-exploration state (see sched.go): the installed
+	// scheduler, the replay script and its cursor, and the decisions
+	// recorded so far. All nil/zero in the canonical FIFO mode.
+	sched      Scheduler
+	replay     ScheduleTrace
+	replayPos  int
+	schedTrace ScheduleTrace
 }
+
+// heapPop pops the earliest (at, seq) event.
+func heapPop(q *eventQueue) *event { return heap.Pop(q).(*event) }
+
+// pushLocked re-queues an event without consuming a new seq.
+func (n *Network) pushLocked(e *event) { heap.Push(&n.queue, e) }
 
 // New creates a network with the given RNG seed and a default link
 // latency of 10ms with no jitter.
@@ -292,7 +306,7 @@ func (n *Network) RunUntil(deadline time.Duration) uint64 {
 			n.mu.Unlock()
 			return delivered
 		}
-		e := heap.Pop(&n.queue).(*event)
+		e := n.popNextLocked()
 		n.now = e.at
 		var h Handler
 		var msg Message

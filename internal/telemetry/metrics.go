@@ -27,6 +27,11 @@ const (
 	MetricOdohHandled        = "decoupling_odoh_handled_total"
 	MetricOnionCells         = "decoupling_onion_cells_total"
 	MetricMixBatchSize       = "decoupling_mixnet_batch_size"
+	// Schedule-explorer counters (internal/explore), labeled per seed.
+	MetricExploreCases      = "decoupling_explore_cases_total"
+	MetricExploreDecisions  = "decoupling_explore_schedule_decisions_total"
+	MetricExploreViolations = "decoupling_explore_violations_total"
+	MetricExploreShrinkRuns = "decoupling_explore_shrink_runs_total"
 )
 
 // Fixed bucket layouts. Keeping them package-level constants (rather
