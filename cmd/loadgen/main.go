@@ -1,0 +1,458 @@
+// Command loadgen drives the real-socket transport stack at scale:
+// 10^5–10^6 simulated clients against sharded ODoH proxies over real
+// loopback HTTP, and a mixnet relay cascade over the real TCP
+// transport. It measures what the simulator cannot — wall throughput,
+// delivery latency quantiles, allocations per operation — while keeping
+// what the simulator guarantees: with the ledger enabled, the same
+// knowledge tuples and coalition verdict the table experiments derive.
+//
+// Output is a JSON benchmark document (BENCH_transport.json by
+// convention) and a human summary on stderr. The process exits nonzero
+// if any request errored, so CI can gate on a clean run.
+//
+// Quickstart:
+//
+//	go run ./cmd/loadgen -clients 100000 -out BENCH_transport.json
+//
+// The million-client sweep (documented in EXPERIMENTS.md) disables the
+// ledger and packet capture to measure the bare transport:
+//
+//	go run ./cmd/loadgen -full -out BENCH_transport.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decoupling/internal/core"
+	"decoupling/internal/dns"
+	"decoupling/internal/dnswire"
+	"decoupling/internal/ledger"
+	"decoupling/internal/mixnet"
+	"decoupling/internal/nettransport"
+	"decoupling/internal/odoh"
+	"decoupling/internal/transport"
+	"decoupling/internal/workload"
+)
+
+// clientHeader carries the logical client identity on the loadgen's
+// proxy endpoints. Ground truth must name stable client identities;
+// r.RemoteAddr is useless for that at this scale because the kernel
+// recycles ephemeral ports across logical clients mid-run.
+const clientHeader = "X-Loadgen-Client"
+
+type latencyStats struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+type legResult struct {
+	Requests    uint64       `json:"requests"`
+	Errors      uint64       `json:"errors"`
+	Seconds     float64      `json:"seconds"`
+	Throughput  float64      `json:"requests_per_sec"`
+	Latency     latencyStats `json:"latency"`
+	AllocsPerOp uint64       `json:"allocs_per_op"`
+	BytesPerOp  uint64       `json:"bytes_per_op"`
+	Delivered   uint64       `json:"delivered,omitempty"`
+	Lost        uint64       `json:"lost,omitempty"`
+}
+
+type ledgerResult struct {
+	Observations  int  `json:"observations"`
+	TupleDiffs    int  `json:"tuple_diffs"`
+	Decoupled     bool `json:"verdict_decoupled"`
+	AuditObserver int  `json:"observers"`
+}
+
+type benchDoc struct {
+	Clients int           `json:"clients"`
+	Proxies int           `json:"proxies"`
+	Relays  int           `json:"relays"`
+	Workers int           `json:"workers"`
+	Seed    int64         `json:"seed"`
+	Full    bool          `json:"full"`
+	ODoH    legResult     `json:"odoh"`
+	Mixnet  legResult     `json:"mixnet"`
+	Ledger  *ledgerResult `json:"ledger,omitempty"`
+}
+
+func main() {
+	var (
+		clients = flag.Int("clients", 100_000, "logical ODoH clients to simulate")
+		proxies = flag.Int("proxies", 4, "ODoH proxy shards (HTTP endpoints of one logical operator)")
+		relays  = flag.Int("relays", 3, "mixes in the relay cascade")
+		workers = flag.Int("workers", 256, "concurrent client goroutines")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		out     = flag.String("out", "BENCH_transport.json", "benchmark JSON output path")
+		full    = flag.Bool("full", false, "million-client sweep: 1e6 clients, ledger and capture off")
+		useLg   = flag.Bool("ledger", true, "admit observations into the knowledge ledger and derive the verdict")
+	)
+	flag.Parse()
+	if *full {
+		*clients = 1_000_000
+		*useLg = false
+	}
+	if *clients < 1 || *proxies < 1 || *relays < 1 || *workers < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: all sizes must be >= 1")
+		os.Exit(2)
+	}
+
+	doc := benchDoc{Clients: *clients, Proxies: *proxies, Relays: *relays,
+		Workers: *workers, Seed: *seed, Full: *full}
+
+	var lg *ledger.Ledger
+	var cls *ledger.Classifier
+	if *useLg {
+		cls = ledger.NewClassifier()
+		lg = ledger.New(cls, nil)
+	}
+
+	odohRes, err := runODoH(*clients, *proxies, *workers, *seed, cls, lg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: odoh leg: %v\n", err)
+		os.Exit(1)
+	}
+	doc.ODoH = odohRes
+
+	mixRes, err := runMixnetLeg(*clients, *relays, *workers, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: mixnet leg: %v\n", err)
+		os.Exit(1)
+	}
+	doc.Mixnet = mixRes
+
+	if lg != nil {
+		expected := core.ObliviousDNS()
+		measured := lg.DeriveSystem(expected)
+		diffs := core.CompareTuples(expected, measured)
+		verdict, err := core.Analyze(measured)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: analyze: %v\n", err)
+			os.Exit(1)
+		}
+		st := lg.Stats()
+		doc.Ledger = &ledgerResult{
+			Observations:  st.Total,
+			TupleDiffs:    len(diffs),
+			Decoupled:     verdict.Decoupled,
+			AuditObserver: len(st.Observers),
+		}
+		for _, d := range diffs {
+			fmt.Fprintf(os.Stderr, "loadgen: tuple diff under load: %s\n", d)
+		}
+	}
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: odoh  %d req %.0f req/s p50=%.2fms p99=%.2fms errors=%d\n",
+		doc.ODoH.Requests, doc.ODoH.Throughput, doc.ODoH.Latency.P50, doc.ODoH.Latency.P99, doc.ODoH.Errors)
+	fmt.Fprintf(os.Stderr, "loadgen: mixnet %d msgs %.0f msg/s delivered=%d lost=%d errors=%d\n",
+		doc.Mixnet.Requests, doc.Mixnet.Throughput, doc.Mixnet.Delivered, doc.Mixnet.Lost, doc.Mixnet.Errors)
+	if doc.Ledger != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: ledger %d observations, %d tuple diffs, decoupled=%v\n",
+			doc.Ledger.Observations, doc.Ledger.TupleDiffs, doc.Ledger.Decoupled)
+	}
+	if doc.ODoH.Errors > 0 || doc.Mixnet.Errors > 0 ||
+		(doc.Ledger != nil && (doc.Ledger.TupleDiffs > 0 || !doc.Ledger.Decoupled)) {
+		os.Exit(1)
+	}
+}
+
+// runODoH drives the sharded-proxy leg: every proxy shard is a real
+// net/http server belonging to the same logical operator (one ledger
+// observer), clients round-robin across shards, and each client issues
+// a churn-model session of oblivious queries over loopback HTTP.
+func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, lg *ledger.Ledger) (legResult, error) {
+	var res legResult
+
+	browsing, err := workload.NewBrowsing(seed, 100, 1.2)
+	if err != nil {
+		return res, err
+	}
+	sessions, err := workload.NewSessions(seed+1, 3, 0.8)
+	if err != nil {
+		return res, err
+	}
+
+	zone := dns.NewZone("test")
+	for i, name := range browsing.Names {
+		zone.Add(dnswire.A(name, 300, [4]byte{198, 51, 100, byte(i)}))
+	}
+	origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{zone}, Ledger: lg}
+	target, err := odoh.NewTarget(odoh.TargetName, origin, lg)
+	if err != nil {
+		return res, err
+	}
+	keyID, pub := target.KeyConfig()
+
+	// All shards share the proxy name: sharding is a deployment detail
+	// of one operator, and the derived knowledge tuple must say so.
+	proxy := odoh.NewProxy(odoh.ProxyName, target, lg)
+	if cls != nil {
+		cls.RegisterIdentity(odoh.ProxyName, "", "", core.NonSensitive)
+		cls.RegisterIdentity(odoh.TargetName, "", "", core.NonSensitive)
+		cls.RegisterIdentity("Origin", "", "", core.NonSensitive)
+		for i, name := range browsing.Names {
+			cls.RegisterData(dnswire.CanonicalName(name), fmt.Sprintf("client%06d", i%clients), "", core.Sensitive)
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /proxy", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		who := r.Header.Get(clientHeader)
+		if who == "" {
+			who = r.RemoteAddr
+		}
+		resp, err := proxy.Forward(who, body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Write(resp)
+	})
+
+	servers := make([]*http.Server, shards)
+	urls := make([]string, shards)
+	for i := range servers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return res, fmt.Errorf("proxy shard %d: %w", i, err)
+		}
+		urls[i] = "http://" + ln.Addr().String() + "/proxy"
+		servers[i] = &http.Server{Handler: mux}
+		go servers[i].Serve(ln)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	httpClient := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        workers * 2,
+		MaxIdleConnsPerHost: workers,
+	}}
+
+	// Per-client session lengths, drawn up front so workers stay
+	// lock-free; registration of client ground truth rides along.
+	lengths := make([]int, clients)
+	total := 0
+	for i := range lengths {
+		lengths[i] = sessions.Next()
+		total += lengths[i]
+		if cls != nil {
+			who := fmt.Sprintf("client%06d", i)
+			cls.RegisterIdentity(who, who, "", core.Sensitive)
+		}
+	}
+
+	latencies := make([]int64, total)
+	var next, errs, done atomic.Uint64
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker workload stream: Browsing's Zipf rng is not safe
+			// for concurrent draws, and a shared lock on it would serialize
+			// the very hot path this benchmark measures. Same name universe,
+			// worker-decorrelated seed.
+			wb, err := workload.NewBrowsing(seed+int64(w)*7919, 100, 1.2)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= clients {
+					return
+				}
+				who := fmt.Sprintf("client%06d", i)
+				c := odoh.NewClient(who, keyID, pub)
+				url := urls[i%len(urls)]
+				forward := func(clientAddr string, raw []byte) ([]byte, error) {
+					return postQuery(httpClient, url, clientAddr, raw)
+				}
+				for j := 0; j < lengths[i]; j++ {
+					slot := done.Add(1) - 1
+					t0 := time.Now()
+					_, err := c.Query(wb.Next(i), dnswire.TypeA, forward)
+					latencies[slot] = time.Since(t0).Nanoseconds()
+					if err != nil {
+						errs.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	res.Requests = done.Load()
+	res.Errors = errs.Load()
+	res.Seconds = elapsed.Seconds()
+	res.Throughput = float64(res.Requests) / elapsed.Seconds()
+	res.Latency = quantiles(latencies[:res.Requests])
+	if res.Requests > 0 {
+		res.AllocsPerOp = (ms1.Mallocs - ms0.Mallocs) / res.Requests
+		res.BytesPerOp = (ms1.TotalAlloc - ms0.TotalAlloc) / res.Requests
+	}
+	return res, nil
+}
+
+// postQuery is the client half of the loadgen proxy protocol: an
+// oblivious query POSTed to a shard with the logical identity in a
+// header, because ground truth needs stable client names and ephemeral
+// ports are recycled across logical clients at this scale.
+func postQuery(client *http.Client, url, clientAddr string, raw []byte) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/oblivious-dns-message")
+	req.Header.Set(clientHeader, clientAddr)
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("proxy returned %s: %s", resp.Status, out)
+	}
+	return out, nil
+}
+
+// runMixnetLeg drives the relay cascade over the real TCP transport:
+// one sender per ten ODoH clients (capped to keep per-message onion
+// crypto from dominating the wall clock), batch threshold 8 with a
+// timeout flush so stragglers drain.
+func runMixnetLeg(clients, relays, workers int, seed int64) (legResult, error) {
+	var res legResult
+
+	senders := clients / 10
+	if senders < 64 {
+		senders = 64
+	}
+	if senders > 50_000 {
+		senders = 50_000
+	}
+
+	nt := nettransport.New(nettransport.Options{
+		Mode:           nettransport.ModeTCP,
+		Seed:           seed,
+		DisableCapture: true,
+		InboxDepth:     16_384,
+	})
+	defer nt.Close()
+
+	var route []mixnet.NodeInfo
+	for i := 1; i <= relays; i++ {
+		m, err := mixnet.NewMix(nt, fmt.Sprintf("Relay %d", i),
+			transport.Addr(fmt.Sprintf("relay%d", i)), 8, 100*time.Millisecond, nil)
+		if err != nil {
+			return res, err
+		}
+		route = append(route, m.Info())
+	}
+	rcv, err := mixnet.NewReceiver(nt, "Receiver", "receiver", false, nil)
+	if err != nil {
+		return res, err
+	}
+
+	var next, errs atomic.Uint64
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= senders {
+					return
+				}
+				s := &mixnet.Sender{Addr: transport.Addr(fmt.Sprintf("sender%06d", i))}
+				if err := s.Send(nt, route, rcv.Info(), []byte(fmt.Sprintf("message %06d", i))); err != nil {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	nt.Run()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	got := len(rcv.Inbox())
+	if got != senders {
+		return res, fmt.Errorf("receiver got %d of %d messages (lost %d)", got, senders, nt.Lost())
+	}
+
+	res.Requests = uint64(senders)
+	res.Errors = errs.Load()
+	res.Seconds = elapsed.Seconds()
+	res.Throughput = float64(senders) / elapsed.Seconds()
+	res.Delivered = nt.Delivered()
+	res.Lost = nt.Lost()
+	if res.Requests > 0 {
+		res.AllocsPerOp = (ms1.Mallocs - ms0.Mallocs) / res.Requests
+		res.BytesPerOp = (ms1.TotalAlloc - ms0.TotalAlloc) / res.Requests
+	}
+	return res, nil
+}
+
+func quantiles(ns []int64) latencyStats {
+	if len(ns) == 0 {
+		return latencyStats{}
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		idx := int(q * float64(len(sorted)-1))
+		return float64(sorted[idx]) / 1e6
+	}
+	return latencyStats{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: at(1)}
+}

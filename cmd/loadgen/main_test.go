@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"decoupling/internal/core"
+	"decoupling/internal/ledger"
+)
+
+// TestODoHLegSmallScale runs the sharded-proxy leg at test scale and
+// holds the acceptance properties the big runs are graded on: zero
+// errors, every session request accounted, and — with the ledger on —
+// the same knowledge tuple and verdict the table experiments derive.
+func TestODoHLegSmallScale(t *testing.T) {
+	cls := ledger.NewClassifier()
+	lg := ledger.New(cls, nil)
+	res, err := runODoH(200, 2, 16, 1, cls, lg)
+	if err != nil {
+		t.Fatalf("odoh leg: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("odoh leg errored %d of %d requests", res.Errors, res.Requests)
+	}
+	if res.Requests < 200 {
+		t.Fatalf("odoh leg issued %d requests for 200 clients; sessions are >= 1 request each", res.Requests)
+	}
+	if res.Latency.P50 <= 0 || res.Latency.Max < res.Latency.P99 {
+		t.Fatalf("implausible latency stats: %+v", res.Latency)
+	}
+
+	expected := core.ObliviousDNS()
+	measured := lg.DeriveSystem(expected)
+	if diffs := core.CompareTuples(expected, measured); len(diffs) != 0 {
+		t.Errorf("knowledge tuples diverge under HTTP load: %v", diffs)
+	}
+	v, err := core.Analyze(measured)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if !v.Decoupled {
+		t.Error("measured system not decoupled under load")
+	}
+}
+
+func TestMixnetLegSmallScale(t *testing.T) {
+	res, err := runMixnetLeg(1000, 3, 16, 1)
+	if err != nil {
+		t.Fatalf("mixnet leg: %v", err)
+	}
+	if res.Errors != 0 || res.Lost != 0 {
+		t.Fatalf("mixnet leg errors=%d lost=%d", res.Errors, res.Lost)
+	}
+	// 1000 clients -> 100 senders, floored to the 64 minimum -> 100.
+	if res.Requests != 100 {
+		t.Fatalf("mixnet senders = %d, want 100", res.Requests)
+	}
+	// Every message crosses each relay once plus the receiver hop.
+	if res.Delivered != res.Requests*4 {
+		t.Fatalf("delivered %d transport hops, want %d", res.Delivered, res.Requests*4)
+	}
+}
+
+func TestBenchDocShape(t *testing.T) {
+	doc := benchDoc{Clients: 10, ODoH: legResult{Requests: 5}}
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"clients", "odoh", "mixnet"} {
+		if _, ok := back[key]; !ok {
+			t.Errorf("benchmark JSON missing %q", key)
+		}
+	}
+	if _, ok := back["ledger"]; ok {
+		t.Error("ledger block should be omitted when nil (-full runs)")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	ns := make([]int64, 100)
+	for i := range ns {
+		ns[i] = int64(i+1) * 1e6 // 1..100 ms
+	}
+	q := quantiles(ns)
+	if q.P50 != 50 || q.P99 != 99 || q.Max != 100 {
+		t.Fatalf("quantiles of 1..100ms: %+v", q)
+	}
+	if z := quantiles(nil); z != (latencyStats{}) {
+		t.Fatalf("quantiles(nil) = %+v, want zero", z)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"decoupling/internal/simnet"
 	"decoupling/internal/telemetry"
+	"decoupling/internal/transport"
 )
 
 // Ctx is the execution context threaded through every experiment: the
@@ -19,6 +20,12 @@ type Ctx struct {
 	Tel *telemetry.Telemetry
 
 	hooks *netHooks
+
+	// transport, when set, overrides what NewRunner builds — the lever
+	// the differential transport-equivalence suite pulls to run the
+	// same experiment over real loopback sockets instead of the
+	// simulator.
+	transport func(seed int64) transport.Runner
 }
 
 // netHooks is the shared hook state behind a Ctx. It lives behind a
@@ -38,6 +45,27 @@ type netHooks struct {
 // *simnet.Network lets the caller read RecordedSchedule after the run.
 func WithNetHook(tel *telemetry.Telemetry, hook func(index int, n *simnet.Network)) Ctx {
 	return Ctx{Tel: tel, hooks: &netHooks{hook: hook}}
+}
+
+// WithTransport returns a Ctx whose NewRunner builds transports with
+// factory instead of the simulator. Experiments that only need the
+// transport.Runner contract (E2's mixnet cascade, the audit scenarios)
+// then run unchanged over real sockets; experiments that reach for
+// simulator-only machinery (fault plans, schedule control) keep using
+// NewNet and are out of a transport override's reach by construction.
+func WithTransport(tel *telemetry.Telemetry, factory func(seed int64) transport.Runner) Ctx {
+	return Ctx{Tel: tel, transport: factory}
+}
+
+// NewRunner constructs the experiment's next network as an abstract
+// transport.Runner: the simulator by default (through NewNet, so
+// schedule-explorer hooks still see it), or whatever a WithTransport
+// factory builds. Callers own the result and should Close it.
+func (c Ctx) NewRunner(seed int64) transport.Runner {
+	if c.transport != nil {
+		return c.transport(seed)
+	}
+	return c.NewNet(seed)
 }
 
 // NewNet constructs the experiment's next simulated network. All

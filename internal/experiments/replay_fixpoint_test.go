@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"decoupling/internal/simnet"
+)
+
+// TestReplayFixpointAfterClockAudit is the regression companion to the
+// wall-clock guard in internal/transport: the schedule explorer's
+// counterexample replay is only trustworthy if recording a run, replaying
+// its trace, and re-recording yields the same trace — a fixpoint. A
+// time.Now or time.Sleep leaking into a shared handler path is exactly
+// the kind of bug that breaks this silently (schedules stop being the
+// only source of nondeterminism), so the oracle is pinned here against
+// the full audit-shaped mixnet scenario.
+func TestReplayFixpointAfterClockAudit(t *testing.T) {
+	record := func(install func(n *simnet.Network)) simnet.ScheduleTrace {
+		var nets []*simnet.Network
+		ctx := WithNetHook(nil, func(_ int, n *simnet.Network) {
+			nets = append(nets, n)
+			install(n)
+		})
+		if _, err := runMixnetScenario(ctx, 1); err != nil {
+			t.Fatalf("scenario: %v", err)
+		}
+		if len(nets) != 1 {
+			t.Fatalf("scenario built %d nets, want 1", len(nets))
+		}
+		return nets[0].RecordedSchedule()
+	}
+
+	seeded := record(func(n *simnet.Network) { n.SetScheduler(simnet.NewSeededScheduler(42)) })
+	if len(seeded) == 0 {
+		t.Fatal("seeded run recorded no scheduling decisions; the scenario no longer exercises the scheduler")
+	}
+
+	replayed := record(func(n *simnet.Network) { n.ReplaySchedule(seeded) })
+	again := record(func(n *simnet.Network) { n.ReplaySchedule(replayed) })
+	if !reflect.DeepEqual(replayed, again) {
+		t.Fatalf("replay is not a fixpoint:\n first:  %v\n second: %v", replayed, again)
+	}
+}

@@ -202,7 +202,8 @@ func runODNSScenario(ctx Ctx, parallel int) (*ledger.Ledger, error) {
 func runMixnetScenario(ctx Ctx, _ int) (*ledger.Ledger, error) {
 	tel := ctx.Tel
 	cls := ledger.NewClassifier()
-	net := ctx.NewNet(2)
+	net := ctx.NewRunner(2)
+	defer net.Close()
 	net.Instrument(tel)
 	lg := ledger.New(cls, net.Now)
 	lg.Instrument(tel)

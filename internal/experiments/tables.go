@@ -76,7 +76,8 @@ func E2Mixnet(ctx Ctx) (*Result, error) {
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
 	lg.Instrument(tel)
-	net := ctx.NewNet(2)
+	net := ctx.NewRunner(2)
+	defer net.Close()
 	net.Instrument(tel)
 
 	var route []mixnet.NodeInfo

@@ -257,6 +257,68 @@ func (l *Ledger) Saw(observer string, kind core.Kind, value string, handles ...s
 	s.obsCounter.Add(1) // nil-safe; nil unless instrumented
 }
 
+// Entry is one observation in a SawBatch: what a single protocol step
+// put in front of an observer.
+type Entry struct {
+	Kind    core.Kind
+	Value   string
+	Handles []string
+}
+
+// SawBatch admits a group of observations for one observer atomically:
+// one shard-lock acquisition and one contiguous block of the global
+// admission counter, instead of per-observation locking. Protocol steps
+// that observe several values at once (a proxy seeing a client identity
+// and a ciphertext on the same request) use this, which is what keeps
+// shard contention flat when thousands of handler goroutines admit
+// concurrently on the real transport.
+//
+// In a sequential run SawBatch assigns exactly the seq numbers the
+// equivalent consecutive Saw calls would, so audit goldens are
+// unaffected by converting call sites.
+func (l *Ledger) SawBatch(observer string, entries []Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	obs := make([]Observation, len(entries))
+	for i, in := range entries {
+		e, recognized := l.classifier.classify(in.Kind, in.Value)
+		obs[i] = Observation{
+			Observer:   observer,
+			Kind:       in.Kind,
+			Label:      e.label,
+			Level:      e.level,
+			Subject:    e.subject,
+			Value:      in.Value,
+			Handles:    append([]string(nil), in.Handles...),
+			Recognized: recognized,
+		}
+	}
+	if l.clock != nil {
+		// One clock read for the batch: the entries describe a single
+		// protocol step, observed at a single instant.
+		t := l.clock()
+		for i := range obs {
+			obs[i].Time = t
+		}
+	}
+	if l.tel != nil {
+		phase := l.tel.CurrentPhase()
+		for i := range obs {
+			obs[i].Phase = phase
+		}
+	}
+	s := l.shardFor(observer)
+	s.mu.Lock()
+	base := l.seq.Add(uint64(len(obs))) - uint64(len(obs))
+	for i := range obs {
+		obs[i].seq = base + uint64(i) + 1
+	}
+	s.obs = append(s.obs, obs...)
+	s.mu.Unlock()
+	s.obsCounter.Add(uint64(len(obs))) // nil-safe; nil unless instrumented
+}
+
 // SawIdentity is shorthand for Saw with core.Identity.
 func (l *Ledger) SawIdentity(observer, value string, handles ...string) {
 	l.Saw(observer, core.Identity, value, handles...)

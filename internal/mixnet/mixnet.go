@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"decoupling/internal/core"
 	"decoupling/internal/dcrypto/hpke"
 	"decoupling/internal/ledger"
 	"decoupling/internal/resilience"
@@ -174,7 +175,7 @@ type outbound struct {
 }
 
 // NewMix creates a mix and registers it on the network.
-func NewMix(net *simnet.Network, name string, addr simnet.Addr, threshold int, timeout time.Duration, lg *ledger.Ledger) (*Mix, error) {
+func NewMix(net simnet.Transport, name string, addr simnet.Addr, threshold int, timeout time.Duration, lg *ledger.Ledger) (*Mix, error) {
 	kp, err := hpke.GenerateKeyPair()
 	if err != nil {
 		return nil, fmt.Errorf("mixnet: mix key: %w", err)
@@ -195,7 +196,7 @@ func (m *Mix) Stats() (flushes, dropped int) { return m.flushes, m.dropped }
 // triggering message) and flush sizes feed a histogram.
 func (m *Mix) Instrument(tel *telemetry.Telemetry) { m.tel = tel }
 
-func (m *Mix) handle(net *simnet.Network, msg simnet.Message) {
+func (m *Mix) handle(net simnet.Transport, msg simnet.Message) {
 	if len(msg.Payload) < 1 {
 		m.dropped++
 		return
@@ -210,7 +211,7 @@ func (m *Mix) handle(net *simnet.Network, msg simnet.Message) {
 	}
 }
 
-func (m *Mix) handleOnion(net *simnet.Network, msg simnet.Message) {
+func (m *Mix) handleOnion(net simnet.Transport, msg simnet.Message) {
 	sp := m.tel.Start("mixnet.mix.in", telemetry.A("mix", m.Name))
 	defer sp.End()
 	inHandle := ledger.Hash(msg.Payload[1:])
@@ -227,10 +228,12 @@ func (m *Mix) handleOnion(net *simnet.Network, msg simnet.Message) {
 	if m.lg != nil {
 		// The mix sees the previous hop's address and the re-encrypted
 		// inner bytes. Its two handles are the digests of the wire bytes
-		// it shared with its neighbors.
+		// it shared with its neighbors. One layer-strip, one batch.
 		outHandle := ledger.Hash(inner)
-		m.lg.SawIdentity(m.Name, string(msg.Src), inHandle, outHandle)
-		m.lg.SawData(m.Name, "onion:"+outHandle, inHandle, outHandle)
+		m.lg.SawBatch(m.Name, []ledger.Entry{
+			{Kind: core.Identity, Value: string(msg.Src), Handles: []string{inHandle, outHandle}},
+			{Kind: core.Data, Value: "onion:" + outHandle, Handles: []string{inHandle, outHandle}},
+		})
 	}
 	m.queue = append(m.queue, outbound{next: next, wire: inner, tag: tagOnion})
 	if m.Threshold > 1 && len(m.queue) < m.Threshold {
@@ -248,7 +251,7 @@ func (m *Mix) handleOnion(net *simnet.Network, msg simnet.Message) {
 
 // flush shuffles the queue (Fisher-Yates over the network's seeded RNG)
 // and forwards everything.
-func (m *Mix) flush(net *simnet.Network) {
+func (m *Mix) flush(net simnet.Transport) {
 	if len(m.queue) == 0 {
 		return
 	}
@@ -295,7 +298,7 @@ type Receiver struct {
 }
 
 // NewReceiver creates a receiver and registers it on the network.
-func NewReceiver(net *simnet.Network, name string, addr simnet.Addr, padded bool, lg *ledger.Ledger) (*Receiver, error) {
+func NewReceiver(net simnet.Transport, name string, addr simnet.Addr, padded bool, lg *ledger.Ledger) (*Receiver, error) {
 	kp, err := hpke.GenerateKeyPair()
 	if err != nil {
 		return nil, fmt.Errorf("mixnet: receiver key: %w", err)
@@ -312,7 +315,7 @@ func (r *Receiver) Info() NodeInfo { return NodeInfo{Addr: r.Addr, PubKey: r.kp.
 // link of the chain) opens a span under the simulator's delivery span.
 func (r *Receiver) Instrument(tel *telemetry.Telemetry) { r.tel = tel }
 
-func (r *Receiver) handle(net *simnet.Network, msg simnet.Message) {
+func (r *Receiver) handle(net simnet.Transport, msg simnet.Message) {
 	sp := r.tel.Start("mixnet.receiver.open", telemetry.A("receiver", r.Name))
 	defer sp.End()
 	if len(msg.Payload) < 1 || msg.Payload[0] != tagOnion {
@@ -344,8 +347,10 @@ func (r *Receiver) handle(net *simnet.Network, msg simnet.Message) {
 		body = inner[4 : 4+n]
 	}
 	if r.lg != nil {
-		r.lg.SawIdentity(r.Name, string(msg.Src), inHandle)
-		r.lg.SawData(r.Name, string(body), inHandle)
+		r.lg.SawBatch(r.Name, []ledger.Entry{
+			{Kind: core.Identity, Value: string(msg.Src), Handles: []string{inHandle}},
+			{Kind: core.Data, Value: string(body), Handles: []string{inHandle}},
+		})
 	}
 	r.inbox = append(r.inbox, Received{From: msg.Src, Body: append([]byte(nil), body...), Time: net.Now()})
 }
@@ -364,7 +369,7 @@ type Sender struct {
 }
 
 // Send wraps message for the route and injects it at the first mix.
-func (s *Sender) Send(net *simnet.Network, route []NodeInfo, receiver NodeInfo, message []byte) error {
+func (s *Sender) Send(net simnet.Transport, route []NodeInfo, receiver NodeInfo, message []byte) error {
 	onion, err := BuildOnion(route, receiver, message, s.PadTo)
 	if err != nil {
 		return err
@@ -380,7 +385,7 @@ func (s *Sender) Send(net *simnet.Network, route []NodeInfo, receiver NodeInfo, 
 // message errors (wrapping resilience.ErrExhausted) rather than being
 // handed to the receiver outside the mixnet. It returns the route that
 // was ultimately used, for experiments that need ground truth.
-func (s *Sender) SendResilient(net *simnet.Network, pool []NodeInfo, receiver NodeInfo, message []byte, hops int, tel *telemetry.Telemetry) ([]NodeInfo, error) {
+func (s *Sender) SendResilient(net simnet.Transport, pool []NodeInfo, receiver NodeInfo, message []byte, hops int, tel *telemetry.Telemetry) ([]NodeInfo, error) {
 	p := resilience.Default("mixnet")
 	if len(pool) > p.MaxAttempts {
 		p.MaxAttempts = len(pool)
@@ -407,7 +412,7 @@ func (s *Sender) SendResilient(net *simnet.Network, pool []NodeInfo, receiver No
 // the network's deterministic RNG — the free-route alternative to a
 // fixed cascade. Free routes spread trust across the whole mix pool:
 // no single fixed entry mix sees every sender.
-func RandomRoute(net *simnet.Network, pool []NodeInfo, hops int) ([]NodeInfo, error) {
+func RandomRoute(net simnet.Transport, pool []NodeInfo, hops int) ([]NodeInfo, error) {
 	if hops <= 0 || hops > len(pool) {
 		return nil, fmt.Errorf("mixnet: cannot pick %d distinct mixes from a pool of %d", hops, len(pool))
 	}

@@ -12,7 +12,7 @@ import (
 )
 
 // buildCascade wires n mixes and a receiver on a fresh network.
-func buildCascade(t testing.TB, net *simnet.Network, n, threshold int, timeout time.Duration, padded bool, lg *ledger.Ledger) ([]NodeInfo, []*Mix, *Receiver) {
+func buildCascade(t testing.TB, net simnet.Transport, n, threshold int, timeout time.Duration, padded bool, lg *ledger.Ledger) ([]NodeInfo, []*Mix, *Receiver) {
 	t.Helper()
 	var route []NodeInfo
 	var mixes []*Mix

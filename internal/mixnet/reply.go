@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"decoupling/internal/core"
 	"decoupling/internal/ledger"
 	"decoupling/internal/simnet"
 )
@@ -114,7 +115,7 @@ func BuildReplyBlock(route []NodeInfo, backAddr simnet.Addr) (*ReplyAddress, *Re
 
 // SendReply attaches response to the reply address and injects it into
 // the mix network on behalf of from (typically a Receiver's address).
-func SendReply(net *simnet.Network, from simnet.Addr, ra *ReplyAddress, response []byte) error {
+func SendReply(net simnet.Transport, from simnet.Addr, ra *ReplyAddress, response []byte) error {
 	wire := make([]byte, 0, 1+4+len(ra.Block)+len(response))
 	wire = append(wire, tagReply)
 	wire = binary.BigEndian.AppendUint32(wire, uint32(len(ra.Block)))
@@ -127,7 +128,7 @@ func SendReply(net *simnet.Network, from simnet.Addr, ra *ReplyAddress, response
 // layer, encrypt the response under the embedded key, forward (or
 // deliver to the builder). Reply traffic joins the same batch queue as
 // forward onions, so it enjoys the same batching defense.
-func (m *Mix) handleReply(net *simnet.Network, msg simnet.Message) {
+func (m *Mix) handleReply(net simnet.Transport, msg simnet.Message) {
 	payload := msg.Payload[1:]
 	if len(payload) < 4 {
 		m.dropped++
@@ -181,8 +182,10 @@ func (m *Mix) handleReply(net *simnet.Network, msg simnet.Message) {
 		// Handles are the exact bytes shared with each neighbor.
 		inHandle := ledger.Hash(msg.Payload[1:])
 		outHandle := ledger.Hash(out.wire)
-		m.lg.SawIdentity(m.Name, string(msg.Src), inHandle, outHandle)
-		m.lg.SawData(m.Name, "reply:"+outHandle, inHandle, outHandle)
+		m.lg.SawBatch(m.Name, []ledger.Entry{
+			{Kind: core.Identity, Value: string(msg.Src), Handles: []string{inHandle, outHandle}},
+			{Kind: core.Data, Value: "reply:" + outHandle, Handles: []string{inHandle, outHandle}},
+		})
 	}
 	m.queue = append(m.queue, out)
 	if m.Threshold > 1 && len(m.queue) < m.Threshold {
@@ -214,13 +217,13 @@ type ReplyCollector struct {
 }
 
 // NewReplyCollector registers a collector node at addr.
-func NewReplyCollector(net *simnet.Network, addr simnet.Addr) *ReplyCollector {
+func NewReplyCollector(net simnet.Transport, addr simnet.Addr) *ReplyCollector {
 	c := &ReplyCollector{Addr: addr}
 	net.Register(addr, c.handle)
 	return c
 }
 
-func (c *ReplyCollector) handle(net *simnet.Network, msg simnet.Message) {
+func (c *ReplyCollector) handle(net simnet.Transport, msg simnet.Message) {
 	if len(msg.Payload) < 1 || msg.Payload[0] != tagReplyDeliver {
 		c.dropped++
 		return

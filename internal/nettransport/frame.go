@@ -1,0 +1,100 @@
+package nettransport
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"decoupling/internal/transport"
+)
+
+// Wire framing. Every datagram the real transport moves — whether as a
+// UDP payload, a span of a TCP stream, or an HTTP POST body — is a
+// sequence of length-prefixed frames:
+//
+//	[magic 1][version 1][srcLen 1][dstLen 1][payloadLen 4 BE]
+//	[src srcLen][dst dstLen][payload payloadLen]
+//
+// Batching is concatenation: a sender packs as many frames as fit its
+// batch budget into one write, and DecodeFrame consumes one frame and
+// returns the rest. The format is deliberately self-describing and
+// bounded so a truncated or hostile byte stream is rejected, never
+// sliced out of range — FuzzWireFrame holds that property.
+const (
+	frameMagic   byte = 0xDC
+	frameVersion byte = 1
+	frameHeader       = 8
+
+	// MaxAddrLen bounds either address (the length fields are one byte).
+	MaxAddrLen = 255
+	// MaxFramePayload bounds a single frame's payload; anything larger
+	// is a corrupt length prefix, not a legitimate datagram.
+	MaxFramePayload = 4 << 20
+)
+
+// Framing errors. Decoders distinguish truncation (wait for more bytes
+// on a stream) from structural corruption (drop the connection).
+var (
+	ErrFrameMagic     = errors.New("nettransport: bad frame magic")
+	ErrFrameVersion   = errors.New("nettransport: unsupported frame version")
+	ErrFrameTruncated = errors.New("nettransport: truncated frame")
+	ErrFrameOversize  = errors.New("nettransport: frame exceeds size bounds")
+)
+
+// AppendFrame appends the encoded frame for msg to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, msg transport.Message) ([]byte, error) {
+	if len(msg.Src) > MaxAddrLen || len(msg.Dst) > MaxAddrLen {
+		return dst, ErrFrameOversize
+	}
+	if len(msg.Payload) > MaxFramePayload {
+		return dst, ErrFrameOversize
+	}
+	dst = append(dst, frameMagic, frameVersion, byte(len(msg.Src)), byte(len(msg.Dst)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(msg.Payload)))
+	dst = append(dst, msg.Src...)
+	dst = append(dst, msg.Dst...)
+	return append(dst, msg.Payload...), nil
+}
+
+// FrameLen returns the total encoded length of a frame whose header is
+// at the start of b, or 0 if fewer than frameHeader bytes are present.
+// It validates nothing beyond having a complete header; callers use it
+// to size stream reads before DecodeFrame validates.
+func FrameLen(b []byte) int {
+	if len(b) < frameHeader {
+		return 0
+	}
+	return frameHeader + int(b[2]) + int(b[3]) + int(binary.BigEndian.Uint32(b[4:8]))
+}
+
+// DecodeFrame consumes one frame from the front of b, returning the
+// decoded message and the remaining bytes. The returned payload slices
+// b (decoders copy if they keep it). Truncated input returns
+// ErrFrameTruncated; corrupt magic, version, or an oversize length
+// prefix return their structural errors.
+func DecodeFrame(b []byte) (transport.Message, []byte, error) {
+	var msg transport.Message
+	if len(b) < frameHeader {
+		return msg, b, ErrFrameTruncated
+	}
+	if b[0] != frameMagic {
+		return msg, b, ErrFrameMagic
+	}
+	if b[1] != frameVersion {
+		return msg, b, ErrFrameVersion
+	}
+	srcLen, dstLen := int(b[2]), int(b[3])
+	payloadLen := int(binary.BigEndian.Uint32(b[4:8]))
+	if payloadLen > MaxFramePayload {
+		return msg, b, ErrFrameOversize
+	}
+	total := frameHeader + srcLen + dstLen + payloadLen
+	if len(b) < total {
+		return msg, b, ErrFrameTruncated
+	}
+	rest := b[frameHeader:]
+	msg.Src = transport.Addr(rest[:srcLen])
+	msg.Dst = transport.Addr(rest[srcLen : srcLen+dstLen])
+	msg.Payload = rest[srcLen+dstLen : srcLen+dstLen+payloadLen]
+	return msg, b[total:], nil
+}

@@ -1,0 +1,166 @@
+package nettransport
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"decoupling/internal/transport"
+)
+
+func mustFrame(t *testing.T, msg transport.Message) []byte {
+	t.Helper()
+	b, err := AppendFrame(nil, msg)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	return b
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := []transport.Message{
+		{Src: "a", Dst: "b", Payload: []byte("hello")},
+		{Src: "", Dst: "sink", Payload: nil},
+		{Src: "mix00", Dst: "mix01", Payload: bytes.Repeat([]byte{0xDC}, 4096)},
+		{Src: transport.Addr(strings.Repeat("s", MaxAddrLen)), Dst: transport.Addr(strings.Repeat("d", MaxAddrLen)), Payload: []byte{0}},
+	}
+	var batch []byte
+	for _, m := range msgs {
+		var err error
+		batch, err = AppendFrame(batch, m)
+		if err != nil {
+			t.Fatalf("AppendFrame(%q->%q): %v", m.Src, m.Dst, err)
+		}
+	}
+	rest := batch
+	for i, want := range msgs {
+		var got transport.Message
+		var err error
+		got, rest, err = DecodeFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: DecodeFrame: %v", i, err)
+		}
+		if got.Src != want.Src || got.Dst != want.Dst || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: round trip mismatch: got %+v want %+v", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes after decoding all frames: %d", len(rest))
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	frame := mustFrame(t, transport.Message{Src: "alpha", Dst: "beta", Payload: []byte("payload bytes")})
+	for cut := 0; cut < len(frame); cut++ {
+		_, rest, err := DecodeFrame(frame[:cut])
+		if !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("prefix length %d: got err %v, want ErrFrameTruncated", cut, err)
+		}
+		if len(rest) != cut {
+			t.Fatalf("prefix length %d: truncated decode consumed bytes", cut)
+		}
+	}
+}
+
+func TestFrameStructuralErrors(t *testing.T) {
+	valid := mustFrame(t, transport.Message{Src: "a", Dst: "b", Payload: []byte("x")})
+
+	bad := append([]byte(nil), valid...)
+	bad[0] = 0x00
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrFrameMagic) {
+		t.Fatalf("corrupt magic: got %v, want ErrFrameMagic", err)
+	}
+
+	bad = append([]byte(nil), valid...)
+	bad[1] = 99
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrFrameVersion) {
+		t.Fatalf("corrupt version: got %v, want ErrFrameVersion", err)
+	}
+
+	// A hostile length prefix claiming a multi-gigabyte payload must be
+	// rejected as oversize, not waited for.
+	bad = append([]byte(nil), valid...)
+	bad[4], bad[5], bad[6], bad[7] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("oversize length prefix: got %v, want ErrFrameOversize", err)
+	}
+}
+
+func TestFrameEncodeBounds(t *testing.T) {
+	if _, err := AppendFrame(nil, transport.Message{Src: transport.Addr(strings.Repeat("s", MaxAddrLen+1)), Dst: "d"}); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("oversize src: got %v, want ErrFrameOversize", err)
+	}
+	if _, err := AppendFrame(nil, transport.Message{Src: "s", Dst: "d", Payload: make([]byte, MaxFramePayload+1)}); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("oversize payload: got %v, want ErrFrameOversize", err)
+	}
+}
+
+func TestFrameLenMatchesEncoding(t *testing.T) {
+	frame := mustFrame(t, transport.Message{Src: "src", Dst: "dst", Payload: []byte("abc")})
+	if got := FrameLen(frame); got != len(frame) {
+		t.Fatalf("FrameLen = %d, want %d", got, len(frame))
+	}
+	if got := FrameLen(frame[:frameHeader-1]); got != 0 {
+		t.Fatalf("FrameLen on short header = %d, want 0", got)
+	}
+}
+
+// FuzzWireFrame holds the decoder's core safety contract over arbitrary
+// bytes: never panic, never slice out of range, make progress on every
+// successful decode, and stay canonical — re-encoding a decoded frame
+// reproduces exactly the bytes consumed.
+func FuzzWireFrame(f *testing.F) {
+	seed := [][]byte{
+		mustFrameF(f, transport.Message{Src: "a", Dst: "b", Payload: []byte("hello")}),
+		mustFrameF(f, transport.Message{Src: "", Dst: "", Payload: nil}),
+		mustFrameF(f, transport.Message{Src: "client000017", Dst: "Resolver", Payload: bytes.Repeat([]byte("q"), 512)}),
+		{frameMagic, frameVersion, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}, // hostile length
+		{frameMagic, 2, 0, 0, 0, 0, 0, 0},                        // future version
+		{0x00},
+		nil,
+	}
+	// Two concatenated frames exercise the rest-slice path.
+	double := append(append([]byte(nil), seed[0]...), seed[2]...)
+	seed = append(seed, double)
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for {
+			msg, next, err := DecodeFrame(rest)
+			if err != nil {
+				// Errors must not consume input.
+				if len(next) != len(rest) {
+					t.Fatalf("decode error %v consumed %d bytes", err, len(rest)-len(next))
+				}
+				return
+			}
+			consumed := rest[:len(rest)-len(next)]
+			reenc, encErr := AppendFrame(nil, msg)
+			if encErr != nil {
+				t.Fatalf("re-encode of decoded frame failed: %v", encErr)
+			}
+			if !bytes.Equal(reenc, consumed) {
+				t.Fatalf("decode/encode not canonical:\n consumed %x\n re-enc   %x", consumed, reenc)
+			}
+			if len(next) >= len(rest) {
+				t.Fatalf("successful decode made no progress")
+			}
+			rest = next
+			if len(rest) == 0 {
+				return
+			}
+		}
+	})
+}
+
+func mustFrameF(f *testing.F, msg transport.Message) []byte {
+	f.Helper()
+	b, err := AppendFrame(nil, msg)
+	if err != nil {
+		f.Fatalf("AppendFrame: %v", err)
+	}
+	return b
+}

@@ -1,0 +1,730 @@
+// Package nettransport implements the transport.Transport contract
+// over real loopback sockets: UDP datagrams, persistent TCP streams,
+// or net/http POSTs. It is the production-shaped counterpart to
+// internal/simnet — concurrent handler dispatch, per-endpoint worker
+// pools, batched writes, wall clocks — carrying the same ledger
+// observation and telemetry hooks, so knowledge-tuple derivation and
+// provenance audits run unchanged over real sockets.
+//
+// What it guarantees, and what it does not, versus the simulator:
+//
+//   - Per-node serialization holds: each registered node has one
+//     dispatcher goroutine, so a node's handler (and the timers it arms
+//     through its Transport) never races itself. Protocol state like a
+//     mix's batch queue stays lock-free on both transports.
+//   - Per-destination FIFO holds in TCP mode (one stream, one writer
+//     per destination). UDP and HTTP modes may reorder.
+//   - Delivery is reliable in TCP and HTTP modes; UDP inherits the
+//     kernel's silent-drop behavior under pressure, which Run bounds
+//     with a stall timeout.
+//   - Nothing is deterministic: scheduling, latencies, and Rand
+//     interleavings vary run to run. Equivalence with the simulator is
+//     semantic — identical knowledge tuples, verdicts, and canonical
+//     audits — never byte-identical traces. The differential suite in
+//     internal/experiments holds exactly that line.
+package nettransport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decoupling/internal/telemetry"
+	"decoupling/internal/transport"
+)
+
+// Mode selects the wire the transport moves frames over.
+type Mode int
+
+const (
+	// ModeTCP uses one persistent loopback TCP stream per destination:
+	// reliable, per-destination FIFO. The default, and what the
+	// equivalence suite and loadgen mixnet leg run on.
+	ModeTCP Mode = iota
+	// ModeUDP uses loopback UDP datagrams: lossy under pressure,
+	// unordered — the closest shape to simnet's datagram model.
+	ModeUDP
+	// ModeHTTP runs one net/http server per node and POSTs frame
+	// batches: the shape of the deployed ODoH/OHTTP services.
+	ModeHTTP
+)
+
+// ErrClosed is returned by Send after Close: the transport fails
+// closed — traffic is refused, never rerouted around the dead network.
+var ErrClosed = errors.New("nettransport: transport closed")
+
+// Options configures a Net. The zero value is usable: TCP mode,
+// seed 0, one writer per destination, capture on.
+type Options struct {
+	Mode Mode
+	// Seed feeds the Rand stream protocol code draws shuffles and
+	// route picks from.
+	Seed int64
+	// Workers is the writer-pool size per destination endpoint for UDP
+	// and HTTP modes (TCP keeps one writer per destination to preserve
+	// FIFO). 0 means 1.
+	Workers int
+	// BatchBytes caps how many queued frames a writer coalesces into a
+	// single socket write or POST body. 0 means 32 KiB (UDP caps at a
+	// safe datagram size regardless).
+	BatchBytes int
+	// InboxDepth is each node's dispatch-queue depth; senders feel
+	// backpressure beyond it. 0 means 4096.
+	InboxDepth int
+	// DisableCapture turns off the passive-observer packet log. The
+	// million-client loadgen sweep sets it; everything audit-shaped
+	// leaves it on.
+	DisableCapture bool
+	// StallTimeout bounds how long Run waits without any delivery or
+	// loss progress before giving up on in-flight work (UDP kernel
+	// drops leave no other signal). 0 means 5s.
+	StallTimeout time.Duration
+}
+
+type item struct {
+	msg  transport.Message
+	fire func()
+}
+
+type node struct {
+	addr  transport.Addr
+	inbox chan item
+
+	hmu sync.Mutex
+	h   transport.Handler
+
+	// Endpoint state, by mode. lnErr records a failed listener setup;
+	// sends to the node surface it.
+	tcpLn   net.Listener
+	udpConn *net.UDPConn
+	httpSrv *http.Server
+	baseURL string
+	dialTo  string
+	udpAddr *net.UDPAddr
+	lnErr   error
+}
+
+func (n *node) handler() transport.Handler {
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	return n.h
+}
+
+func (n *node) setHandler(h transport.Handler) {
+	n.hmu.Lock()
+	n.h = h
+	n.hmu.Unlock()
+}
+
+// outQueue is the writer side of one destination endpoint: a frame
+// queue drained by a worker pool that batches frames per write.
+type outQueue struct {
+	ch chan []byte
+}
+
+// Net is a real loopback transport. Construct with New; Close releases
+// sockets and goroutines.
+type Net struct {
+	opts  Options
+	start time.Time
+	stop  chan struct{}
+
+	closed atomic.Bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu    sync.Mutex
+	nodes map[transport.Addr]*node
+
+	outMu sync.Mutex
+	out   map[transport.Addr]*outQueue
+
+	// pending counts accepted-but-not-finished work: datagrams from
+	// Send acceptance to handler completion, timers from arming to
+	// firing. Run quiesces on it reaching zero.
+	pending   atomic.Int64
+	delivered atomic.Uint64
+	lost      atomic.Uint64
+
+	capMu   sync.Mutex
+	capture []transport.PacketRecord
+
+	telMu sync.Mutex
+	tel   *telemetry.Telemetry
+
+	httpClient *http.Client
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Runner = (*Net)(nil)
+
+// New creates a transport with the given options. Nodes come into
+// existence on Register.
+func New(opts Options) *Net {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.BatchBytes <= 0 {
+		opts.BatchBytes = 32 << 10
+	}
+	if opts.InboxDepth <= 0 {
+		opts.InboxDepth = 4096
+	}
+	if opts.StallTimeout <= 0 {
+		opts.StallTimeout = 5 * time.Second
+	}
+	t := &Net{
+		opts:  opts,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		nodes: map[transport.Addr]*node{},
+		out:   map[transport.Addr]*outQueue{},
+	}
+	t.httpClient = &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+	}}
+	return t
+}
+
+// Instrument attaches a telemetry sink: deliveries feed per-link
+// message/byte counters. The tracer's clock is bound to this
+// transport's elapsed-time clock. A nil tel is a no-op.
+func (t *Net) Instrument(tel *telemetry.Telemetry) {
+	t.telMu.Lock()
+	t.tel = tel
+	t.telMu.Unlock()
+	tel.SetClock(t.Now)
+}
+
+func (t *Net) telemetrySink() *telemetry.Telemetry {
+	t.telMu.Lock()
+	defer t.telMu.Unlock()
+	return t.tel
+}
+
+// Now returns elapsed wall time since construction — the transport's
+// clock, analogous to simnet's virtual Now.
+func (t *Net) Now() time.Duration { return time.Since(t.start) }
+
+// Rand returns a pseudo-random int in [0, max) from the seeded stream.
+// Unlike the simulator's, draws from concurrent handlers interleave
+// nondeterministically; protocol decisions stay well-distributed but
+// not replayable.
+func (t *Net) Rand(max int) int {
+	t.rngMu.Lock()
+	defer t.rngMu.Unlock()
+	return t.rng.Intn(max)
+}
+
+// Register attaches a handler to addr, creating the node: its
+// listening socket, reader, and the single dispatcher goroutine that
+// serializes its handler. Registering an existing address replaces the
+// handler only.
+func (t *Net) Register(addr transport.Addr, h transport.Handler) {
+	t.mu.Lock()
+	if n := t.nodes[addr]; n != nil {
+		t.mu.Unlock()
+		n.setHandler(h)
+		return
+	}
+	n := &node{addr: addr, inbox: make(chan item, t.opts.InboxDepth), h: h}
+	t.nodes[addr] = n
+	t.mu.Unlock()
+
+	t.listen(n)
+	t.wg.Add(1)
+	go t.dispatch(n)
+}
+
+// listen opens the node's endpoint for the configured mode and starts
+// its readers. Loopback listen failures are environmental; they are
+// recorded and surfaced by sends to this node.
+func (t *Net) listen(n *node) {
+	switch t.opts.Mode {
+	case ModeUDP:
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			n.lnErr = err
+			return
+		}
+		_ = conn.SetReadBuffer(4 << 20)
+		n.udpConn = conn
+		n.udpAddr = conn.LocalAddr().(*net.UDPAddr)
+		t.wg.Add(1)
+		go t.readUDP(n)
+	case ModeHTTP:
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			n.lnErr = err
+			return
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /frames", func(w http.ResponseWriter, r *http.Request) {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 2*MaxFramePayload))
+			if err != nil {
+				http.Error(w, "read error", http.StatusBadRequest)
+				return
+			}
+			t.deliverBatch(body)
+			w.WriteHeader(http.StatusOK)
+		})
+		n.httpSrv = &http.Server{Handler: mux}
+		n.baseURL = "http://" + ln.Addr().String()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			_ = n.httpSrv.Serve(ln)
+		}()
+	default: // ModeTCP
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			n.lnErr = err
+			return
+		}
+		n.tcpLn = ln
+		n.dialTo = ln.Addr().String()
+		t.wg.Add(1)
+		go t.acceptTCP(n)
+	}
+}
+
+// dispatch is a node's single dispatcher: every inbound datagram and
+// every owned timer runs here, serialized — the same guarantee the
+// simulator's event loop gives its handlers.
+func (t *Net) dispatch(n *node) {
+	defer t.wg.Done()
+	view := &nodeView{t: t, n: n}
+	for {
+		select {
+		case <-t.stop:
+			return
+		case it := <-n.inbox:
+			if it.fire != nil {
+				it.fire()
+				t.pending.Add(-1)
+				continue
+			}
+			t.recordDelivery(it.msg)
+			if h := n.handler(); h != nil {
+				h(view, it.msg)
+			}
+			t.pending.Add(-1)
+		}
+	}
+}
+
+func (t *Net) recordDelivery(msg transport.Message) {
+	t.delivered.Add(1)
+	if !t.opts.DisableCapture {
+		t.capMu.Lock()
+		t.capture = append(t.capture, transport.PacketRecord{
+			Time: t.Now(), Src: msg.Src, Dst: msg.Dst, Size: len(msg.Payload),
+		})
+		t.capMu.Unlock()
+	}
+	if tel := t.telemetrySink(); tel != nil {
+		src, dst := telemetry.A("src", string(msg.Src)), telemetry.A("dst", string(msg.Dst))
+		tel.Count(telemetry.MetricTransportMessages, "Datagrams delivered per link (real transport).", 1, src, dst)
+		tel.Count(telemetry.MetricTransportBytes, "Payload bytes delivered per link (real transport).", uint64(len(msg.Payload)), src, dst)
+	}
+}
+
+// dropFrames accounts n in-flight frames the wire ate (write error,
+// closed transport, unroutable destination).
+func (t *Net) dropFrames(n int, reason string) {
+	if n <= 0 {
+		return
+	}
+	t.lost.Add(uint64(n))
+	t.pending.Add(-int64(n))
+	if tel := t.telemetrySink(); tel != nil {
+		tel.Count(telemetry.MetricTransportLost, "Datagrams lost on the real transport.", uint64(n),
+			telemetry.A("reason", reason))
+	}
+}
+
+// Send encodes a frame and queues it on the destination endpoint's
+// writer pool. It fails fast on unregistered destinations and fails
+// closed (ErrClosed) after Close; queued frames travel the real wire
+// and are delivered by the destination node's dispatcher.
+func (t *Net) Send(src, dst transport.Addr, payload []byte) error {
+	if t.closed.Load() {
+		return fmt.Errorf("nettransport: send %s->%s: %w", src, dst, ErrClosed)
+	}
+	t.mu.Lock()
+	n, ok := t.nodes[dst]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("nettransport: send to unregistered node %q", dst)
+	}
+	if n.lnErr != nil {
+		return fmt.Errorf("nettransport: send to %q: %w", dst, n.lnErr)
+	}
+	frame, err := AppendFrame(nil, transport.Message{Src: src, Dst: dst, Payload: payload})
+	if err != nil {
+		return err
+	}
+	q := t.queueFor(dst, n)
+	t.pending.Add(1)
+	select {
+	case q.ch <- frame:
+		return nil
+	case <-t.stop:
+		t.dropFrames(1, "closed")
+		return fmt.Errorf("nettransport: send %s->%s: %w", src, dst, ErrClosed)
+	}
+}
+
+// queueFor returns the destination's writer queue, starting its worker
+// pool on first use.
+func (t *Net) queueFor(dst transport.Addr, n *node) *outQueue {
+	t.outMu.Lock()
+	defer t.outMu.Unlock()
+	if q := t.out[dst]; q != nil {
+		return q
+	}
+	q := &outQueue{ch: make(chan []byte, 4096)}
+	t.out[dst] = q
+	workers := t.opts.Workers
+	if t.opts.Mode == ModeTCP {
+		workers = 1 // one writer per stream preserves per-destination FIFO
+	}
+	for i := 0; i < workers; i++ {
+		t.wg.Add(1)
+		switch t.opts.Mode {
+		case ModeUDP:
+			go t.udpWriter(q, n)
+		case ModeHTTP:
+			go t.httpWriter(q, n)
+		default:
+			go t.tcpWriter(q, n)
+		}
+	}
+	return q
+}
+
+// nextBatch blocks for one frame then coalesces whatever else is
+// queued, up to limit bytes, into a single write. Returns the batch
+// and its frame count; nil on shutdown.
+func (t *Net) nextBatch(q *outQueue, limit int) ([]byte, int) {
+	var first []byte
+	select {
+	case <-t.stop:
+		return nil, 0
+	case first = <-q.ch:
+	}
+	batch := first
+	count := 1
+	for len(batch) < limit {
+		select {
+		case f := <-q.ch:
+			batch = append(batch, f...)
+			count++
+		default:
+			return batch, count
+		}
+	}
+	return batch, count
+}
+
+func (t *Net) tcpWriter(q *outQueue, n *node) {
+	defer t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		batch, count := t.nextBatch(q, t.opts.BatchBytes)
+		if batch == nil {
+			return
+		}
+		if conn == nil {
+			c, err := net.Dial("tcp", n.dialTo)
+			if err != nil {
+				t.dropFrames(count, "dial")
+				continue
+			}
+			conn = c
+		}
+		if _, err := conn.Write(batch); err != nil {
+			conn.Close()
+			conn = nil
+			t.dropFrames(count, "write")
+		}
+	}
+}
+
+// maxUDPBatch keeps batched datagrams under the loopback UDP payload
+// ceiling.
+const maxUDPBatch = 60000
+
+func (t *Net) udpWriter(q *outQueue, n *node) {
+	defer t.wg.Done()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		// Without a send socket this worker can only drain and drop.
+		for {
+			_, count := t.nextBatch(q, maxUDPBatch)
+			if count == 0 {
+				return
+			}
+			t.dropFrames(count, "socket")
+		}
+	}
+	defer conn.Close()
+	_ = conn.SetWriteBuffer(4 << 20)
+	for {
+		batch, count := t.nextBatch(q, maxUDPBatch)
+		if batch == nil {
+			return
+		}
+		if _, err := conn.WriteToUDP(batch, n.udpAddr); err != nil {
+			t.dropFrames(count, "write")
+		}
+	}
+}
+
+func (t *Net) httpWriter(q *outQueue, n *node) {
+	defer t.wg.Done()
+	for {
+		batch, count := t.nextBatch(q, t.opts.BatchBytes)
+		if batch == nil {
+			return
+		}
+		resp, err := t.httpClient.Post(n.baseURL+"/frames", "application/octet-stream", bytes.NewReader(batch))
+		if err != nil {
+			t.dropFrames(count, "post")
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.dropFrames(count, "status")
+		}
+	}
+}
+
+func (t *Net) acceptTCP(n *node) {
+	defer t.wg.Done()
+	for {
+		conn, err := n.tcpLn.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readTCP(conn)
+	}
+}
+
+// readTCP decodes the stream one frame at a time: header first, then
+// the exact frame body. Structural corruption drops the connection.
+func (t *Net) readTCP(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	header := make([]byte, frameHeader)
+	for {
+		if _, err := io.ReadFull(conn, header); err != nil {
+			return
+		}
+		total := FrameLen(header)
+		if total < frameHeader || total > frameHeader+2*MaxAddrLen+MaxFramePayload {
+			return
+		}
+		buf := make([]byte, total)
+		copy(buf, header)
+		if _, err := io.ReadFull(conn, buf[frameHeader:]); err != nil {
+			return
+		}
+		msg, _, err := DecodeFrame(buf)
+		if err != nil {
+			return
+		}
+		t.deliver(msg)
+	}
+}
+
+func (t *Net) readUDP(n *node) {
+	defer t.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		nr, _, err := n.udpConn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		t.deliverBatch(append([]byte(nil), buf[:nr]...))
+	}
+}
+
+// deliverBatch decodes a concatenation of frames and delivers each.
+func (t *Net) deliverBatch(b []byte) {
+	for len(b) > 0 {
+		msg, rest, err := DecodeFrame(b)
+		if err != nil {
+			return // trailing corruption: the valid prefix was delivered
+		}
+		b = rest
+		t.deliver(msg)
+	}
+}
+
+// deliver routes one decoded frame to its node's dispatcher. The
+// sender's pending count transfers to the dispatcher, which releases
+// it after the handler runs.
+func (t *Net) deliver(msg transport.Message) {
+	if t.closed.Load() {
+		t.dropFrames(1, "closed")
+		return
+	}
+	t.mu.Lock()
+	n := t.nodes[msg.Dst]
+	t.mu.Unlock()
+	if n == nil {
+		t.dropFrames(1, "unroutable")
+		return
+	}
+	select {
+	case n.inbox <- item{msg: msg}:
+	case <-t.stop:
+		t.dropFrames(1, "closed")
+	}
+}
+
+// After schedules fn after delay. Armed outside any handler it runs on
+// its own goroutine (the analogue of simnet's owner-less timers);
+// handlers arm timers through their nodeView, which serializes them
+// with the owning node.
+func (t *Net) After(delay time.Duration, fn func()) {
+	if t.closed.Load() {
+		return
+	}
+	t.pending.Add(1)
+	time.AfterFunc(delay, func() {
+		defer t.pending.Add(-1)
+		if !t.closed.Load() {
+			fn()
+		}
+	})
+}
+
+// Run waits until the transport quiesces — every accepted datagram
+// delivered (or lost) and every armed timer fired — and returns the
+// number of messages delivered during this call. Unlike the simulator,
+// where nothing moves before Run, a real wire delivers concurrently
+// with sending: messages handled before Run is entered are not in its
+// return value, so callers wanting totals read Delivered, not Run's
+// delta. If in-flight work
+// makes no progress for StallTimeout (possible only where the wire
+// itself drops silently, i.e. UDP), Run stops waiting and returns.
+func (t *Net) Run() uint64 {
+	startDelivered := t.delivered.Load()
+	lastSeen := startDelivered + t.lost.Load()
+	lastProgress := time.Now()
+	for {
+		if t.closed.Load() || t.pending.Load() == 0 {
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+		if cur := t.delivered.Load() + t.lost.Load(); cur != lastSeen {
+			lastSeen = cur
+			lastProgress = time.Now()
+			continue
+		}
+		if time.Since(lastProgress) > t.opts.StallTimeout {
+			break
+		}
+	}
+	return t.delivered.Load() - startDelivered
+}
+
+// Capture returns a copy of the passive observer's packet records
+// (empty when DisableCapture is set).
+func (t *Net) Capture() []transport.PacketRecord {
+	t.capMu.Lock()
+	defer t.capMu.Unlock()
+	return append([]transport.PacketRecord(nil), t.capture...)
+}
+
+// Delivered returns the all-time count of delivered messages.
+func (t *Net) Delivered() uint64 { return t.delivered.Load() }
+
+// Lost returns the all-time count of messages the transport ate.
+func (t *Net) Lost() uint64 { return t.lost.Load() }
+
+// Pending reports in-flight work (queued frames, running handlers,
+// armed timers).
+func (t *Net) Pending() int { return int(t.pending.Load()) }
+
+// Close shuts the transport down: subsequent Sends fail closed with
+// ErrClosed, listeners and dispatchers stop, and sockets are released.
+// In-flight work is dropped, never handed to any fallback path.
+func (t *Net) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(t.stop)
+	t.mu.Lock()
+	nodes := make([]*node, 0, len(t.nodes))
+	for _, n := range t.nodes {
+		nodes = append(nodes, n)
+	}
+	t.mu.Unlock()
+	for _, n := range nodes {
+		if n.tcpLn != nil {
+			n.tcpLn.Close()
+		}
+		if n.udpConn != nil {
+			n.udpConn.Close()
+		}
+		if n.httpSrv != nil {
+			n.httpSrv.Close()
+		}
+	}
+	t.httpClient.CloseIdleConnections()
+	t.wg.Wait()
+	return nil
+}
+
+// nodeView is the Transport a node's handler runs against: Sends pass
+// through, timers belong to the node — they run on its dispatcher,
+// serialized with its handler, mirroring simnet's timer ownership.
+type nodeView struct {
+	t *Net
+	n *node
+}
+
+var _ transport.Transport = (*nodeView)(nil)
+
+func (v *nodeView) Send(src, dst transport.Addr, payload []byte) error {
+	return v.t.Send(src, dst, payload)
+}
+func (v *nodeView) Register(addr transport.Addr, h transport.Handler) { v.t.Register(addr, h) }
+func (v *nodeView) Now() time.Duration                                { return v.t.Now() }
+func (v *nodeView) Rand(max int) int                                  { return v.t.Rand(max) }
+
+func (v *nodeView) After(delay time.Duration, fn func()) {
+	t := v.t
+	if t.closed.Load() {
+		return
+	}
+	t.pending.Add(1)
+	time.AfterFunc(delay, func() {
+		select {
+		case v.n.inbox <- item{fire: fn}:
+		case <-t.stop:
+			t.pending.Add(-1)
+		}
+	})
+}

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"sync"
 
+	"decoupling/internal/core"
 	"decoupling/internal/dcrypto/hpke"
 	"decoupling/internal/dns"
 	"decoupling/internal/dnswire"
@@ -247,8 +248,10 @@ func (t *Target) HandleQuery(from string, raw []byte) ([]byte, error) {
 
 	if t.lg != nil {
 		h := ledger.ConnHandle(from, t.Name)
-		t.lg.SawIdentity(t.Name, from, h)
-		t.lg.SawData(t.Name, name, h, "recursion:"+name)
+		t.lg.SawBatch(t.Name, []ledger.Entry{
+			{Kind: core.Identity, Value: from, Handles: []string{h}},
+			{Kind: core.Data, Value: name, Handles: []string{h, "recursion:" + name}},
+		})
 	}
 
 	var resp *dnswire.Message
@@ -315,11 +318,16 @@ func (p *Proxy) Forward(clientAddr string, raw []byte) ([]byte, error) {
 	if p.lg != nil {
 		// The raw observed peer endpoint is itself a join key (the party
 		// on the other side of the socket holds the same string), in
-		// addition to the per-leg session handles.
+		// addition to the per-leg session handles. Both observations come
+		// from one relayed request, so they admit as one batch: a single
+		// shard-lock acquisition even with thousands of concurrent
+		// handler goroutines.
 		clientLeg := ledger.ConnHandle(clientAddr, p.Name)
 		targetLeg := ledger.ConnHandle(p.Name, p.Target.Name)
-		p.lg.SawIdentity(p.Name, clientAddr, clientAddr, clientLeg)
-		p.lg.SawData(p.Name, "ciphertext:"+ledger.Hash(raw), clientLeg, targetLeg)
+		p.lg.SawBatch(p.Name, []ledger.Entry{
+			{Kind: core.Identity, Value: clientAddr, Handles: []string{clientAddr, clientLeg}},
+			{Kind: core.Data, Value: "ciphertext:" + ledger.Hash(raw), Handles: []string{clientLeg, targetLeg}},
+		})
 	}
 	resp, err := p.Target.HandleQuery(p.Name, raw)
 	if err != nil {
@@ -455,8 +463,10 @@ func (p *Proxy) forwardHTTP(client *http.Client, baseURL, clientAddr string, raw
 	if p.lg != nil {
 		clientLeg := ledger.ConnHandle(clientAddr, p.Name)
 		targetLeg := ledger.ConnHandle(p.Name, p.Target.Name)
-		p.lg.SawIdentity(p.Name, clientAddr, clientAddr, clientLeg)
-		p.lg.SawData(p.Name, "ciphertext:"+ledger.Hash(raw), clientLeg, targetLeg)
+		p.lg.SawBatch(p.Name, []ledger.Entry{
+			{Kind: core.Identity, Value: clientAddr, Handles: []string{clientAddr, clientLeg}},
+			{Kind: core.Data, Value: "ciphertext:" + ledger.Hash(raw), Handles: []string{clientLeg, targetLeg}},
+		})
 	}
 	resp, err := client.Post(baseURL+"/dns-query", contentType, bytes.NewReader(raw))
 	if err != nil {

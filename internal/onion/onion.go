@@ -108,7 +108,7 @@ type Relay struct {
 }
 
 // NewRelay creates a relay and registers it on the network.
-func NewRelay(net *simnet.Network, name string, addr simnet.Addr, lg *ledger.Ledger) (*Relay, error) {
+func NewRelay(net simnet.Transport, name string, addr simnet.Addr, lg *ledger.Ledger) (*Relay, error) {
 	kp, err := hpke.GenerateKeyPair()
 	if err != nil {
 		return nil, fmt.Errorf("onion: relay key: %w", err)
@@ -146,7 +146,7 @@ const (
 	wireExitR byte = 3 // origin -> exit plaintext response
 )
 
-func (r *Relay) handle(net *simnet.Network, msg simnet.Message) {
+func (r *Relay) handle(net simnet.Transport, msg simnet.Message) {
 	if len(msg.Payload) == 0 {
 		r.dropped++
 		return
@@ -166,7 +166,7 @@ func (r *Relay) handle(net *simnet.Network, msg simnet.Message) {
 // Setup layer plaintext:
 //
 //	[key 16][cidIn 4][cidOut 4][exit 1][addrlen 2][next addr][inner setup bytes]
-func (r *Relay) handleSetup(net *simnet.Network, msg simnet.Message) {
+func (r *Relay) handleSetup(net simnet.Transport, msg simnet.Message) {
 	sp := r.tel.Start("onion.relay.setup", telemetry.A("relay", r.Name))
 	defer sp.End()
 	wire := msg.Payload[1:]
@@ -219,7 +219,7 @@ func cidHandle(cid uint32) string {
 	return fmt.Sprintf("circ:%08x", cid)
 }
 
-func (r *Relay) handleCell(net *simnet.Network, msg simnet.Message) {
+func (r *Relay) handleCell(net simnet.Transport, msg simnet.Message) {
 	sp := r.tel.Start("onion.relay.cell", telemetry.A("relay", r.Name))
 	defer sp.End()
 	r.tel.Count(telemetry.MetricOnionCells, "Onion cells processed per relay.", 1,
@@ -260,7 +260,7 @@ func (r *Relay) handleCell(net *simnet.Network, msg simnet.Message) {
 
 // deliverExit handles a fully unwrapped forward cell at the exit: parse
 // the framing and forward the plaintext request to the origin.
-func (r *Relay) deliverExit(net *simnet.Network, entry *circuitEntry, body []byte) {
+func (r *Relay) deliverExit(net simnet.Transport, entry *circuitEntry, body []byte) {
 	sp := r.tel.Start("onion.relay.exit", telemetry.A("relay", r.Name))
 	defer sp.End()
 	cmd := body[0]
@@ -303,7 +303,7 @@ func (r *Relay) deliverExit(net *simnet.Network, entry *circuitEntry, body []byt
 
 // handleOriginResponse wraps an origin's plaintext reply into backward
 // cells with this exit's layer applied.
-func (r *Relay) handleOriginResponse(net *simnet.Network, msg simnet.Message) {
+func (r *Relay) handleOriginResponse(net simnet.Transport, msg simnet.Message) {
 	if len(msg.Payload) < 5 {
 		r.dropped++
 		return
@@ -345,13 +345,13 @@ type Origin struct {
 }
 
 // NewOrigin creates an origin node.
-func NewOrigin(net *simnet.Network, name string, addr simnet.Addr, responseSize int, lg *ledger.Ledger) *Origin {
+func NewOrigin(net simnet.Transport, name string, addr simnet.Addr, responseSize int, lg *ledger.Ledger) *Origin {
 	o := &Origin{Name: name, Addr: addr, ResponseSize: responseSize, lg: lg}
 	net.Register(addr, o.handle)
 	return o
 }
 
-func (o *Origin) handle(net *simnet.Network, msg simnet.Message) {
+func (o *Origin) handle(net simnet.Transport, msg simnet.Message) {
 	if len(msg.Payload) < 5 || msg.Payload[0] != wireExitQ {
 		return
 	}
@@ -401,7 +401,7 @@ type Circuit struct {
 // responses.
 type Client struct {
 	Addr simnet.Addr
-	net  *simnet.Network
+	net  simnet.Transport
 
 	circuits  map[uint32]*Circuit
 	responses []Response
@@ -409,7 +409,7 @@ type Client struct {
 }
 
 // NewClient creates a client node on the network.
-func NewClient(net *simnet.Network, addr simnet.Addr) *Client {
+func NewClient(net simnet.Transport, addr simnet.Addr) *Client {
 	c := &Client{Addr: addr, net: net, circuits: map[uint32]*Circuit{}}
 	net.Register(addr, c.handle)
 	return c
@@ -554,7 +554,7 @@ func (circ *Circuit) sendCell(cmd byte, data []byte) error {
 }
 
 // handle processes backward cells arriving at the client.
-func (c *Client) handle(net *simnet.Network, msg simnet.Message) {
+func (c *Client) handle(net simnet.Transport, msg simnet.Message) {
 	if len(msg.Payload) != 1+CellSize || msg.Payload[0] != wireCell {
 		c.dropped++
 		return

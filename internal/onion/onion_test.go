@@ -12,7 +12,7 @@ import (
 	"decoupling/internal/simnet"
 )
 
-func buildPath(t testing.TB, net *simnet.Network, hops int, lg *ledger.Ledger) ([]RelayInfo, []*Relay, *Origin) {
+func buildPath(t testing.TB, net simnet.Transport, hops int, lg *ledger.Ledger) ([]RelayInfo, []*Relay, *Origin) {
 	t.Helper()
 	var infos []RelayInfo
 	var relays []*Relay

@@ -62,7 +62,7 @@ func TestBudgetExhaustionMidFailover(t *testing.T) {
 // disable exactly the timer meant to notice it.
 func TestWatchdogFiresDuringCrashWindow(t *testing.T) {
 	net := simnet.New(1)
-	net.Register("srv", func(n *simnet.Network, msg simnet.Message) {})
+	net.Register("srv", func(n simnet.Transport, msg simnet.Message) {})
 	net.ApplyFaults(simnet.NewFaultPlan().Crash("srv", 0, 100*time.Millisecond))
 
 	var firedAt time.Duration

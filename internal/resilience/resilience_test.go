@@ -329,7 +329,7 @@ func TestResilienceMetricsRoundTrip(t *testing.T) {
 	net.Run()
 
 	// A fault drop.
-	net.Register("sink", func(n *simnet.Network, msg simnet.Message) {})
+	net.Register("sink", func(n simnet.Transport, msg simnet.Message) {})
 	net.ApplyFaults(simnet.NewFaultPlan().Crash("sink", 0, 0))
 	net.Run()
 	net.Send("src", "sink", []byte("x"))

@@ -177,7 +177,7 @@ func TestFaultPlanFromSpec(t *testing.T) {
 
 func TestSendToCrashedNodeFailsFast(t *testing.T) {
 	n := New(1)
-	n.Register("b", func(n *Network, m Message) {})
+	n.Register("b", func(n Transport, m Message) {})
 	n.ApplyFaults(NewFaultPlan().Crash("b", 0, 0))
 	n.Run() // let the crash transition fire
 	err := n.Send("a", "b", []byte("x"))
@@ -191,8 +191,8 @@ func TestSendToCrashedNodeFailsFast(t *testing.T) {
 
 func TestSendFromCrashedNodeFailsFast(t *testing.T) {
 	n := New(1)
-	n.Register("b", func(n *Network, m Message) {})
-	n.Register("down", func(n *Network, m Message) {})
+	n.Register("b", func(n Transport, m Message) {})
+	n.Register("down", func(n Transport, m Message) {})
 	n.ApplyFaults(NewFaultPlan().Crash("down", 0, 0))
 	n.Run()
 	if err := n.Send("down", "b", nil); !errors.Is(err, ErrNodeDown) {
@@ -203,7 +203,7 @@ func TestSendFromCrashedNodeFailsFast(t *testing.T) {
 func TestInFlightDatagramDroppedOnArrivalAtCrashedNode(t *testing.T) {
 	n := New(1)
 	delivered := 0
-	n.Register("b", func(n *Network, m Message) { delivered++ })
+	n.Register("b", func(n Transport, m Message) { delivered++ })
 	// Send at t=0 (arrives t=10ms); the node crashes at t=5ms, mid-flight.
 	if err := n.Send("a", "b", []byte("x")); err != nil {
 		t.Fatal(err)
@@ -221,7 +221,7 @@ func TestInFlightDatagramDroppedOnArrivalAtCrashedNode(t *testing.T) {
 func TestRestartRestoresDelivery(t *testing.T) {
 	n := New(1)
 	var deliveredAt []time.Duration
-	n.Register("b", func(n *Network, m Message) { deliveredAt = append(deliveredAt, n.Now()) })
+	n.Register("b", func(n Transport, m Message) { deliveredAt = append(deliveredAt, n.Now()) })
 	n.ApplyFaults(NewFaultPlan().Crash("b", 0, 50*time.Millisecond))
 	// Process the crash transition, then advance past the restart.
 	n.RunUntil(60 * time.Millisecond)
@@ -242,7 +242,7 @@ func TestCrashCancelsOwnedTimers(t *testing.T) {
 	fired := false
 	// A node arms a timer from inside its handler (the mix batch-flush
 	// pattern); crashing the node before the timer fires must cancel it.
-	n.Register("mix", func(n *Network, m Message) {
+	n.Register("mix", func(n Transport, m Message) {
 		n.After(100*time.Millisecond, func() { fired = true })
 	})
 	n.Send("a", "mix", []byte("x")) // handler runs at 10ms, timer due 110ms
@@ -257,7 +257,7 @@ func TestCrashCancelsOwnedTimers(t *testing.T) {
 func TestExternalTimersSurviveCrashes(t *testing.T) {
 	n := New(1)
 	fired := false
-	n.Register("mix", func(n *Network, m Message) {})
+	n.Register("mix", func(n Transport, m Message) {})
 	// Armed from outside any handler: no owner, survives every crash.
 	n.After(100*time.Millisecond, func() { fired = true })
 	n.ApplyFaults(NewFaultPlan().Crash("mix", 0, 0))
@@ -277,7 +277,7 @@ func TestCrashEventFIFOAgainstSameTimestampDelivery(t *testing.T) {
 	// precedes the delivery at t=10ms, so the datagram is dropped.
 	n := New(1)
 	got := 0
-	n.Register("b", func(n *Network, m Message) { got++ })
+	n.Register("b", func(n Transport, m Message) { got++ })
 	n.ApplyFaults(NewFaultPlan().Crash("b", at, 0))
 	if err := n.Send("a", "b", nil); err != nil {
 		t.Fatal(err)
@@ -290,7 +290,7 @@ func TestCrashEventFIFOAgainstSameTimestampDelivery(t *testing.T) {
 	// Send BEFORE the plan: the in-flight delivery was enqueued first
 	// and lands before the crash transition.
 	n = New(1)
-	n.Register("b", func(n *Network, m Message) { got++ })
+	n.Register("b", func(n Transport, m Message) { got++ })
 	if err := n.Send("a", "b", nil); err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func TestCrashEventFIFOAgainstSameTimestampDelivery(t *testing.T) {
 // transition fires now.
 func TestApplyFaultsClampsPastWindows(t *testing.T) {
 	n := New(1)
-	n.Register("b", func(n *Network, m Message) {})
+	n.Register("b", func(n Transport, m Message) {})
 	n.After(50*time.Millisecond, func() {})
 	n.Run() // clock now at 50ms
 	n.ApplyFaults(NewFaultPlan().Crash("b", 10*time.Millisecond, 0))
@@ -321,8 +321,8 @@ func TestApplyFaultsClampsPastWindows(t *testing.T) {
 
 func TestWildcardCrashExpandsOverRegisteredNodes(t *testing.T) {
 	n := New(1)
-	n.Register("x", func(n *Network, m Message) {})
-	n.Register("y", func(n *Network, m Message) {})
+	n.Register("x", func(n Transport, m Message) {})
+	n.Register("y", func(n Transport, m Message) {})
 	n.ApplyFaults(NewFaultPlan().Crash(Wildcard, 0, 0))
 	n.Run()
 	if !n.CrashedNow("x") || !n.CrashedNow("y") {
@@ -335,7 +335,7 @@ func TestWildcardCrashExpandsOverRegisteredNodes(t *testing.T) {
 func TestPartitionDropsSilently(t *testing.T) {
 	n := New(1)
 	got := 0
-	n.Register("b", func(n *Network, m Message) { got++ })
+	n.Register("b", func(n Transport, m Message) { got++ })
 	n.ApplyFaults(NewFaultPlan().PartitionOneWay("a", "b", 0, 0))
 	// The wire gives no error — only timeouts notice.
 	if err := n.Send("a", "b", nil); err != nil {
@@ -356,7 +356,7 @@ func TestPartitionDropsSilently(t *testing.T) {
 func TestBurstLossRaisesDropProbability(t *testing.T) {
 	n := New(7)
 	n.SetDefaultLink(Link{Latency: time.Millisecond}) // no baseline loss
-	n.Register("b", func(n *Network, m Message) {})
+	n.Register("b", func(n Transport, m Message) {})
 	n.ApplyFaults(NewFaultPlan().Loss("a", "b", 1.0, 0, 0))
 	for i := 0; i < 20; i++ {
 		n.Send("a", "b", nil)
@@ -373,7 +373,7 @@ func TestBurstLossRaisesDropProbability(t *testing.T) {
 func TestBaselineLossWinsWhenHigher(t *testing.T) {
 	n := New(7)
 	n.SetDefaultLink(Link{Latency: time.Millisecond, Loss: 1.0})
-	n.Register("b", func(n *Network, m Message) {})
+	n.Register("b", func(n Transport, m Message) {})
 	// Injected burst loss is LOWER than the link's own loss; the link
 	// loss still applies (LossAt only raises, never lowers).
 	n.ApplyFaults(NewFaultPlan().Loss("a", "b", 0.1, 0, 0))
@@ -387,7 +387,7 @@ func TestBaselineLossWinsWhenHigher(t *testing.T) {
 func TestLatencySpikeDelaysDelivery(t *testing.T) {
 	n := New(1)
 	var at time.Duration
-	n.Register("b", func(n *Network, m Message) { at = n.Now() })
+	n.Register("b", func(n Transport, m Message) { at = n.Now() })
 	n.ApplyFaults(NewFaultPlan().LatencySpike("a", "b", 40*time.Millisecond, 0, time.Second))
 	n.Send("a", "b", nil)
 	n.Run()
@@ -399,7 +399,7 @@ func TestLatencySpikeDelaysDelivery(t *testing.T) {
 func TestSpikeOutsideWindowIsFree(t *testing.T) {
 	n := New(1)
 	var at time.Duration
-	n.Register("b", func(n *Network, m Message) { at = n.Now() })
+	n.Register("b", func(n Transport, m Message) { at = n.Now() })
 	n.ApplyFaults(NewFaultPlan().LatencySpike("a", "b", 40*time.Millisecond, time.Second, 2*time.Second))
 	n.Send("a", "b", nil) // sent at t=0, before the spike window
 	n.Run()
@@ -414,7 +414,7 @@ func TestChaosRunIsDeterministic(t *testing.T) {
 	run := func() ([]PacketRecord, uint64) {
 		n := New(42)
 		n.SetDefaultLink(Link{Latency: 5 * time.Millisecond, Jitter: 3 * time.Millisecond})
-		n.Register("sink", func(n *Network, m Message) {})
+		n.Register("sink", func(n Transport, m Message) {})
 		n.ApplyFaults(NewFaultPlan().
 			Loss(Wildcard, "sink", 0.4, 0, 0).
 			Crash("sink", 200*time.Millisecond, 300*time.Millisecond))
@@ -470,7 +470,7 @@ func TestRunUntilLeavesTimersPastDeadline(t *testing.T) {
 func TestZeroJitterBoundary(t *testing.T) {
 	n := New(1)
 	var at time.Duration
-	n.Register("b", func(n *Network, m Message) { at = n.Now() })
+	n.Register("b", func(n Transport, m Message) { at = n.Now() })
 	n.SetLink("a", "b", Link{Latency: 7 * time.Millisecond, Jitter: 0})
 	if err := n.Send("a", "b", nil); err != nil {
 		t.Fatal(err)

@@ -17,7 +17,7 @@ func sendBurst(n *Network, dst Addr, count int) {
 
 func deliveryOrder(n *Network, dst Addr) *[]string {
 	order := &[]string{}
-	n.Register(dst, func(n *Network, m Message) { *order = append(*order, string(m.Payload)) })
+	n.Register(dst, func(n Transport, m Message) { *order = append(*order, string(m.Payload)) })
 	return order
 }
 
@@ -71,7 +71,7 @@ func TestSeededSchedulerIsDeterministicPerSeed(t *testing.T) {
 func TestSchedulerPreservesPerLinkFIFO(t *testing.T) {
 	n := New(1)
 	var fromA, fromB []string
-	n.Register("dst", func(n *Network, m Message) {
+	n.Register("dst", func(n Transport, m Message) {
 		if m.Src == "a" {
 			fromA = append(fromA, string(m.Payload))
 		} else {
@@ -94,7 +94,7 @@ func TestSchedulerPreservesPerLinkFIFO(t *testing.T) {
 func TestSchedulerPreservesPerOwnerTimerOrder(t *testing.T) {
 	n := New(1)
 	var fired []string
-	n.Register("node", func(n *Network, m Message) {
+	n.Register("node", func(n Transport, m Message) {
 		// Two timers armed by the same node at the same deadline must
 		// keep arming order under any scheduler.
 		n.After(5*time.Millisecond, func() { fired = append(fired, "first") })
@@ -168,7 +168,7 @@ func TestSchedulerSeesCrashDeliveryRace(t *testing.T) {
 	// delivery-first lands the message, crash-first drops it.
 	run := func(tr ScheduleTrace) (delivered uint64) {
 		n := New(1)
-		n.Register("b", func(n *Network, m Message) {})
+		n.Register("b", func(n Transport, m Message) {})
 		n.ApplyFaults(NewFaultPlan().Crash("b", 10*time.Millisecond, 0))
 		n.Send("a", "b", []byte("race")) // arrives at exactly 10ms
 		n.ReplaySchedule(tr)
@@ -185,7 +185,7 @@ func TestSchedulerSeesCrashDeliveryRace(t *testing.T) {
 func TestSchedulerKeepsVirtualTimeMonotone(t *testing.T) {
 	n := New(1)
 	var times []time.Duration
-	n.Register("b", func(n *Network, m Message) { times = append(times, n.Now()) })
+	n.Register("b", func(n Transport, m Message) { times = append(times, n.Now()) })
 	n.SetLink("fast", "b", Link{Latency: 1 * time.Millisecond})
 	n.SetScheduler(NewSeededScheduler(5))
 	sendBurst(n, "b", 8)

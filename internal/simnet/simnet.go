@@ -25,21 +25,31 @@ import (
 	"time"
 
 	"decoupling/internal/telemetry"
+	"decoupling/internal/transport"
 )
 
+// The wire-level vocabulary is shared with every other transport
+// implementation through internal/transport; the aliases keep simnet's
+// historical names working while making Network just one implementation
+// of the Transport contract.
+
 // Addr names a node on the simulated network.
-type Addr string
+type Addr = transport.Addr
 
 // Message is a datagram in flight.
-type Message struct {
-	Src, Dst Addr
-	Payload  []byte
-}
+type Message = transport.Message
 
 // Handler processes a delivered message on behalf of a node. Handlers
 // run on the event loop goroutine; they may call Send/After freely but
 // must not block.
-type Handler func(n *Network, msg Message)
+type Handler = transport.Handler
+
+// Transport is the node-facing interface Network implements; protocol
+// packages take this so the same handlers run over real sockets.
+type Transport = transport.Transport
+
+// Network implements the full experiment-facing transport contract.
+var _ transport.Runner = (*Network)(nil)
 
 // Link describes delivery characteristics between a pair of nodes.
 type Link struct {
@@ -54,12 +64,7 @@ type Link struct {
 // PacketRecord is one captured delivery, as seen by a passive global
 // observer: metadata only, no payload bytes (encrypted payloads leak
 // size and timing, which is precisely what traffic analysis exploits).
-type PacketRecord struct {
-	Time time.Duration
-	Src  Addr
-	Dst  Addr
-	Size int
-}
+type PacketRecord = transport.PacketRecord
 
 type event struct {
 	at      time.Duration
@@ -387,3 +392,8 @@ func (n *Network) Pending() int {
 	defer n.mu.Unlock()
 	return len(n.queue)
 }
+
+// Close satisfies transport.Runner. The simulator holds no sockets or
+// goroutines, so Close is a no-op: queued events stay queued and a
+// later Run still drains them (tests rely on re-running a net).
+func (n *Network) Close() error { return nil }

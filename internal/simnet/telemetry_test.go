@@ -19,12 +19,12 @@ func TestInstrumentedDelivery(t *testing.T) {
 	n.Instrument(tel)
 
 	// b relays everything it receives to c: a → b → c is a 2-hop chain.
-	n.Register("b", func(n *Network, msg Message) {
+	n.Register("b", func(n Transport, msg Message) {
 		if err := n.Send("b", "c", msg.Payload); err != nil {
 			t.Error(err)
 		}
 	})
-	n.Register("c", func(*Network, Message) {})
+	n.Register("c", func(Transport, Message) {})
 	if err := n.Send("a", "b", []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestInstrumentedLoss(t *testing.T) {
 	m := telemetry.NewMetrics()
 	tel := telemetry.New("T", true, m)
 	n.Instrument(tel)
-	n.Register("b", func(*Network, Message) {})
+	n.Register("b", func(Transport, Message) {})
 	n.SetLink("a", "b", Link{Loss: 1})
 	for i := 0; i < 5; i++ {
 		if err := n.Send("a", "b", []byte("x")); err != nil {
@@ -108,7 +108,7 @@ func TestInstrumentedLoss(t *testing.T) {
 func TestUninstrumentedRunUnchanged(t *testing.T) {
 	n := New(1)
 	got := 0
-	n.Register("b", func(*Network, Message) { got++ })
+	n.Register("b", func(Transport, Message) { got++ })
 	for i := 0; i < 3; i++ {
 		n.Send("a", "b", []byte("x"))
 	}
@@ -133,7 +133,7 @@ func benchDelivery(b *testing.B, tel *telemetry.Telemetry) {
 	n := New(1)
 	n.SetDefaultLink(Link{})
 	n.Instrument(tel)
-	n.Register("b", func(*Network, Message) {})
+	n.Register("b", func(Transport, Message) {})
 	payload := make([]byte, 128)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -27,6 +27,12 @@ const (
 	MetricOdohHandled        = "decoupling_odoh_handled_total"
 	MetricOnionCells         = "decoupling_onion_cells_total"
 	MetricMixBatchSize       = "decoupling_mixnet_batch_size"
+	// Real-transport counters (internal/nettransport), mirroring the
+	// simnet family so dashboards compare virtual and real runs.
+	MetricTransportMessages = "decoupling_transport_messages_total"
+	MetricTransportBytes    = "decoupling_transport_bytes_total"
+	MetricTransportLost     = "decoupling_transport_lost_total"
+	MetricTransportLatency  = "decoupling_transport_delivery_latency_seconds"
 	// Schedule-explorer counters (internal/explore), labeled per seed.
 	MetricExploreCases      = "decoupling_explore_cases_total"
 	MetricExploreDecisions  = "decoupling_explore_schedule_decisions_total"

@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// wallClockAllowlist names the only non-test files permitted to touch
+// the wall clock directly. Everything else — protocol handlers, mixes,
+// proxies, the ledger — must route timing through a Transport's
+// Now/After, so the same code is deterministic under the simulator and
+// honest under real sockets. A new entry here needs the same kind of
+// justification these have.
+var wallClockAllowlist = map[string]string{
+	"internal/dns/udp.go":            "kernel socket read deadline; the OS clock is the only one the kernel honors",
+	"internal/experiments/runner.go": "wall-elapsed reporting and queue-wait telemetry for the human-facing runner",
+	"internal/mpr/certs.go":          "X.509 NotBefore/NotAfter; certificate validity is wall time by definition",
+	"internal/nettransport/":         "the real transport: its whole job is binding the Transport clock to the wall",
+	"cmd/loadgen/":                   "wall-clock benchmark harness measuring the real transport",
+}
+
+// TestNoWallClockInProtocolCode is the regression guard for the clock
+// audit: no shared protocol path may call time.Now() or time.Sleep.
+// When one of those leaks into handler code, virtual-time runs stop
+// being deterministic (breaking the explorer's replay fixpoint) and
+// equivalence between transports quietly erodes. The scan is textual
+// but comment-stripped, so documentation may mention the forbidden
+// calls freely.
+func TestNoWallClockInProtocolCode(t *testing.T) {
+	root := filepath.Join("..", "..")
+	for _, top := range []string{"internal", "cmd"} {
+		err := filepath.Walk(filepath.Join(root, top), func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			rel = filepath.ToSlash(rel)
+			for allowed := range wallClockAllowlist {
+				if rel == allowed || (strings.HasSuffix(allowed, "/") && strings.HasPrefix(rel, allowed)) {
+					return nil
+				}
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				code := line
+				if idx := strings.Index(code, "//"); idx >= 0 {
+					code = code[:idx]
+				}
+				if strings.Contains(code, "time.Now()") || strings.Contains(code, "time.Sleep(") {
+					t.Errorf("%s:%d: wall clock call in shared protocol code: %s\n"+
+						"route timing through the Transport clock (Now/After), or add an allowlist entry with a justification",
+						rel, i+1, strings.TrimSpace(line))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", top, err)
+		}
+	}
+}
+
+// TestAllowlistEntriesExist keeps the allowlist honest: a stale entry
+// means the justification no longer covers anything.
+func TestAllowlistEntriesExist(t *testing.T) {
+	root := filepath.Join("..", "..")
+	for entry := range wallClockAllowlist {
+		p := filepath.Join(root, filepath.FromSlash(strings.TrimSuffix(entry, "/")))
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("allowlist entry %q does not exist: %v", entry, err)
+		}
+	}
+}
