@@ -1,0 +1,125 @@
+// Command benchdiff is the performance regression gate: it compares a
+// candidate benchmark document against a committed baseline under
+// per-metric tolerance thresholds and exits nonzero on any regression.
+// CI runs it after the loadgen smoke job, so a change that halves
+// throughput, triples a latency quantile, bloats allocations, or
+// breaks the decoupling verdict fails the build — the check the
+// ROADMAP's zero-alloc hot-path work needs before any optimization can
+// claim a win.
+//
+// Usage:
+//
+//	benchdiff [flags] BASELINE CANDIDATE
+//
+// BASELINE and CANDIDATE are BENCH_*.json files from cmd/loadgen;
+// CANDIDATE may also be an http(s) URL to a live loadgen /statusz
+// endpoint, so a running sweep can be graded mid-flight:
+//
+//	benchdiff BENCH_transport.json bench.new.json
+//	benchdiff -throughput-drop 0.9 BENCH_transport.json http://127.0.0.1:9090/statusz
+//
+// Thresholds are one-sided: improvements always pass. Metrics the
+// baseline does not carry (e.g. all-zero latency blocks from before
+// instrumentation existed) are skipped rather than vacuously gated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"decoupling/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(out, errw io.Writer, args []string) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	def := bench.DefaultThresholds()
+	drop := fs.Float64("throughput-drop", def.ThroughputDrop,
+		"maximum tolerated fractional throughput drop (0.5 = candidate may be half as fast)")
+	grow := fs.Float64("latency-grow", def.LatencyGrow,
+		"maximum tolerated latency multiplier per quantile")
+	alloc := fs.Float64("alloc-grow", def.AllocGrow,
+		"maximum tolerated allocs/op and bytes/op multiplier")
+	maxErrs := fs.Uint64("max-errors", def.MaxErrors, "absolute per-leg error budget")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(errw, "usage: benchdiff [flags] BASELINE CANDIDATE (files, or an http(s) /statusz URL for CANDIDATE)")
+		return 2
+	}
+	if *drop < 0 || *drop > 1 {
+		fmt.Fprintln(errw, "benchdiff: -throughput-drop must be in [0,1]")
+		return 2
+	}
+	if *grow < 1 || *alloc < 1 {
+		fmt.Fprintln(errw, "benchdiff: -latency-grow and -alloc-grow must be >= 1")
+		return 2
+	}
+
+	baseline, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(errw, "benchdiff: baseline: %v\n", err)
+		return 2
+	}
+	candidate, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(errw, "benchdiff: candidate: %v\n", err)
+		return 2
+	}
+
+	th := bench.Thresholds{ThroughputDrop: *drop, LatencyGrow: *grow, AllocGrow: *alloc, MaxErrors: *maxErrs}
+	regs := bench.Compare(baseline, candidate, th)
+	fmt.Fprintf(out, "benchdiff: baseline %s (%d clients) vs candidate %s (%d clients)\n",
+		fs.Arg(0), baseline.Clients, fs.Arg(1), candidate.Clients)
+	if len(regs) == 0 {
+		fmt.Fprintln(out, "benchdiff: no regressions")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Fprintf(out, "benchdiff: REGRESSION %s\n", r)
+	}
+	fmt.Fprintf(errw, "benchdiff: %d metric(s) regressed past thresholds\n", len(regs))
+	return 1
+}
+
+// load reads a benchmark document from a file, or — for http(s) URLs —
+// from a live /statusz (or any endpoint serving a Doc or Status body).
+func load(src string) (bench.Doc, error) {
+	var blob []byte
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, err := client.Get(src)
+		if err != nil {
+			return bench.Doc{}, err
+		}
+		defer resp.Body.Close()
+		blob, err = io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return bench.Doc{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return bench.Doc{}, fmt.Errorf("%s: %s: %s", src, resp.Status, blob)
+		}
+	} else {
+		var err error
+		blob, err = os.ReadFile(src)
+		if err != nil {
+			return bench.Doc{}, err
+		}
+	}
+	doc, err := bench.Decode(blob)
+	if err != nil {
+		return bench.Doc{}, fmt.Errorf("%s: %w", src, err)
+	}
+	return doc, nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"decoupling/internal/bench"
+)
+
+func writeDoc(t *testing.T, name string, doc bench.Doc) string {
+	t.Helper()
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func healthyDoc() bench.Doc {
+	return bench.Doc{
+		Clients: 1000, Proxies: 4, Relays: 3, Workers: 64, Seed: 1,
+		ODoH: bench.Leg{
+			Requests: 4100, Seconds: 4, Throughput: 1000,
+			Latency:     bench.Latency{P50: 90, P90: 140, P99: 500, Max: 1200},
+			AllocsPerOp: 360, BytesPerOp: 34000,
+		},
+		Mixnet: bench.Leg{
+			Requests: 1000, Seconds: 5, Throughput: 200,
+			Latency: bench.Latency{P50: 30, P90: 60, P99: 120, Max: 300},
+		},
+		Ledger: &bench.LedgerSummary{Observations: 24600, Decoupled: true, AuditObserver: 3},
+	}
+}
+
+func TestRunCleanPair(t *testing.T) {
+	t.Parallel()
+	doc := healthyDoc()
+	base := writeDoc(t, "base.json", doc)
+	cand := writeDoc(t, "cand.json", doc)
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{base, cand}); code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("output lacks verdict: %s", out.String())
+	}
+}
+
+func TestRunInjectedRegression(t *testing.T) {
+	t.Parallel()
+	base := writeDoc(t, "base.json", healthyDoc())
+	bad := healthyDoc()
+	bad.ODoH.Throughput = 100 // far below the 50% floor
+	cand := writeDoc(t, "cand.json", bad)
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{base, cand}); code != 1 {
+		t.Fatalf("exit %d, want 1; out: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "odoh.requests_per_sec") {
+		t.Fatalf("regression report lacks metric name: %s", out.String())
+	}
+}
+
+func TestRunThresholdFlags(t *testing.T) {
+	t.Parallel()
+	base := writeDoc(t, "base.json", healthyDoc())
+	slower := healthyDoc()
+	slower.ODoH.Throughput = 600 // 40% drop: passes defaults, fails -throughput-drop 0.2
+	cand := writeDoc(t, "cand.json", slower)
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{base, cand}); code != 0 {
+		t.Fatalf("default thresholds: exit %d, want 0; out: %s", code, out.String())
+	}
+	out.Reset()
+	if code := run(&out, &errw, []string{"-throughput-drop", "0.2", base, cand}); code != 1 {
+		t.Fatalf("tight thresholds: exit %d, want 1; out: %s", code, out.String())
+	}
+}
+
+func TestRunStatuszURL(t *testing.T) {
+	t.Parallel()
+	base := writeDoc(t, "base.json", healthyDoc())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(bench.Status{Phase: "done", Bench: healthyDoc()})
+	}))
+	defer srv.Close()
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{base, srv.URL + "/statusz"}); code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errw.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	t.Parallel()
+	base := writeDoc(t, "base.json", healthyDoc())
+	for name, args := range map[string][]string{
+		"no args":          {},
+		"one arg":          {base},
+		"missing file":     {base, filepath.Join(t.TempDir(), "absent.json")},
+		"bad flag":         {"-nope", base, base},
+		"bad drop":         {"-throughput-drop", "1.5", base, base},
+		"bad grow":         {"-latency-grow", "0.5", base, base},
+		"unreachable url":  {base, "http://127.0.0.1:1/statusz"},
+		"invalid baseline": {writeDoc(t, "empty.json", bench.Doc{}), base},
+	} {
+		var out, errw bytes.Buffer
+		if code := run(&out, &errw, args); code != 2 {
+			t.Errorf("%s: exit %d, want 2", name, code)
+		}
+	}
+}

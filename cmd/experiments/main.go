@@ -32,6 +32,10 @@
 //	                  stderr
 //	-cpuprofile f     pprof CPU profile of the whole run
 //	-memprofile f     pprof heap profile written at exit
+//	-listen addr      serve /metrics (Prometheus text exposition),
+//	                  /statusz, and /debug/pprof over HTTP while the
+//	                  run executes — live counters for a long -explore
+//	                  sweep or a profiled reproduction run
 //
 // Schedule exploration (-explore) switches the command into seed-sweep
 // model-checking mode: every fault-tolerant probe scenario is run under
@@ -88,11 +92,13 @@ func run(out, errw io.Writer, args []string) int {
 	seedBase := fs.Uint64("seedbase", 1, "first exploration seed (with -explore)")
 	tracesDir := fs.String("traces", "",
 		"write minimized counterexample traces to `dir` (with -explore)")
+	listenAddr := fs.String("listen", "",
+		"serve /metrics, /statusz, and /debug/pprof on this `address` while the run executes")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *doExplore {
-		return runExplore(out, errw, fs.Args(), *seeds, *seedBase, *parallel, *tracesDir, *metricsFile)
+		return runExplore(out, errw, fs.Args(), *seeds, *seedBase, *parallel, *tracesDir, *metricsFile, *listenAddr)
 	}
 	plan, err := simnet.FaultPlanFromSpec(*faults)
 	if err != nil {
@@ -145,12 +151,21 @@ func run(out, errw io.Writer, args []string) int {
 		}()
 	}
 
-	telemetryOn := *traceFile != "" || *metricsFile != ""
+	telemetryOn := *traceFile != "" || *metricsFile != "" || *listenAddr != ""
 	// -audit also enables tracing so ledger observations join their
 	// protocol phase; the spans are only written out under -trace.
 	runner := experiments.Runner{Workers: *parallel, Trace: *traceFile != "" || *auditFile != ""}
 	if telemetryOn {
 		runner.Metrics = telemetry.NewMetrics()
+	}
+	if *listenAddr != "" {
+		srv, addr, err := telemetry.ServeObs(*listenAddr, runner.Metrics, nil)
+		if err != nil {
+			fmt.Fprintf(errw, "experiments: listen %s: %v\n", *listenAddr, err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(errw, "experiments: observability on http://%s/metrics /statusz /debug/pprof\n", addr)
 	}
 	results := runner.Run(selected)
 
@@ -203,7 +218,7 @@ func run(out, errw io.Writer, args []string) int {
 // runExplore executes the seed-sweep schedule explorer. ids filters
 // both the probes and the experiments (empty = everything); parallel
 // sizes the case worker pool (the report bytes do not depend on it).
-func runExplore(out, errw io.Writer, ids []string, seeds int, seedBase uint64, parallel int, tracesDir, metricsFile string) int {
+func runExplore(out, errw io.Writer, ids []string, seeds int, seedBase uint64, parallel int, tracesDir, metricsFile, listenAddr string) int {
 	if seeds < 1 {
 		fmt.Fprintln(errw, "experiments: -seeds must be at least 1")
 		return 2
@@ -217,9 +232,18 @@ func runExplore(out, errw io.Writer, ids []string, seeds int, seedBase uint64, p
 		Workers: parallel,
 	}
 	var metrics *telemetry.Metrics
-	if metricsFile != "" {
+	if metricsFile != "" || listenAddr != "" {
 		metrics = telemetry.NewMetrics()
 		opts.Tel = telemetry.New("explore", false, metrics)
+	}
+	if listenAddr != "" {
+		srv, addr, err := telemetry.ServeObs(listenAddr, metrics, nil)
+		if err != nil {
+			fmt.Fprintf(errw, "experiments: listen %s: %v\n", listenAddr, err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(errw, "experiments: observability on http://%s/metrics /statusz /debug/pprof\n", addr)
 	}
 	matched := map[string]bool{}
 	for _, p := range experiments.ExploreProbes() {

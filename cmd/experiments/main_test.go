@@ -150,6 +150,29 @@ func TestMetricsAndStatsFlags(t *testing.T) {
 	}
 }
 
+// TestListenFlag: -listen binds the observability server for the run
+// (scrape-during-run coverage lives with loadgen and the telemetry
+// httptest suite; here the wiring and the failure mode are the
+// contract).
+func TestListenFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-listen", "127.0.0.1:0", "E8"}); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "observability on http://") {
+		t.Errorf("stderr does not announce the bound address:\n%s", errw.String())
+	}
+	if !strings.Contains(out.String(), "all 1 experiments reproduce the paper") {
+		t.Errorf("report changed under -listen:\n%s", out.String())
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := run(&out, &errw, []string{"-listen", "256.0.0.1:0", "E8"}); code != 2 {
+		t.Fatalf("unbindable -listen: exit = %d, want 2", code)
+	}
+}
+
 // TestAuditDeterminism checks that -audit writes per-experiment
 // provenance audits that are byte-identical across -parallel settings
 // and across repeated runs (fresh keys, fresh ciphertexts), and that

@@ -14,6 +14,14 @@
 //
 //	go run ./cmd/loadgen -clients 100000 -out BENCH_transport.json
 //
+// A live run is observable while it executes: -listen mounts /metrics
+// (Prometheus text exposition), /statusz (JSON run summary including
+// the benchmark document so far), and /debug/pprof; -sample appends a
+// per-second JSONL time series of run health:
+//
+//	go run ./cmd/loadgen -clients 100000 -listen :9090 -sample samples.jsonl
+//	curl -s http://127.0.0.1:9090/metrics
+//
 // The million-client sweep (documented in EXPERIMENTS.md) disables the
 // ledger and packet capture to measure the bare transport:
 //
@@ -35,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"decoupling/internal/bench"
 	"decoupling/internal/core"
 	"decoupling/internal/dns"
 	"decoupling/internal/dnswire"
@@ -42,6 +51,7 @@ import (
 	"decoupling/internal/mixnet"
 	"decoupling/internal/nettransport"
 	"decoupling/internal/odoh"
+	"decoupling/internal/telemetry"
 	"decoupling/internal/transport"
 	"decoupling/internal/workload"
 )
@@ -52,45 +62,79 @@ import (
 // recycles ephemeral ports across logical clients mid-run.
 const clientHeader = "X-Loadgen-Client"
 
-type latencyStats struct {
-	P50 float64 `json:"p50_ms"`
-	P90 float64 `json:"p90_ms"`
-	P99 float64 `json:"p99_ms"`
-	Max float64 `json:"max_ms"`
+// legObs is the live instrumentation for one benchmark leg: cached
+// nil-safe handles, so a run without -listen pays one pointer check
+// per operation.
+type legObs struct {
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	inflight *telemetry.Gauge
+	latency  *telemetry.Summary
 }
 
-type legResult struct {
-	Requests    uint64       `json:"requests"`
-	Errors      uint64       `json:"errors"`
-	Seconds     float64      `json:"seconds"`
-	Throughput  float64      `json:"requests_per_sec"`
-	Latency     latencyStats `json:"latency"`
-	AllocsPerOp uint64       `json:"allocs_per_op"`
-	BytesPerOp  uint64       `json:"bytes_per_op"`
-	Delivered   uint64       `json:"delivered,omitempty"`
-	Lost        uint64       `json:"lost,omitempty"`
+// liveObs is the observability plane of a run: the registry behind
+// /metrics, per-leg handles the hot loops feed, and the state /statusz
+// snapshots. Constructed with a nil registry it is fully inert.
+type liveObs struct {
+	metrics *telemetry.Metrics
+	odoh    legObs
+	mixnet  legObs
+
+	mu    sync.Mutex
+	phase string
+	doc   bench.Doc
+
+	start time.Time
 }
 
-type ledgerResult struct {
-	Observations  int  `json:"observations"`
-	TupleDiffs    int  `json:"tuple_diffs"`
-	Decoupled     bool `json:"verdict_decoupled"`
-	AuditObserver int  `json:"observers"`
+func newLiveObs(m *telemetry.Metrics) *liveObs {
+	leg := func(name string) legObs {
+		l := telemetry.A("leg", name)
+		return legObs{
+			requests: m.Counter(telemetry.MetricLoadgenRequests, "requests issued by the load generator", l),
+			errors:   m.Counter(telemetry.MetricLoadgenErrors, "load generator request errors", l),
+			inflight: m.Gauge(telemetry.MetricLoadgenInflight, "load generator requests currently in flight", l),
+			latency:  m.Summary(telemetry.MetricLoadgenLatency, "request wall latency in seconds", l),
+		}
+	}
+	return &liveObs{metrics: m, odoh: leg("odoh"), mixnet: leg("mixnet"),
+		phase: "init", start: time.Now()}
 }
 
-type benchDoc struct {
-	Clients int           `json:"clients"`
-	Proxies int           `json:"proxies"`
-	Relays  int           `json:"relays"`
-	Workers int           `json:"workers"`
-	Seed    int64         `json:"seed"`
-	Full    bool          `json:"full"`
-	ODoH    legResult     `json:"odoh"`
-	Mixnet  legResult     `json:"mixnet"`
-	Ledger  *ledgerResult `json:"ledger,omitempty"`
+func (o *liveObs) setPhase(p string) {
+	o.mu.Lock()
+	o.phase = p
+	o.mu.Unlock()
+}
+
+// update mutates the /statusz benchmark document under the lock.
+func (o *liveObs) update(f func(*bench.Doc)) {
+	o.mu.Lock()
+	f(&o.doc)
+	o.mu.Unlock()
+}
+
+// status is the /statusz hook: process health plus the benchmark
+// document as far as the run has gotten.
+func (o *liveObs) status() (any, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return bench.Status{
+		Phase:      o.phase,
+		ElapsedSec: time.Since(o.start).Seconds(),
+		Goroutines: runtime.NumGoroutine(),
+		HeapBytes:  ms.HeapAlloc,
+		Bench:      o.doc,
+	}, nil
 }
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		clients = flag.Int("clients", 100_000, "logical ODoH clients to simulate")
 		proxies = flag.Int("proxies", 4, "ODoH proxy shards (HTTP endpoints of one logical operator)")
@@ -100,6 +144,8 @@ func main() {
 		out     = flag.String("out", "BENCH_transport.json", "benchmark JSON output path")
 		full    = flag.Bool("full", false, "million-client sweep: 1e6 clients, ledger and capture off")
 		useLg   = flag.Bool("ledger", true, "admit observations into the knowledge ledger and derive the verdict")
+		listen  = flag.String("listen", "", "serve /metrics, /statusz, and /debug/pprof on this address (e.g. :9090)")
+		sample  = flag.String("sample", "", "append per-second JSONL run-health samples to this file")
 	)
 	flag.Parse()
 	if *full {
@@ -108,11 +154,45 @@ func main() {
 	}
 	if *clients < 1 || *proxies < 1 || *relays < 1 || *workers < 1 {
 		fmt.Fprintln(os.Stderr, "loadgen: all sizes must be >= 1")
-		os.Exit(2)
+		return 2
 	}
 
-	doc := benchDoc{Clients: *clients, Proxies: *proxies, Relays: *relays,
-		Workers: *workers, Seed: *seed, Full: *full}
+	obs := newLiveObs(telemetry.NewMetrics())
+	obs.update(func(d *bench.Doc) {
+		*d = bench.Doc{Clients: *clients, Proxies: *proxies, Relays: *relays,
+			Workers: *workers, Seed: *seed, Full: *full}
+	})
+
+	if *listen != "" {
+		srv, addr, err := telemetry.ServeObs(*listen, obs.metrics, obs.status)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: listen %s: %v\n", *listen, err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "loadgen: observability on http://%s/metrics /statusz /debug/pprof\n", addr)
+	}
+
+	if *sample != "" {
+		f, err := os.Create(*sample)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: sample file: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		sampler := telemetry.NewSampler(f, time.Second,
+			telemetry.CounterVar("odoh_requests", obs.odoh.requests),
+			telemetry.CounterVar("odoh_errors", obs.odoh.errors),
+			telemetry.GaugeVar("odoh_inflight", obs.odoh.inflight),
+			telemetry.CounterVar("mixnet_requests", obs.mixnet.requests),
+		)
+		sampler.Start()
+		defer func() {
+			if err := sampler.Stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: sampler: %v\n", err)
+			}
+		}()
+	}
 
 	var lg *ledger.Ledger
 	var cls *ledger.Classifier
@@ -121,19 +201,21 @@ func main() {
 		lg = ledger.New(cls, nil)
 	}
 
-	odohRes, err := runODoH(*clients, *proxies, *workers, *seed, cls, lg)
+	obs.setPhase("odoh")
+	odohRes, err := runODoH(*clients, *proxies, *workers, *seed, cls, lg, obs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: odoh leg: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
-	doc.ODoH = odohRes
+	obs.update(func(d *bench.Doc) { d.ODoH = odohRes })
 
-	mixRes, err := runMixnetLeg(*clients, *relays, *workers, *seed)
+	obs.setPhase("mixnet")
+	mixRes, err := runMixnetLeg(*clients, *relays, *workers, *seed, obs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: mixnet leg: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
-	doc.Mixnet = mixRes
+	obs.update(func(d *bench.Doc) { d.Mixnet = mixRes })
 
 	if lg != nil {
 		expected := core.ObliviousDNS()
@@ -142,51 +224,58 @@ func main() {
 		verdict, err := core.Analyze(measured)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: analyze: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		st := lg.Stats()
-		doc.Ledger = &ledgerResult{
-			Observations:  st.Total,
-			TupleDiffs:    len(diffs),
-			Decoupled:     verdict.Decoupled,
-			AuditObserver: len(st.Observers),
-		}
+		obs.update(func(d *bench.Doc) {
+			d.Ledger = &bench.LedgerSummary{
+				Observations:  st.Total,
+				TupleDiffs:    len(diffs),
+				Decoupled:     verdict.Decoupled,
+				AuditObserver: len(st.Observers),
+			}
+		})
 		for _, d := range diffs {
 			fmt.Fprintf(os.Stderr, "loadgen: tuple diff under load: %s\n", d)
 		}
 	}
+	obs.setPhase("done")
 
+	var doc bench.Doc
+	obs.update(func(d *bench.Doc) { doc = *d })
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: marshal: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	blob = append(blob, '\n')
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: write %s: %v\n", *out, err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Fprintf(os.Stderr, "loadgen: odoh  %d req %.0f req/s p50=%.2fms p99=%.2fms errors=%d\n",
 		doc.ODoH.Requests, doc.ODoH.Throughput, doc.ODoH.Latency.P50, doc.ODoH.Latency.P99, doc.ODoH.Errors)
-	fmt.Fprintf(os.Stderr, "loadgen: mixnet %d msgs %.0f msg/s delivered=%d lost=%d errors=%d\n",
-		doc.Mixnet.Requests, doc.Mixnet.Throughput, doc.Mixnet.Delivered, doc.Mixnet.Lost, doc.Mixnet.Errors)
+	fmt.Fprintf(os.Stderr, "loadgen: mixnet %d msgs %.0f msg/s p50=%.2fms p99=%.2fms delivered=%d lost=%d errors=%d\n",
+		doc.Mixnet.Requests, doc.Mixnet.Throughput, doc.Mixnet.Latency.P50, doc.Mixnet.Latency.P99,
+		doc.Mixnet.Delivered, doc.Mixnet.Lost, doc.Mixnet.Errors)
 	if doc.Ledger != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: ledger %d observations, %d tuple diffs, decoupled=%v\n",
 			doc.Ledger.Observations, doc.Ledger.TupleDiffs, doc.Ledger.Decoupled)
 	}
 	if doc.ODoH.Errors > 0 || doc.Mixnet.Errors > 0 ||
 		(doc.Ledger != nil && (doc.Ledger.TupleDiffs > 0 || !doc.Ledger.Decoupled)) {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runODoH drives the sharded-proxy leg: every proxy shard is a real
 // net/http server belonging to the same logical operator (one ledger
 // observer), clients round-robin across shards, and each client issues
 // a churn-model session of oblivious queries over loopback HTTP.
-func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, lg *ledger.Ledger) (legResult, error) {
-	var res legResult
+func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, lg *ledger.Ledger, obs *liveObs) (bench.Leg, error) {
+	var res bench.Leg
 
 	browsing, err := workload.NewBrowsing(seed, 100, 1.2)
 	if err != nil {
@@ -294,6 +383,7 @@ func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, l
 			wb, err := workload.NewBrowsing(seed+int64(w)*7919, 100, 1.2)
 			if err != nil {
 				errs.Add(1)
+				obs.odoh.errors.Add(1)
 				return
 			}
 			for {
@@ -309,11 +399,17 @@ func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, l
 				}
 				for j := 0; j < lengths[i]; j++ {
 					slot := done.Add(1) - 1
+					obs.odoh.inflight.Add(1)
 					t0 := time.Now()
 					_, err := c.Query(wb.Next(i), dnswire.TypeA, forward)
-					latencies[slot] = time.Since(t0).Nanoseconds()
+					d := time.Since(t0)
+					obs.odoh.inflight.Add(-1)
+					latencies[slot] = d.Nanoseconds()
+					obs.odoh.requests.Add(1)
+					obs.odoh.latency.Observe(d.Seconds())
 					if err != nil {
 						errs.Add(1)
+						obs.odoh.errors.Add(1)
 					}
 				}
 			}
@@ -364,9 +460,13 @@ func postQuery(client *http.Client, url, clientAddr string, raw []byte) ([]byte,
 // runMixnetLeg drives the relay cascade over the real TCP transport:
 // one sender per ten ODoH clients (capped to keep per-message onion
 // crypto from dominating the wall clock), batch threshold 8 with a
-// timeout flush so stragglers drain.
-func runMixnetLeg(clients, relays, workers int, seed int64) (legResult, error) {
-	var res legResult
+// timeout flush so stragglers drain. Delivery latency is send-to-open:
+// the transport clock is read just before the sender queues the onion
+// and again (by the receiver) when the innermost layer is opened, so
+// the quantiles include batching delay — the anonymity/latency price
+// the paper's mixnet discussion is about.
+func runMixnetLeg(clients, relays, workers int, seed int64, obs *liveObs) (bench.Leg, error) {
+	var res bench.Leg
 
 	senders := clients / 10
 	if senders < 64 {
@@ -383,6 +483,7 @@ func runMixnetLeg(clients, relays, workers int, seed int64) (legResult, error) {
 		InboxDepth:     16_384,
 	})
 	defer nt.Close()
+	nt.Instrument(telemetry.New("loadgen", false, obs.metrics))
 
 	var route []mixnet.NodeInfo
 	for i := 1; i <= relays; i++ {
@@ -397,6 +498,11 @@ func runMixnetLeg(clients, relays, workers int, seed int64) (legResult, error) {
 	if err != nil {
 		return res, err
 	}
+
+	// sendAt[i] is the transport-clock instant sender i queued its
+	// onion; slot i is owned by exactly one worker, and the main
+	// goroutine reads only after wg.Wait.
+	sendAt := make([]time.Duration, senders)
 
 	var next, errs atomic.Uint64
 	var ms0, ms1 runtime.MemStats
@@ -415,8 +521,11 @@ func runMixnetLeg(clients, relays, workers int, seed int64) (legResult, error) {
 					return
 				}
 				s := &mixnet.Sender{Addr: transport.Addr(fmt.Sprintf("sender%06d", i))}
+				sendAt[i] = nt.Now()
+				obs.mixnet.requests.Add(1)
 				if err := s.Send(nt, route, rcv.Info(), []byte(fmt.Sprintf("message %06d", i))); err != nil {
 					errs.Add(1)
+					obs.mixnet.errors.Add(1)
 				}
 			}
 		}()
@@ -426,15 +535,31 @@ func runMixnetLeg(clients, relays, workers int, seed int64) (legResult, error) {
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 
-	got := len(rcv.Inbox())
-	if got != senders {
+	inbox := rcv.Inbox()
+	if got := len(inbox); got != senders {
 		return res, fmt.Errorf("receiver got %d of %d messages (lost %d)", got, senders, nt.Lost())
+	}
+
+	// Reconstruct per-message delivery latency from the receiver's
+	// timestamps: bodies carry the sender index, Received.Time is the
+	// transport clock at the moment the innermost layer was opened.
+	latencies := make([]int64, 0, senders)
+	for _, r := range inbox {
+		var idx int
+		if _, err := fmt.Sscanf(string(r.Body), "message %06d", &idx); err != nil || idx < 0 || idx >= senders {
+			continue
+		}
+		if d := r.Time - sendAt[idx]; d > 0 {
+			latencies = append(latencies, d.Nanoseconds())
+			obs.mixnet.latency.Observe(d.Seconds())
+		}
 	}
 
 	res.Requests = uint64(senders)
 	res.Errors = errs.Load()
 	res.Seconds = elapsed.Seconds()
 	res.Throughput = float64(senders) / elapsed.Seconds()
+	res.Latency = quantiles(latencies)
 	res.Delivered = nt.Delivered()
 	res.Lost = nt.Lost()
 	if res.Requests > 0 {
@@ -444,9 +569,9 @@ func runMixnetLeg(clients, relays, workers int, seed int64) (legResult, error) {
 	return res, nil
 }
 
-func quantiles(ns []int64) latencyStats {
+func quantiles(ns []int64) bench.Latency {
 	if len(ns) == 0 {
-		return latencyStats{}
+		return bench.Latency{}
 	}
 	sorted := append([]int64(nil), ns...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -454,5 +579,5 @@ func quantiles(ns []int64) latencyStats {
 		idx := int(q * float64(len(sorted)-1))
 		return float64(sorted[idx]) / 1e6
 	}
-	return latencyStats{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: at(1)}
+	return bench.Latency{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: at(1)}
 }

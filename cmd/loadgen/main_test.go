@@ -1,11 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 
+	"decoupling/internal/bench"
 	"decoupling/internal/core"
 	"decoupling/internal/ledger"
+	"decoupling/internal/telemetry"
 )
 
 // TestODoHLegSmallScale runs the sharded-proxy leg at test scale and
@@ -15,7 +22,7 @@ import (
 func TestODoHLegSmallScale(t *testing.T) {
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
-	res, err := runODoH(200, 2, 16, 1, cls, lg)
+	res, err := runODoH(200, 2, 16, 1, cls, lg, newLiveObs(nil))
 	if err != nil {
 		t.Fatalf("odoh leg: %v", err)
 	}
@@ -44,7 +51,7 @@ func TestODoHLegSmallScale(t *testing.T) {
 }
 
 func TestMixnetLegSmallScale(t *testing.T) {
-	res, err := runMixnetLeg(1000, 3, 16, 1)
+	res, err := runMixnetLeg(1000, 3, 16, 1, newLiveObs(nil))
 	if err != nil {
 		t.Fatalf("mixnet leg: %v", err)
 	}
@@ -59,10 +66,105 @@ func TestMixnetLegSmallScale(t *testing.T) {
 	if res.Delivered != res.Requests*4 {
 		t.Fatalf("delivered %d transport hops, want %d", res.Delivered, res.Requests*4)
 	}
+	// The satellite fix this PR lands: delivery latency is measured from
+	// send to innermost-layer open, so quantiles must be nonzero and
+	// ordered. Batching alone (threshold 8, 100ms flush) puts a floor
+	// well above zero.
+	if res.Latency.P50 <= 0 || res.Latency.P90 < res.Latency.P50 ||
+		res.Latency.P99 < res.Latency.P90 || res.Latency.Max < res.Latency.P99 {
+		t.Fatalf("mixnet latency quantiles not measured or unordered: %+v", res.Latency)
+	}
+}
+
+// TestLiveScrapeDuringRun exercises the observability plane against a
+// real (small) run: while both legs execute, a scraper hits /metrics
+// and /statusz and every response must satisfy the strict parsers.
+// Run under -race this also proves the hot-loop instrumentation and
+// the HTTP handlers share state safely.
+func TestLiveScrapeDuringRun(t *testing.T) {
+	obs := newLiveObs(telemetry.NewMetrics())
+	srv := httptest.NewServer(telemetry.ObsMux(obs.metrics, obs.status))
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var scrapeErr error
+	var scrapes int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			resp, err := http.Get(srv.URL + "/metrics")
+			if err != nil {
+				scrapeErr = err
+				return
+			}
+			blob, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				scrapeErr = err
+				return
+			}
+			if _, err := telemetry.ParseExposition(bytes.NewReader(blob)); err != nil {
+				scrapeErr = err
+				return
+			}
+			resp, err = http.Get(srv.URL + "/statusz")
+			if err != nil {
+				scrapeErr = err
+				return
+			}
+			blob, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				scrapeErr = err
+				return
+			}
+			var status bench.Status
+			if err := json.Unmarshal(blob, &status); err != nil {
+				scrapeErr = err
+				return
+			}
+			scrapes++
+		}
+	}()
+
+	obs.setPhase("odoh")
+	if _, err := runODoH(100, 2, 8, 1, nil, nil, obs); err != nil {
+		t.Fatalf("odoh leg: %v", err)
+	}
+	obs.setPhase("mixnet")
+	if _, err := runMixnetLeg(640, 2, 8, 1, obs); err != nil {
+		t.Fatalf("mixnet leg: %v", err)
+	}
+	close(done)
+	wg.Wait()
+	if scrapeErr != nil {
+		t.Fatalf("mid-run scrape failed strict validation: %v", scrapeErr)
+	}
+	if scrapes == 0 {
+		t.Fatal("scraper never completed a scrape during the run")
+	}
+
+	// After the run the counters must reconcile with the leg results.
+	if got := obs.odoh.requests.Value(); got < 100 {
+		t.Errorf("live odoh request counter = %d, want >= 100", got)
+	}
+	if got := obs.odoh.inflight.Value(); got != 0 {
+		t.Errorf("inflight gauge after run = %v, want 0", got)
+	}
+	if got := obs.mixnet.latency.Count(); got == 0 {
+		t.Error("mixnet latency summary saw no observations")
+	}
 }
 
 func TestBenchDocShape(t *testing.T) {
-	doc := benchDoc{Clients: 10, ODoH: legResult{Requests: 5}}
+	doc := bench.Doc{Clients: 10, ODoH: bench.Leg{Requests: 5}}
 	blob, err := json.Marshal(doc)
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +192,7 @@ func TestQuantiles(t *testing.T) {
 	if q.P50 != 50 || q.P99 != 99 || q.Max != 100 {
 		t.Fatalf("quantiles of 1..100ms: %+v", q)
 	}
-	if z := quantiles(nil); z != (latencyStats{}) {
+	if z := quantiles(nil); z != (bench.Latency{}) {
 		t.Fatalf("quantiles(nil) = %+v, want zero", z)
 	}
 }

@@ -3,14 +3,18 @@
 //
 //	tracecheck -trace t.jsonl              # strict JSONL span validation
 //	tracecheck -metrics m.prom             # exposition parse + round-trip
+//	tracecheck -samples s.jsonl            # run-sampler JSONL validation
 //	tracecheck -trace t.jsonl -metrics m.prom
 //
 // A trace file passes when every line decodes as a span record, span
 // ids are unique per trace, parents precede children, and no span ends
 // before it starts. A metrics file passes when it parses under the
 // strict exposition grammar AND re-renders byte-identically — the
-// writer and parser keep each other honest. CI runs this against the
-// artifacts of a real experiment run.
+// writer and parser keep each other honest. A samples file (from
+// `loadgen -sample`) passes when every line is a flat numeric JSON
+// object carrying the run-health fields with non-decreasing
+// timestamps. CI runs this against the artifacts of real runs,
+// including a /metrics scrape taken mid-run.
 package main
 
 import (
@@ -32,11 +36,12 @@ func run(out, errw io.Writer, args []string) int {
 	fs.SetOutput(errw)
 	traceFile := fs.String("trace", "", "JSONL trace `file` to validate")
 	metricsFile := fs.String("metrics", "", "Prometheus exposition `file` to validate")
+	samplesFile := fs.String("samples", "", "run-sampler JSONL `file` to validate")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *traceFile == "" && *metricsFile == "" || fs.NArg() > 0 {
-		fmt.Fprintln(errw, "usage: tracecheck [-trace f.jsonl] [-metrics f.prom]")
+	if *traceFile == "" && *metricsFile == "" && *samplesFile == "" || fs.NArg() > 0 {
+		fmt.Fprintln(errw, "usage: tracecheck [-trace f.jsonl] [-metrics f.prom] [-samples f.jsonl]")
 		return 2
 	}
 	if *traceFile != "" {
@@ -51,7 +56,31 @@ func run(out, errw io.Writer, args []string) int {
 			return 1
 		}
 	}
+	if *samplesFile != "" {
+		if err := checkSamples(out, *samplesFile); err != nil {
+			fmt.Fprintf(errw, "tracecheck: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+func checkSamples(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := telemetry.ParseSamples(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("%s: no samples", path)
+	}
+	span := (recs[len(recs)-1]["t_unix_ms"] - recs[0]["t_unix_ms"]) / 1e3
+	fmt.Fprintf(out, "%s: %d samples spanning %.1fs\n", path, len(recs), span)
+	return nil
 }
 
 func checkTrace(out io.Writer, path string) error {

@@ -77,6 +77,41 @@ func TestNonCanonicalMetrics(t *testing.T) {
 	}
 }
 
+func TestSamplesValidation(t *testing.T) {
+	t.Parallel()
+	// A real sampler stream validates and reports its span.
+	var buf bytes.Buffer
+	s := telemetry.NewSampler(&buf, 0)
+	if err := s.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	sp := write(t, "s.jsonl", buf.String())
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-samples", sp}); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "2 samples") {
+		t.Errorf("samples summary missing: %s", out.String())
+	}
+
+	for name, content := range map[string]string{
+		"empty":          "",
+		"missing fields": `{"t_unix_ms":1}` + "\n",
+		"time regressed": `{"t_unix_ms":2,"uptime_s":0,"goroutines":1,"heap_alloc_bytes":1}` + "\n" +
+			`{"t_unix_ms":1,"uptime_s":1,"goroutines":1,"heap_alloc_bytes":1}` + "\n",
+	} {
+		bp := write(t, "bad.jsonl", content)
+		out.Reset()
+		errw.Reset()
+		if code := run(&out, &errw, []string{"-samples", bp}); code != 1 {
+			t.Errorf("%s: exit %d, want 1", name, code)
+		}
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	t.Parallel()
 	var out, errw bytes.Buffer

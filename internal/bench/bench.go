@@ -1,0 +1,202 @@
+// Package bench defines the benchmark document cmd/loadgen emits
+// (BENCH_transport.json), the live /statusz snapshot wrapped around
+// it, and the tolerance-threshold comparison cmd/benchdiff gates CI
+// on. Keeping the types and the comparison in one library package
+// means the producer (loadgen), the gate (benchdiff), and the tests
+// can never drift on field names — and the ROADMAP's hot-path
+// optimization work gets its "did it actually get faster" check
+// against a committed baseline instead of a one-off snapshot.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Latency is a wall-clock quantile block in milliseconds.
+type Latency struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// Leg is one benchmark leg's results (the ODoH HTTP leg or the mixnet
+// TCP leg).
+type Leg struct {
+	Requests    uint64  `json:"requests"`
+	Errors      uint64  `json:"errors"`
+	Seconds     float64 `json:"seconds"`
+	Throughput  float64 `json:"requests_per_sec"`
+	Latency     Latency `json:"latency"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	Delivered   uint64  `json:"delivered,omitempty"`
+	Lost        uint64  `json:"lost,omitempty"`
+}
+
+// LedgerSummary is the knowledge-audit block: present when the run
+// admitted observations and derived a verdict.
+type LedgerSummary struct {
+	Observations  int  `json:"observations"`
+	TupleDiffs    int  `json:"tuple_diffs"`
+	Decoupled     bool `json:"verdict_decoupled"`
+	AuditObserver int  `json:"observers"`
+}
+
+// Doc is the benchmark document (BENCH_transport.json).
+type Doc struct {
+	Clients int            `json:"clients"`
+	Proxies int            `json:"proxies"`
+	Relays  int            `json:"relays"`
+	Workers int            `json:"workers"`
+	Seed    int64          `json:"seed"`
+	Full    bool           `json:"full"`
+	ODoH    Leg            `json:"odoh"`
+	Mixnet  Leg            `json:"mixnet"`
+	Ledger  *LedgerSummary `json:"ledger,omitempty"`
+}
+
+// Status is the live /statusz snapshot: the benchmark document as far
+// as the run has gotten, plus process health. benchdiff accepts it
+// anywhere a Doc is accepted.
+type Status struct {
+	Phase      string  `json:"phase"` // "odoh", "mixnet", "done"
+	ElapsedSec float64 `json:"elapsed_s"`
+	Goroutines int     `json:"goroutines"`
+	HeapBytes  uint64  `json:"heap_alloc_bytes"`
+	Bench      Doc     `json:"bench"`
+}
+
+// Decode parses either a bare Doc or a Status wrapper, returning the
+// embedded Doc. Strictness is deliberate: an empty document (no
+// requests on any leg) is an error, because comparing against it would
+// pass every gate vacuously.
+func Decode(blob []byte) (Doc, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &probe); err != nil {
+		return Doc{}, fmt.Errorf("bench: not a JSON object: %w", err)
+	}
+	var doc Doc
+	if raw, ok := probe["bench"]; ok {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return Doc{}, fmt.Errorf("bench: bad statusz bench block: %w", err)
+		}
+	} else if err := json.Unmarshal(blob, &doc); err != nil {
+		return Doc{}, fmt.Errorf("bench: bad benchmark document: %w", err)
+	}
+	if doc.ODoH.Requests == 0 && doc.Mixnet.Requests == 0 {
+		return Doc{}, fmt.Errorf("bench: document has no requests on any leg")
+	}
+	return doc, nil
+}
+
+// Thresholds are the per-metric tolerances Compare applies. The zero
+// value tolerates nothing; DefaultThresholds gives the CI-grade
+// defaults (generous, because loadgen runs on shared runners).
+type Thresholds struct {
+	// ThroughputDrop is the maximum tolerated fractional drop in
+	// requests/sec: 0.5 means the candidate may be at worst half the
+	// baseline's throughput.
+	ThroughputDrop float64
+	// LatencyGrow is the maximum tolerated latency multiplier: 3 means
+	// a candidate quantile may be at worst 3x the baseline's.
+	LatencyGrow float64
+	// AllocGrow is the maximum tolerated allocs/op and bytes/op
+	// multiplier.
+	AllocGrow float64
+	// MaxErrors is the absolute error budget per leg.
+	MaxErrors uint64
+}
+
+// DefaultThresholds returns the generous CI defaults.
+func DefaultThresholds() Thresholds {
+	return Thresholds{ThroughputDrop: 0.5, LatencyGrow: 3, AllocGrow: 1.5}
+}
+
+// Regression is one metric that moved past its threshold.
+type Regression struct {
+	Metric   string // e.g. "odoh.requests_per_sec"
+	Baseline float64
+	Got      float64
+	Limit    float64 // the boundary the candidate crossed
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: baseline %.4g, got %.4g (limit %.4g)", r.Metric, r.Baseline, r.Got, r.Limit)
+}
+
+// Compare grades candidate against baseline under th and returns every
+// regression found (empty = gate passes). Only regressions count:
+// faster, leaner, or lower-latency candidates pass. Metrics the
+// baseline does not carry (zero values) are skipped — a baseline
+// recorded before a metric existed must not vacuously fail the gate.
+func Compare(baseline, candidate Doc, th Thresholds) []Regression {
+	var out []Regression
+	legs := []struct {
+		name       string
+		base, cand Leg
+	}{
+		{"odoh", baseline.ODoH, candidate.ODoH},
+		{"mixnet", baseline.Mixnet, candidate.Mixnet},
+	}
+	for _, l := range legs {
+		if l.base.Requests == 0 && l.cand.Requests == 0 {
+			continue // leg absent on both sides
+		}
+		if l.cand.Errors > th.MaxErrors {
+			out = append(out, Regression{l.name + ".errors", float64(l.base.Errors), float64(l.cand.Errors), float64(th.MaxErrors)})
+		}
+		if l.base.Throughput > 0 {
+			limit := l.base.Throughput * (1 - th.ThroughputDrop)
+			if l.cand.Throughput < limit {
+				out = append(out, Regression{l.name + ".requests_per_sec", l.base.Throughput, l.cand.Throughput, limit})
+			}
+		}
+		quantiles := []struct {
+			name       string
+			base, cand float64
+		}{
+			{"p50_ms", l.base.Latency.P50, l.cand.Latency.P50},
+			{"p90_ms", l.base.Latency.P90, l.cand.Latency.P90},
+			{"p99_ms", l.base.Latency.P99, l.cand.Latency.P99},
+		}
+		for _, q := range quantiles {
+			if q.base <= 0 {
+				continue
+			}
+			limit := q.base * th.LatencyGrow
+			if q.cand > limit {
+				out = append(out, Regression{l.name + ".latency." + q.name, q.base, q.cand, limit})
+			}
+		}
+		perOp := []struct {
+			name       string
+			base, cand uint64
+		}{
+			{"allocs_per_op", l.base.AllocsPerOp, l.cand.AllocsPerOp},
+			{"bytes_per_op", l.base.BytesPerOp, l.cand.BytesPerOp},
+		}
+		for _, p := range perOp {
+			if p.base == 0 {
+				continue
+			}
+			limit := float64(p.base) * th.AllocGrow
+			if float64(p.cand) > limit {
+				out = append(out, Regression{l.name + "." + p.name, float64(p.base), float64(p.cand), limit})
+			}
+		}
+	}
+	// The audit verdict is absolute, not relative: a candidate that
+	// re-coupled or diverged from the paper's tuples fails regardless
+	// of thresholds.
+	if lg := candidate.Ledger; lg != nil {
+		if lg.TupleDiffs > 0 {
+			out = append(out, Regression{"ledger.tuple_diffs", 0, float64(lg.TupleDiffs), 0})
+		}
+		if !lg.Decoupled {
+			out = append(out, Regression{"ledger.verdict_decoupled", 1, 0, 1})
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func healthyDoc() Doc {
+	return Doc{
+		Clients: 10000, Proxies: 4, Relays: 3, Workers: 256, Seed: 1,
+		ODoH: Leg{
+			Requests: 41000, Seconds: 20, Throughput: 2000,
+			Latency:     Latency{P50: 90, P90: 140, P99: 500, Max: 1200},
+			AllocsPerOp: 360, BytesPerOp: 34000,
+		},
+		Mixnet: Leg{
+			Requests: 1000, Seconds: 5, Throughput: 200,
+			Latency:     Latency{P50: 30, P90: 60, P99: 120, Max: 300},
+			AllocsPerOp: 740, BytesPerOp: 64000, Delivered: 4000,
+		},
+		Ledger: &LedgerSummary{Observations: 246000, Decoupled: true, AuditObserver: 3},
+	}
+}
+
+func TestCompareCleanBaseline(t *testing.T) {
+	t.Parallel()
+	doc := healthyDoc()
+	if regs := Compare(doc, doc, DefaultThresholds()); len(regs) != 0 {
+		t.Fatalf("doc vs itself regressed: %v", regs)
+	}
+	// Improvements never regress.
+	better := doc
+	better.ODoH.Throughput *= 4
+	better.ODoH.Latency.P99 /= 10
+	better.ODoH.AllocsPerOp = 1
+	if regs := Compare(doc, better, DefaultThresholds()); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+// TestCompareInjectedRegressions flips each gated metric past its
+// threshold and requires exactly that metric to be reported.
+func TestCompareInjectedRegressions(t *testing.T) {
+	t.Parallel()
+	th := DefaultThresholds()
+	cases := map[string]func(*Doc){
+		"odoh.requests_per_sec":    func(d *Doc) { d.ODoH.Throughput = 900 },      // < 2000*0.5
+		"odoh.latency.p50_ms":      func(d *Doc) { d.ODoH.Latency.P50 = 280 },     // > 90*3
+		"odoh.latency.p99_ms":      func(d *Doc) { d.ODoH.Latency.P99 = 1600 },    // > 500*3
+		"mixnet.latency.p90_ms":    func(d *Doc) { d.Mixnet.Latency.P90 = 190 },   // > 60*3
+		"odoh.allocs_per_op":       func(d *Doc) { d.ODoH.AllocsPerOp = 600 },     // > 360*1.5
+		"mixnet.bytes_per_op":      func(d *Doc) { d.Mixnet.BytesPerOp = 100000 }, // > 64000*1.5
+		"odoh.errors":              func(d *Doc) { d.ODoH.Errors = 1 },
+		"ledger.tuple_diffs":       func(d *Doc) { d.Ledger.TupleDiffs = 2 },
+		"ledger.verdict_decoupled": func(d *Doc) { d.Ledger.Decoupled = false },
+	}
+	for want, inject := range cases {
+		doc := healthyDoc()
+		cand := healthyDoc()
+		lg := *doc.Ledger
+		cand.Ledger = &lg
+		inject(&cand)
+		regs := Compare(doc, cand, th)
+		if len(regs) != 1 {
+			t.Errorf("%s: got %d regressions, want 1: %v", want, len(regs), regs)
+			continue
+		}
+		if regs[0].Metric != want {
+			t.Errorf("regression metric = %q, want %q", regs[0].Metric, want)
+		}
+		if s := regs[0].String(); !strings.Contains(s, want) {
+			t.Errorf("rendering %q lacks metric name", s)
+		}
+	}
+}
+
+// TestCompareSkipsAbsentBaselines: metrics a baseline never recorded
+// (the seed BENCH_transport.json carried all-zero mixnet latency) must
+// not gate the candidate.
+func TestCompareSkipsAbsentBaselines(t *testing.T) {
+	t.Parallel()
+	base := healthyDoc()
+	base.Mixnet.Latency = Latency{} // pre-instrumentation baseline
+	base.ODoH.Throughput = 0
+	cand := healthyDoc()
+	cand.Mixnet.Latency = Latency{P50: 9999, P90: 9999, P99: 9999, Max: 9999}
+	cand.ODoH.Throughput = 0.001
+	if regs := Compare(base, cand, DefaultThresholds()); len(regs) != 0 {
+		t.Fatalf("zero-valued baseline metrics gated the candidate: %v", regs)
+	}
+}
+
+func TestCompareZeroThresholdsAreStrict(t *testing.T) {
+	t.Parallel()
+	base := healthyDoc()
+	cand := healthyDoc()
+	cand.ODoH.Throughput *= 0.99 // any drop fails at zero tolerance
+	if regs := Compare(base, cand, Thresholds{}); len(regs) == 0 {
+		t.Fatal("zero thresholds tolerated a throughput drop")
+	}
+}
+
+func TestDecode(t *testing.T) {
+	t.Parallel()
+	doc := healthyDoc()
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode(doc): %v", err)
+	}
+	if got.ODoH.Requests != doc.ODoH.Requests {
+		t.Fatalf("round trip lost requests: %+v", got)
+	}
+
+	// A /statusz wrapper decodes to its embedded doc.
+	wrapped, err := json.Marshal(Status{Phase: "mixnet", Bench: doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Decode(wrapped)
+	if err != nil {
+		t.Fatalf("Decode(statusz): %v", err)
+	}
+	if got.Mixnet.Requests != doc.Mixnet.Requests {
+		t.Fatalf("statusz round trip lost requests: %+v", got)
+	}
+
+	for name, blob := range map[string]string{
+		"not json":  "nope",
+		"empty doc": "{}",
+		"no legs":   `{"clients":5,"odoh":{"requests":0},"mixnet":{"requests":0}}`,
+	} {
+		if _, err := Decode([]byte(blob)); err == nil {
+			t.Errorf("%s: Decode accepted invalid input", name)
+		}
+	}
+}

@@ -56,6 +56,18 @@ const (
 	ModeHTTP
 )
 
+// String names the mode for metric labels and diagnostics.
+func (m Mode) String() string {
+	switch m {
+	case ModeUDP:
+		return "udp"
+	case ModeHTTP:
+		return "http"
+	default:
+		return "tcp"
+	}
+}
+
 // ErrClosed is returned by Send after Close: the transport fails
 // closed — traffic is refused, never rerouted around the dead network.
 var ErrClosed = errors.New("nettransport: transport closed")
@@ -96,6 +108,11 @@ type item struct {
 type node struct {
 	addr  transport.Addr
 	inbox chan item
+
+	// depthGauge mirrors the inbox depth seen by the dispatcher; only
+	// the node's single dispatcher goroutine reads or writes the field,
+	// so it needs no lock.
+	depthGauge *telemetry.Gauge
 
 	hmu sync.Mutex
 	h   transport.Handler
@@ -160,6 +177,13 @@ type Net struct {
 	telMu sync.Mutex
 	tel   *telemetry.Telemetry
 
+	// instr holds cached wall-clock metric handles so the send and
+	// dispatch hot paths never take the registry's registration lock.
+	// Nil until Instrument attaches a sink with a metrics registry; all
+	// handle methods are nil-safe, so uninstrumented runs pay one
+	// atomic pointer load.
+	instr atomic.Pointer[netInstr]
+
 	httpClient *http.Client
 
 	wg sync.WaitGroup
@@ -197,14 +221,44 @@ func New(opts Options) *Net {
 	return t
 }
 
+// netInstr is the cached-handle bundle behind the live transport
+// metrics: frames/bytes queued per mode, writer-queue stalls, timer
+// fires, and the pending-work level.
+type netInstr struct {
+	tel        *telemetry.Telemetry
+	framesSent *telemetry.Counter
+	bytesSent  *telemetry.Counter
+	stalls     *telemetry.Counter
+	timerFires *telemetry.Counter
+	pending    *telemetry.Gauge
+}
+
 // Instrument attaches a telemetry sink: deliveries feed per-link
-// message/byte counters. The tracer's clock is bound to this
+// message/byte counters, and — when the sink carries a metrics
+// registry — the transport's internals (frames/bytes sent, writer
+// stalls, timer fires, pending level, per-node inbox depth) surface as
+// live wall-clock series. The tracer's clock is bound to this
 // transport's elapsed-time clock. A nil tel is a no-op.
 func (t *Net) Instrument(tel *telemetry.Telemetry) {
 	t.telMu.Lock()
 	t.tel = tel
 	t.telMu.Unlock()
 	tel.SetClock(t.Now)
+	if tel == nil || tel.Metrics() == nil {
+		t.instr.Store(nil)
+		return
+	}
+	m := tel.Metrics()
+	mode := telemetry.A("mode", t.opts.Mode.String())
+	labels := append(tel.BaseLabels(), mode)
+	t.instr.Store(&netInstr{
+		tel:        tel,
+		framesSent: m.Counter(telemetry.MetricTransportFramesSent, "Frames queued for the wire per mode.", labels...),
+		bytesSent:  m.Counter(telemetry.MetricTransportBytesSent, "Encoded frame bytes queued for the wire per mode.", labels...),
+		stalls:     m.Counter(telemetry.MetricTransportWriterStall, "Sends that blocked on a full writer queue.", labels...),
+		timerFires: m.Counter(telemetry.MetricTransportTimerFires, "Transport timers fired.", labels...),
+		pending:    m.Gauge(telemetry.MetricTransportPending, "In-flight work: queued frames, running handlers, armed timers.", labels...),
+	})
 }
 
 func (t *Net) telemetrySink() *telemetry.Telemetry {
@@ -310,17 +364,37 @@ func (t *Net) dispatch(n *node) {
 		case <-t.stop:
 			return
 		case it := <-n.inbox:
+			if ih := t.instr.Load(); ih != nil {
+				if n.depthGauge == nil {
+					n.depthGauge = ih.tel.Metrics().Gauge(telemetry.MetricTransportInboxDepth,
+						"Dispatch-queue depth per node, sampled at dequeue.",
+						append(ih.tel.BaseLabels(), telemetry.A("node", string(n.addr)))...)
+				}
+				n.depthGauge.Set(float64(len(n.inbox)))
+				if it.fire != nil {
+					ih.timerFires.Add(1)
+				}
+			}
 			if it.fire != nil {
 				it.fire()
-				t.pending.Add(-1)
+				t.finish(1)
 				continue
 			}
 			t.recordDelivery(it.msg)
 			if h := n.handler(); h != nil {
 				h(view, it.msg)
 			}
-			t.pending.Add(-1)
+			t.finish(1)
 		}
+	}
+}
+
+// finish releases n units of pending work and mirrors the new level
+// into the pending gauge when instrumented.
+func (t *Net) finish(n int64) {
+	level := t.pending.Add(-n)
+	if ih := t.instr.Load(); ih != nil {
+		ih.pending.Set(float64(level))
 	}
 }
 
@@ -347,7 +421,7 @@ func (t *Net) dropFrames(n int, reason string) {
 		return
 	}
 	t.lost.Add(uint64(n))
-	t.pending.Add(-int64(n))
+	t.finish(int64(n))
 	if tel := t.telemetrySink(); tel != nil {
 		tel.Count(telemetry.MetricTransportLost, "Datagrams lost on the real transport.", uint64(n),
 			telemetry.A("reason", reason))
@@ -376,7 +450,24 @@ func (t *Net) Send(src, dst transport.Addr, payload []byte) error {
 		return err
 	}
 	q := t.queueFor(dst, n)
-	t.pending.Add(1)
+	level := t.pending.Add(1)
+	ih := t.instr.Load()
+	if ih != nil {
+		ih.framesSent.Add(1)
+		ih.bytesSent.Add(uint64(len(frame)))
+		ih.pending.Set(float64(level))
+	}
+	// Fast path: queue has room. Falling through to the blocking wait is
+	// a writer-queue stall — the wire (or its writer pool) is not
+	// keeping up with producers — which the live plane counts.
+	select {
+	case q.ch <- frame:
+		return nil
+	default:
+	}
+	if ih != nil {
+		ih.stalls.Add(1)
+	}
 	select {
 	case q.ch <- frame:
 		return nil
@@ -612,7 +703,10 @@ func (t *Net) After(delay time.Duration, fn func()) {
 	}
 	t.pending.Add(1)
 	time.AfterFunc(delay, func() {
-		defer t.pending.Add(-1)
+		defer t.finish(1)
+		if ih := t.instr.Load(); ih != nil {
+			ih.timerFires.Add(1)
+		}
 		if !t.closed.Load() {
 			fn()
 		}
@@ -724,7 +818,7 @@ func (v *nodeView) After(delay time.Duration, fn func()) {
 		select {
 		case v.n.inbox <- item{fire: fn}:
 		case <-t.stop:
-			t.pending.Add(-1)
+			t.finish(1)
 		}
 	})
 }

@@ -229,6 +229,57 @@ func TestCaptureAndTelemetry(t *testing.T) {
 	}
 }
 
+// TestLiveInstrumentation covers the wall-clock side of Instrument:
+// frames/bytes queued per mode, timer fires, per-node inbox depth, and
+// the pending gauge must all report through cached handles, and the
+// resulting registry must satisfy the strict exposition round-trip.
+func TestLiveInstrumentation(t *testing.T) {
+	net := newTest(t, Options{})
+	m := telemetry.NewMetrics()
+	tel := telemetry.New("nettransport-live", false, m)
+	net.Instrument(tel)
+	var s sink
+	net.Register("sink", s.handle)
+	for i := 0; i < 3; i++ {
+		if err := net.Send("a", "sink", []byte("data")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	fired := make(chan struct{})
+	net.After(time.Millisecond, func() { close(fired) })
+	<-fired
+	net.Run()
+
+	frames := m.Counter(telemetry.MetricTransportFramesSent, "", telemetry.A("mode", "tcp"))
+	if got := frames.Value(); got != 3 {
+		t.Errorf("frames sent = %d, want 3", got)
+	}
+	bytesSent := m.Counter(telemetry.MetricTransportBytesSent, "", telemetry.A("mode", "tcp"))
+	if got := bytesSent.Value(); got == 0 {
+		t.Error("frame bytes sent = 0, want > 0")
+	}
+	fires := m.Counter(telemetry.MetricTransportTimerFires, "", telemetry.A("mode", "tcp"))
+	if got := fires.Value(); got != 1 {
+		t.Errorf("timer fires = %d, want 1", got)
+	}
+	pending := m.Gauge(telemetry.MetricTransportPending, "", telemetry.A("mode", "tcp"))
+	if got := pending.Value(); got != 0 {
+		t.Errorf("pending gauge after quiescence = %v, want 0", got)
+	}
+	depth := m.Gauge(telemetry.MetricTransportInboxDepth, "", telemetry.A("node", "sink"))
+	if got := depth.Value(); got < 0 {
+		t.Errorf("inbox depth gauge = %v, want >= 0", got)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := telemetry.ParseExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("instrumented registry fails strict parse: %v\n%s", err, buf.String())
+	}
+}
+
 func TestDisableCapture(t *testing.T) {
 	net := newTest(t, Options{DisableCapture: true})
 	var s sink

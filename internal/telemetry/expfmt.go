@@ -71,6 +71,25 @@ func (m *Metrics) Snapshot() []ExpFamily {
 				ef.Samples = append(ef.Samples, ExpSample{
 					Name: f.name, Labels: k, Value: strconv.FormatUint(s.count.Load(), 10),
 				})
+			case "gauge":
+				ef.Samples = append(ef.Samples, ExpSample{
+					Name: f.name, Labels: k, Value: formatValue(floatOf(s)),
+				})
+			case "summary":
+				total := s.count.Load()
+				for _, q := range SummaryQuantiles {
+					ef.Samples = append(ef.Samples, ExpSample{
+						Name:   f.name,
+						Labels: withLabel(s.labels, "quantile", formatValue(q)),
+						Value:  formatValue(s.sk.quantile(q, total)),
+					})
+				}
+				ef.Samples = append(ef.Samples, ExpSample{
+					Name: f.name + "_sum", Labels: k, Value: formatValue(floatOf(s)),
+				})
+				ef.Samples = append(ef.Samples, ExpSample{
+					Name: f.name + "_count", Labels: k, Value: strconv.FormatUint(total, 10),
+				})
 			case "histogram":
 				cum := uint64(0)
 				for i, ub := range f.buckets {
@@ -107,7 +126,13 @@ func floatOf(s *series) float64 {
 // withLE appends the le label to a sorted label set, keeping sort order
 // (le sorts into place like any other key).
 func withLE(labels []Attr, le string) string {
-	all := append(append([]Attr(nil), labels...), Attr{Key: "le", Value: le})
+	return withLabel(labels, "le", le)
+}
+
+// withLabel appends one synthetic label (le for histogram buckets,
+// quantile for summaries) to a sorted label set, keeping sort order.
+func withLabel(labels []Attr, key, value string) string {
+	all := append(append([]Attr(nil), labels...), Attr{Key: key, Value: value})
 	SortAttrs(all)
 	return labelKey(all)
 }
@@ -157,7 +182,7 @@ func ParseExposition(r io.Reader) ([]ExpFamily, error) {
 			if !ok || cur == nil || cur.Name != name || cur.Type != "" {
 				return nil, fmt.Errorf("telemetry: exposition line %d: TYPE without matching HELP", line)
 			}
-			if typ != "counter" && typ != "histogram" && typ != "gauge" {
+			if typ != "counter" && typ != "histogram" && typ != "gauge" && typ != "summary" {
 				return nil, fmt.Errorf("telemetry: exposition line %d: unsupported type %q", line, typ)
 			}
 			cur.Type = typ

@@ -38,6 +38,19 @@ const (
 	MetricExploreDecisions  = "decoupling_explore_schedule_decisions_total"
 	MetricExploreViolations = "decoupling_explore_violations_total"
 	MetricExploreShrinkRuns = "decoupling_explore_shrink_runs_total"
+	// Live observability plane (wall-clock registry): real-transport
+	// internals surfaced by the /metrics scrape endpoint.
+	MetricTransportFramesSent  = "decoupling_transport_frames_sent_total"
+	MetricTransportBytesSent   = "decoupling_transport_frame_bytes_sent_total"
+	MetricTransportWriterStall = "decoupling_transport_writer_stalls_total"
+	MetricTransportTimerFires  = "decoupling_transport_timer_fires_total"
+	MetricTransportPending     = "decoupling_transport_pending"
+	MetricTransportInboxDepth  = "decoupling_transport_inbox_depth"
+	// Loadgen live run metrics (wall-clock registry).
+	MetricLoadgenRequests = "decoupling_loadgen_requests_total"
+	MetricLoadgenErrors   = "decoupling_loadgen_errors_total"
+	MetricLoadgenInflight = "decoupling_loadgen_inflight"
+	MetricLoadgenLatency  = "decoupling_loadgen_request_latency_seconds"
 )
 
 // Fixed bucket layouts. Keeping them package-level constants (rather
@@ -75,8 +88,9 @@ type family struct {
 type series struct {
 	labels  []Attr // sorted by key
 	count   atomic.Uint64
-	sumBits atomic.Uint64 // histogram sum, float64 bits
+	sumBits atomic.Uint64 // histogram/summary sum or gauge level, float64 bits
 	buckets []atomic.Uint64
+	sk      *sketch // summaries only
 }
 
 // NewMetrics creates an empty registry.
@@ -116,6 +130,9 @@ func (m *Metrics) seriesFor(name, help, typ string, buckets []float64, labels []
 	s := f.series[key]
 	if s == nil {
 		s = &series{labels: sorted, buckets: make([]atomic.Uint64, len(f.buckets))}
+		if typ == "summary" {
+			s.sk = newSketch()
+		}
 		f.series[key] = s
 	}
 	return s

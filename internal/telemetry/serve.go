@@ -1,0 +1,83 @@
+package telemetry
+
+// The HTTP scrape surface of the live observability plane:
+//
+//	/metrics        canonical Prometheus text exposition (the same
+//	                bytes WriteProm emits, so the strict parser —
+//	                and therefore any Prometheus scraper — accepts
+//	                a mid-run scrape)
+//	/statusz        a JSON run summary from a caller-provided hook
+//	/debug/pprof/*  the standard net/http/pprof handlers
+//
+// cmd/loadgen and cmd/experiments mount this behind their -listen
+// flags. No wall-clock calls live here; the handlers only read state
+// others maintain.
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"runtime"
+)
+
+// StatusFunc produces the /statusz document. It is called per request;
+// the value is marshaled as indented JSON.
+type StatusFunc func() (any, error)
+
+// ObsMux builds the observability handler over a registry and an
+// optional status hook. A nil registry serves an empty (valid)
+// exposition; a nil status hook serves basic runtime health.
+func ObsMux(m *Metrics, status StatusFunc) *http.ServeMux {
+	if status == nil {
+		status = defaultStatus
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.WriteProm(w)
+	})
+	mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		doc, err := status()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(blob, '\n'))
+	})
+	mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+func defaultStatus() (any, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return map[string]any{
+		"goroutines":       runtime.NumGoroutine(),
+		"heap_alloc_bytes": ms.HeapAlloc,
+		"num_gc":           ms.NumGC,
+	}, nil
+}
+
+// ServeObs binds listen (host:port; :0 picks a free port) and serves
+// the observability mux in the background. It returns the server and
+// the bound address; callers Close the server on shutdown.
+func ServeObs(listen string, m *Metrics, status StatusFunc) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: ObsMux(m, status)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

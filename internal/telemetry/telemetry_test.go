@@ -379,7 +379,7 @@ func TestParseExpositionRejects(t *testing.T) {
 	cases := map[string]string{
 		"sample before headers": "x_total 1\n",
 		"type without help":     "# TYPE x_total counter\nx_total 1\n",
-		"unknown type":          "# HELP x_total X.\n# TYPE x_total summary\n",
+		"unknown type":          "# HELP x_total X.\n# TYPE x_total untyped\n",
 		"stray comment":         "# HELP x_total X.\n# TYPE x_total counter\n# a comment\n",
 		"foreign sample":        "# HELP x_total X.\n# TYPE x_total counter\ny_total 1\n",
 		"bad value":             "# HELP x_total X.\n# TYPE x_total counter\nx_total one\n",

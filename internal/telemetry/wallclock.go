@@ -1,0 +1,248 @@
+package telemetry
+
+// This file is the wall-clock side of the metrics registry: gauges
+// (levels that go up and down) and summaries (streaming quantile
+// sketches). The counter/histogram side serves the deterministic
+// virtual-clock experiments; gauges and summaries serve the live
+// observability plane — loadgen runs, the real transport, the
+// /metrics scrape endpoint — where values are wall-clock measurements
+// and exact reproducibility is neither possible nor wanted.
+//
+// The quantile sketch is a fixed geometric-bucket design rather than a
+// sampling reservoir: observations are atomically binned into buckets
+// whose bounds grow by summaryGrowth per step, and a quantile estimate
+// is the geometric midpoint of the bucket holding the target rank.
+// That makes Observe lock-free (two atomic adds and two CAS loops),
+// makes sketches mergeable, needs no randomness, and gives a provable
+// relative-error bound: an estimate is within a factor of
+// sqrt(summaryGrowth) of the true order statistic (about 9%), with
+// exact min/max tracked separately so the tails never exceed reality.
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Summary sketch layout. Bounds cover [summaryMin, summaryMin *
+// summaryGrowth^(summaryBuckets-1)]: with 1e-9 and 2^(1/4) that spans
+// nanoseconds to ~1e5 (seconds, bytes, queue depths alike); anything
+// below clamps to the first bucket, anything above to the overflow
+// bucket, both bounded by the exact min/max.
+const (
+	summaryMin     = 1e-9
+	summaryBuckets = 190
+)
+
+// summaryGrowth is 2^(1/4): four buckets per doubling.
+var summaryGrowth = math.Pow(2, 0.25)
+
+// summaryBounds[i] is the inclusive upper bound of bucket i.
+var summaryBounds = func() []float64 {
+	b := make([]float64, summaryBuckets)
+	v := summaryMin
+	for i := range b {
+		b[i] = v
+		v *= summaryGrowth
+	}
+	return b
+}()
+
+// SummaryQuantiles are the quantiles every summary exposes, in
+// exposition order. 1 is the exact maximum.
+var SummaryQuantiles = []float64{0.5, 0.9, 0.99, 1}
+
+// sketch is the per-series state behind a Summary. count and sum live
+// in the owning series; the sketch adds the bucket grid and the exact
+// extremes.
+type sketch struct {
+	counts  [summaryBuckets + 1]atomic.Uint64 // +1 = overflow bucket
+	minBits atomic.Uint64                     // float64 bits; valid once count > 0
+	maxBits atomic.Uint64
+}
+
+func newSketch() *sketch {
+	sk := &sketch{}
+	sk.minBits.Store(math.Float64bits(math.Inf(1)))
+	sk.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return sk
+}
+
+// bucketOf returns the index of the bucket whose bound first reaches v.
+func bucketOf(v float64) int {
+	if v <= summaryMin {
+		return 0
+	}
+	i := int(math.Ceil(math.Log(v/summaryMin) / math.Log(summaryGrowth)))
+	if i >= summaryBuckets {
+		return summaryBuckets // overflow
+	}
+	return i
+}
+
+func (sk *sketch) observe(v float64) {
+	sk.counts[bucketOf(v)].Add(1)
+	for {
+		old := sk.minBits.Load()
+		if v >= math.Float64frombits(old) || sk.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := sk.maxBits.Load()
+		if v <= math.Float64frombits(old) || sk.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// quantile estimates the q-th order statistic of everything observed so
+// far. q <= 0 returns the exact minimum, q >= 1 the exact maximum.
+// Concurrent observers make the rank a snapshot, not a serialized
+// truth — which is exactly the contract of a live scrape.
+func (sk *sketch) quantile(q float64, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	min := math.Float64frombits(sk.minBits.Load())
+	max := math.Float64frombits(sk.maxBits.Load())
+	if q <= 0 {
+		return min
+	}
+	if q >= 1 {
+		return max
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i <= summaryBuckets; i++ {
+		cum += sk.counts[i].Load()
+		if cum < rank {
+			continue
+		}
+		var est float64
+		switch i {
+		case 0:
+			// Everything in bucket 0 sits at or below the grid floor;
+			// the exact minimum is the only honest point estimate.
+			est = min
+		case summaryBuckets:
+			est = max
+		default:
+			est = math.Sqrt(summaryBounds[i-1] * summaryBounds[i]) // geometric midpoint
+		}
+		if est < min {
+			est = min
+		}
+		if est > max {
+			est = max
+		}
+		return est
+	}
+	return max
+}
+
+// Gauge is a settable level (inflight requests, queue depth, pending
+// work). Nil-safe like every other handle.
+type Gauge struct{ s *series }
+
+// Gauge returns the gauge series for (name, labels), registering it on
+// first use. Returns nil (inert) on a nil registry.
+func (m *Metrics) Gauge(name, help string, labels ...Attr) *Gauge {
+	if m == nil {
+		return nil
+	}
+	return &Gauge{m.seriesFor(name, help, "gauge", nil, labels)}
+}
+
+// Set stores the current level.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.sumBits.Store(math.Float64bits(v))
+}
+
+// Add moves the level by delta (negative to decrease).
+func (g *Gauge) Add(delta float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	for {
+		old := g.s.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.s.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 {
+	if g == nil || g.s == nil {
+		return 0
+	}
+	return math.Float64frombits(g.s.sumBits.Load())
+}
+
+// Summary is a streaming quantile series handle. Nil-safe.
+type Summary struct{ s *series }
+
+// Summary returns the summary series for (name, labels), registering
+// it on first use. Returns nil (inert) on a nil registry.
+func (m *Metrics) Summary(name, help string, labels ...Attr) *Summary {
+	if m == nil {
+		return nil
+	}
+	return &Summary{m.seriesFor(name, help, "summary", nil, labels)}
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	if s == nil || s.s == nil {
+		return
+	}
+	s.s.sk.observe(v)
+	s.s.count.Add(1)
+	for {
+		old := s.s.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.s.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Quantile estimates the q-th quantile of everything observed so far
+// (0 = exact min, 1 = exact max). Zero with no observations.
+func (s *Summary) Quantile(q float64) float64 {
+	if s == nil || s.s == nil {
+		return 0
+	}
+	return s.s.sk.quantile(q, s.s.count.Load())
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() uint64 {
+	if s == nil || s.s == nil {
+		return 0
+	}
+	return s.s.count.Load()
+}
+
+// Sum returns the running total of observed values.
+func (s *Summary) Sum() float64 {
+	if s == nil || s.s == nil {
+		return 0
+	}
+	return math.Float64frombits(s.s.sumBits.Load())
+}
+
+// Max returns the exact maximum observed value (0 when empty).
+func (s *Summary) Max() float64 {
+	if s == nil || s.s == nil || s.s.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(s.s.sk.maxBits.Load())
+}

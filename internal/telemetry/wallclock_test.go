@@ -1,0 +1,359 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilWallClock extends the nil-receiver audit to the wall-clock
+// types: gauges, summaries, and samplers must be completely inert on
+// nil, matching the "disabled hot path is one pointer check" contract.
+func TestNilWallClock(t *testing.T) {
+	t.Parallel()
+	var m *Metrics
+	if g := m.Gauge("g", "h"); g != nil {
+		t.Errorf("nil metrics Gauge = %v, want nil", g)
+	}
+	if s := m.Summary("s", "h"); s != nil {
+		t.Errorf("nil metrics Summary = %v, want nil", s)
+	}
+
+	var g *Gauge
+	g.Set(1)
+	g.Add(-1)
+	if v := g.Value(); v != 0 {
+		t.Errorf("nil gauge Value = %v, want 0", v)
+	}
+
+	var s *Summary
+	s.Observe(1)
+	if v := s.Quantile(0.5); v != 0 {
+		t.Errorf("nil summary Quantile = %v, want 0", v)
+	}
+	if v := s.Count(); v != 0 {
+		t.Errorf("nil summary Count = %v, want 0", v)
+	}
+	if v := s.Sum(); v != 0 {
+		t.Errorf("nil summary Sum = %v, want 0", v)
+	}
+	if v := s.Max(); v != 0 {
+		t.Errorf("nil summary Max = %v, want 0", v)
+	}
+
+	var sp *Sampler
+	sp.Start()
+	if err := sp.Sample(); err != nil {
+		t.Errorf("nil sampler Sample: %v", err)
+	}
+	if err := sp.Stop(); err != nil {
+		t.Errorf("nil sampler Stop: %v", err)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	t.Parallel()
+	m := NewMetrics()
+	g := m.Gauge("decoupling_test_inflight", "In-flight ops.", A("leg", "odoh"))
+	g.Set(4)
+	g.Add(3)
+	g.Add(-2)
+	if v := g.Value(); v != 5 {
+		t.Fatalf("gauge value = %v, want 5", v)
+	}
+	// Same (name, labels) resolves to the same series.
+	if v := m.Gauge("decoupling_test_inflight", "In-flight ops.", A("leg", "odoh")).Value(); v != 5 {
+		t.Fatalf("re-looked-up gauge value = %v, want 5", v)
+	}
+}
+
+// TestGaugeSummaryRoundTrip: the new family types must survive the
+// strict write -> parse -> re-render cycle byte-identically, the same
+// contract counters and histograms already hold.
+func TestGaugeSummaryRoundTrip(t *testing.T) {
+	t.Parallel()
+	m := NewMetrics()
+	m.Gauge("decoupling_test_pending", "Pending work.").Set(17.5)
+	m.Gauge("decoupling_test_inflight", "In-flight ops.", A("leg", "odoh")).Set(3)
+	s := m.Summary("decoupling_test_latency_seconds", "Request latency.", A("leg", "odoh"))
+	for i := 1; i <= 1000; i++ {
+		s.Observe(float64(i) / 1000)
+	}
+	m.Counter("decoupling_test_requests_total", "Requests.").Add(42)
+	m.Histogram("decoupling_test_wait_seconds", "Waits.", WaitBuckets).Observe(0.01)
+
+	var out bytes.Buffer
+	if err := m.WriteProm(&out); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("strict parse of written exposition: %v\n%s", err, out.String())
+	}
+	var back bytes.Buffer
+	if err := WriteExpFamilies(&back, fams); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), back.Bytes()) {
+		t.Fatalf("re-render differs:\n--- wrote\n%s--- re-rendered\n%s", out.String(), back.String())
+	}
+
+	// The summary family exposes quantile samples plus _sum/_count.
+	var sum *ExpFamily
+	for i := range fams {
+		if fams[i].Name == "decoupling_test_latency_seconds" {
+			sum = &fams[i]
+		}
+	}
+	if sum == nil || sum.Type != "summary" {
+		t.Fatalf("summary family missing or mistyped: %+v", sum)
+	}
+	wantSamples := len(SummaryQuantiles) + 2
+	if len(sum.Samples) != wantSamples {
+		t.Fatalf("summary samples = %d, want %d: %+v", len(sum.Samples), wantSamples, sum.Samples)
+	}
+	if !strings.Contains(sum.Samples[0].Labels, `quantile="0.5"`) {
+		t.Fatalf("first summary sample lacks quantile label: %+v", sum.Samples[0])
+	}
+}
+
+// TestSummaryAccuracy pins the sketch's error bound: estimates must be
+// within a factor of sqrt(summaryGrowth) (~9%) of the exact order
+// statistic, on distributions shaped like the data we feed it
+// (uniform, log-normal latencies, heavy constant runs).
+func TestSummaryAccuracy(t *testing.T) {
+	t.Parallel()
+	bound := math.Sqrt(summaryGrowth) - 1 + 1e-9
+	distributions := map[string]func(r *rand.Rand) float64{
+		"uniform":   func(r *rand.Rand) float64 { return r.Float64() },
+		"lognormal": func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()*1.5 - 4) },
+		"constant":  func(r *rand.Rand) float64 { return 0.125 },
+		"bimodal": func(r *rand.Rand) float64 {
+			if r.Intn(10) == 0 {
+				return 2 + r.Float64()
+			}
+			return 0.001 * (1 + r.Float64())
+		},
+	}
+	for name, gen := range distributions {
+		r := rand.New(rand.NewSource(7))
+		m := NewMetrics()
+		s := m.Summary("decoupling_test_acc", "Accuracy probe.")
+		exact := make([]float64, 20000)
+		for i := range exact {
+			exact[i] = gen(r)
+			s.Observe(exact[i])
+		}
+		sort.Float64s(exact)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			rank := int(math.Ceil(q*float64(len(exact)))) - 1
+			want := exact[rank]
+			got := s.Quantile(q)
+			rel := math.Abs(got-want) / want
+			if rel > bound {
+				t.Errorf("%s p%g: sketch=%.6g exact=%.6g relative error %.3f > %.3f",
+					name, q*100, got, want, rel, bound)
+			}
+		}
+		if got, want := s.Quantile(1), exact[len(exact)-1]; got != want {
+			t.Errorf("%s max: sketch=%v exact=%v (max must be exact)", name, got, want)
+		}
+		if got, want := s.Quantile(0), exact[0]; got != want {
+			t.Errorf("%s min: sketch=%v exact=%v (min must be exact)", name, got, want)
+		}
+		if s.Count() != uint64(len(exact)) {
+			t.Errorf("%s count = %d, want %d", name, s.Count(), len(exact))
+		}
+	}
+}
+
+func TestSummaryEmptyAndExtremes(t *testing.T) {
+	t.Parallel()
+	m := NewMetrics()
+	s := m.Summary("decoupling_test_edge", "Edges.")
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := s.Quantile(q); v != 0 {
+			t.Errorf("empty summary Quantile(%g) = %v, want 0", q, v)
+		}
+	}
+	// Below-range and above-range observations clamp to exact extremes.
+	s.Observe(1e-12)
+	s.Observe(1e9)
+	if got := s.Quantile(0); got != 1e-12 {
+		t.Errorf("min = %v, want 1e-12", got)
+	}
+	if got := s.Quantile(1); got != 1e9 {
+		t.Errorf("max = %v, want 1e9", got)
+	}
+	if got := s.Quantile(0.25); got != 1e-12 {
+		t.Errorf("p25 of {1e-12, 1e9} = %v, want clamp to 1e-12", got)
+	}
+}
+
+// TestSampler drives the sampler synchronously: two snapshots around a
+// counter increment must parse strictly and carry a positive rate.
+func TestSampler(t *testing.T) {
+	t.Parallel()
+	m := NewMetrics()
+	c := m.Counter("decoupling_test_reqs", "Requests.")
+	g := m.Gauge("decoupling_test_inflight", "In-flight.")
+	var buf bytes.Buffer
+	sp := NewSampler(&buf, time.Hour, CounterVar("requests", c), GaugeVar("inflight", g))
+	c.Add(100)
+	g.Set(7)
+	time.Sleep(5 * time.Millisecond) // a nonzero rate window
+	if err := sp.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	c.Add(50)
+	time.Sleep(5 * time.Millisecond)
+	if err := sp.Stop(); err != nil { // Stop without Start: final sample + flush
+		t.Fatal(err)
+	}
+	recs, err := ParseSamples(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseSamples: %v\n%s", err, buf.String())
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d samples, want 2:\n%s", len(recs), buf.String())
+	}
+	if recs[0]["requests"] != 100 || recs[1]["requests"] != 150 {
+		t.Errorf("requests = %v, %v; want 100, 150", recs[0]["requests"], recs[1]["requests"])
+	}
+	if recs[1]["requests_per_s"] <= 0 {
+		t.Errorf("requests_per_s = %v, want > 0", recs[1]["requests_per_s"])
+	}
+	if recs[0]["inflight"] != 7 {
+		t.Errorf("inflight = %v, want 7", recs[0]["inflight"])
+	}
+	if recs[0]["goroutines"] <= 0 {
+		t.Errorf("goroutines = %v, want > 0", recs[0]["goroutines"])
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	m := NewMetrics()
+	sp := NewSampler(&buf, time.Millisecond, CounterVar("reqs", m.Counter("r", "R.")))
+	sp.Start()
+	sp.Start() // idempotent
+	time.Sleep(20 * time.Millisecond)
+	if err := sp.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseSamples(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseSamples: %v\n%s", err, buf.String())
+	}
+	if len(recs) < 2 {
+		t.Fatalf("ticker produced %d samples in 20ms at 1ms interval, want >= 2", len(recs))
+	}
+}
+
+func TestParseSamplesRejects(t *testing.T) {
+	t.Parallel()
+	cases := map[string]string{
+		"not json":        "nope\n",
+		"missing fields":  `{"t_unix_ms":1}` + "\n",
+		"non-numeric":     `{"t_unix_ms":1,"uptime_s":0,"goroutines":"x","heap_alloc_bytes":0}` + "\n",
+		"time regression": `{"t_unix_ms":5,"uptime_s":0,"goroutines":1,"heap_alloc_bytes":0}` + "\n" + `{"t_unix_ms":4,"uptime_s":0,"goroutines":1,"heap_alloc_bytes":0}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseSamples(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parser accepted invalid samples", name)
+		}
+	}
+}
+
+// TestObsMux scrapes the in-process observability handler: /metrics
+// must satisfy the strict exposition parser mid-flight, /statusz must
+// serve the hook's JSON, and pprof must answer.
+func TestObsMux(t *testing.T) {
+	t.Parallel()
+	m := NewMetrics()
+	m.Counter("decoupling_test_total", "T.").Add(3)
+	m.Summary("decoupling_test_lat", "L.").Observe(0.25)
+	mux := ObsMux(m, func() (any, error) {
+		return map[string]any{"phase": "odoh", "requests": 3}, nil
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp := mustGet(t, srv.URL+"/metrics")
+	fams, err := ParseExposition(bytes.NewReader(resp))
+	if err != nil {
+		t.Fatalf("strict parse of /metrics: %v\n%s", err, resp)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("scraped %d families, want 2", len(fams))
+	}
+
+	status := mustGet(t, srv.URL+"/statusz")
+	if !bytes.Contains(status, []byte(`"phase": "odoh"`)) {
+		t.Fatalf("/statusz missing hook data: %s", status)
+	}
+	if pp := mustGet(t, srv.URL+"/debug/pprof/cmdline"); len(pp) == 0 {
+		t.Fatal("/debug/pprof/cmdline returned nothing")
+	}
+
+	// A nil registry still serves a valid, empty exposition.
+	nilSrv := httptest.NewServer(ObsMux(nil, nil))
+	defer nilSrv.Close()
+	if out := mustGet(t, nilSrv.URL+"/metrics"); len(out) != 0 {
+		t.Fatalf("nil-registry /metrics = %q, want empty", out)
+	}
+	if out := mustGet(t, nilSrv.URL+"/statusz"); !bytes.Contains(out, []byte("goroutines")) {
+		t.Fatalf("default /statusz missing runtime health: %s", out)
+	}
+}
+
+func mustGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body
+}
+
+// No-op overhead: the disabled wall-clock hot path must stay a pointer
+// check, like the virtual-clock handles.
+func BenchmarkDisabledGauge(b *testing.B) {
+	var g *Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(1)
+	}
+}
+
+func BenchmarkDisabledSummary(b *testing.B) {
+	var s *Summary
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(0.5)
+	}
+}
+
+func BenchmarkEnabledSummary(b *testing.B) {
+	s := NewMetrics().Summary("b", "B.")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(float64(i%1000) / 1000)
+	}
+}
