@@ -64,6 +64,7 @@ import (
 	"decoupling/internal/provenance"
 	"decoupling/internal/simnet"
 	"decoupling/internal/telemetry"
+	"decoupling/internal/telemetry/wiretrace"
 )
 
 func main() {
@@ -81,6 +82,9 @@ func run(out, errw io.Writer, args []string) int {
 	faults := fs.String("faults", "",
 		"overlay a fault `plan` on the chaos experiments' simulators (E14-E16): a named plan or a spec string; see simnet.ParseFaultPlan")
 	traceFile := fs.String("trace", "", "write span traces as JSONL to `file`")
+	traceMode := fs.String("trace-mode", "off",
+		"wire-trace propagation policy: off, rotate (re-key the trace id at decoupling boundaries), or naive (one global id — must fail the audit)")
+	wirespansFile := fs.String("wirespans", "", "write wall-clock wire spans as JSONL to `file` (needs -trace-mode)")
 	metricsFile := fs.String("metrics", "", "write metrics in Prometheus text format to `file`")
 	auditFile := fs.String("audit", "", "write per-experiment provenance audits as JSONL to `file`")
 	stats := fs.Bool("stats", false, "print per-experiment ledger stats to stderr")
@@ -106,6 +110,16 @@ func run(out, errw io.Writer, args []string) int {
 		return 2
 	}
 	experiments.SetChaosFaults(plan)
+
+	wireMode, err := wiretrace.ParseMode(*traceMode)
+	if err != nil {
+		fmt.Fprintf(errw, "experiments: %v\n", err)
+		return 2
+	}
+	if *wirespansFile != "" && wireMode == wiretrace.ModeOff {
+		fmt.Fprintln(errw, "experiments: -wirespans needs -trace-mode rotate or naive")
+		return 2
+	}
 
 	want := map[string]bool{}
 	for _, a := range fs.Args() {
@@ -154,7 +168,7 @@ func run(out, errw io.Writer, args []string) int {
 	telemetryOn := *traceFile != "" || *metricsFile != "" || *listenAddr != ""
 	// -audit also enables tracing so ledger observations join their
 	// protocol phase; the spans are only written out under -trace.
-	runner := experiments.Runner{Workers: *parallel, Trace: *traceFile != "" || *auditFile != ""}
+	runner := experiments.Runner{Workers: *parallel, Trace: *traceFile != "" || *auditFile != "", WireMode: wireMode}
 	if telemetryOn {
 		runner.Metrics = telemetry.NewMetrics()
 	}
@@ -189,6 +203,12 @@ func run(out, errw io.Writer, args []string) int {
 			return 2
 		}
 	}
+	if *wirespansFile != "" {
+		if err := writeWireSpans(*wirespansFile, results); err != nil {
+			fmt.Fprintf(errw, "experiments: %v\n", err)
+			return 2
+		}
+	}
 
 	failures := 0
 	for _, rr := range results {
@@ -207,12 +227,71 @@ func run(out, errw io.Writer, args []string) int {
 	if telemetryOn {
 		printSummary(errw, results, runner.Metrics)
 	}
+	if wireMode != wiretrace.ModeOff {
+		coupled := auditWirePlanes(errw, results)
+		if coupled > 0 {
+			fmt.Fprintf(errw, "experiments: trace plane COUPLED in %d experiment(s) — the tracing layer leaks linkage the protocol withholds\n", coupled)
+			return 1
+		}
+	}
 	if failures > 0 {
 		fmt.Fprintf(errw, "experiments: %d experiment(s) failed to reproduce\n", failures)
 		return 1
 	}
 	fmt.Fprintf(out, "all %d experiments reproduce the paper\n", len(selected))
 	return 0
+}
+
+// auditWirePlanes runs the trace-plane audit for every experiment that
+// retained a ledger and expected model: the span stores are replayed
+// as knowledge ledgers and held to exactly the protocol's tuples and
+// linkage. Returns how many experiments audited COUPLED.
+func auditWirePlanes(errw io.Writer, results []experiments.RunnerResult) int {
+	coupled := 0
+	for _, rr := range results {
+		if rr.Wire == nil || rr.Result == nil || rr.Result.Ledger == nil || rr.Result.Expected == nil {
+			continue
+		}
+		if rr.ID == "E4" {
+			// E4 runs two protocol halves against two ledgers but one
+			// plane; its halves are audited by the library tests.
+			continue
+		}
+		rep, err := wiretrace.Audit(rr.Wire, rr.Result.Ledger, rr.Result.Expected)
+		if err != nil {
+			fmt.Fprintf(errw, "experiments: trace audit %s: %v\n", rr.ID, err)
+			coupled++
+			continue
+		}
+		verdict := "DECOUPLED"
+		if !rep.Decoupled {
+			verdict = "COUPLED"
+			coupled++
+		}
+		fmt.Fprintf(errw, "experiments: trace audit %s: %s (%d spans, mode %s)\n", rr.ID, verdict, rep.Spans, rep.Mode)
+		if !rep.Decoupled {
+			rep.WriteReport(errw)
+		}
+	}
+	return coupled
+}
+
+// writeWireSpans concatenates every experiment's wire spans as strict
+// JSONL in input (id) order. Per-experiment planes are seeded by slot
+// and simulator-backed scenarios stamp spans with the virtual clock,
+// so the bytes are independent of -parallel.
+func writeWireSpans(path string, results []experiments.RunnerResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, rr := range results {
+		if err := wiretrace.WriteJSONL(f, rr.Wire); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // runExplore executes the seed-sweep schedule explorer. ids filters

@@ -52,6 +52,7 @@ import (
 	"decoupling/internal/nettransport"
 	"decoupling/internal/odoh"
 	"decoupling/internal/telemetry"
+	"decoupling/internal/telemetry/wiretrace"
 	"decoupling/internal/transport"
 	"decoupling/internal/workload"
 )
@@ -79,6 +80,12 @@ type liveObs struct {
 	metrics *telemetry.Metrics
 	odoh    legObs
 	mixnet  legObs
+
+	// wire is the run's trace plane (nil when tracing is off); sampled
+	// counts the clients instrumented with it. /statusz snapshots both.
+	wire      *wiretrace.Plane
+	traceMode string
+	sampled   atomic.Int64
 
 	mu    sync.Mutex
 	phase string
@@ -120,14 +127,75 @@ func (o *liveObs) status() (any, error) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	return bench.Status{
+	st := bench.Status{
 		Phase:      o.phase,
 		ElapsedSec: time.Since(o.start).Seconds(),
 		Goroutines: runtime.NumGoroutine(),
 		HeapBytes:  ms.HeapAlloc,
 		Bench:      o.doc,
-	}, nil
+	}
+	o.mu.Unlock()
+	// The trace block is recomputed per scrape so the critical-path
+	// histogram is live mid-run, not just in the final document.
+	if st.Bench.Trace == nil {
+		st.Bench.Trace = traceSummary(o.wire, o.traceMode, int(o.sampled.Load()), nil)
+	}
+	return st, nil
+}
+
+// traceSummary builds the benchmark document's trace block from the
+// plane's current state; audit carries the trace-plane verdict once
+// one has run. Nil when tracing is off.
+func traceSummary(p *wiretrace.Plane, mode string, sampled int, audit *bool) *bench.TraceSummary {
+	if !p.Enabled() {
+		return nil
+	}
+	ts := &bench.TraceSummary{Mode: mode, Sampled: sampled, AuditDecoupled: audit}
+	for _, st := range p.Stores() {
+		for _, sp := range st.Spans() {
+			ts.Spans++
+			if !sp.RotatedTo.IsZero() {
+				ts.Rotations++
+			}
+		}
+	}
+	if cs := wiretrace.SummarizeCritical(p, 3); cs != nil {
+		ts.Dominant = cs.DominantCounts
+		for _, ex := range cs.Slowest {
+			ts.Exemplars = append(ts.Exemplars, bench.TraceExemplar{
+				Trace: ex.Trace, TotalMs: ex.TotalMs,
+				Dominant: ex.Dominant, DominantMs: ex.DominantMs,
+			})
+		}
+	}
+	return ts
+}
+
+// flushTraceArtifacts writes the span JSONL and Perfetto documents.
+// It runs deferred from realMain, so a run that aborts on an error
+// path still leaves whatever spans it recorded behind for diagnosis.
+func flushTraceArtifacts(p *wiretrace.Plane, spansPath, perfettoPath string) {
+	if !p.Enabled() {
+		return
+	}
+	write := func(path string, render func(io.Writer, *wiretrace.Plane) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: trace artifact: %v\n", err)
+			return
+		}
+		if err := render(f, p); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: trace artifact %s: %v\n", path, err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: trace artifact %s: %v\n", path, err)
+		}
+	}
+	write(spansPath, wiretrace.WriteJSONL)
+	write(perfettoPath, wiretrace.WritePerfetto)
 }
 
 func main() {
@@ -146,14 +214,29 @@ func realMain() int {
 		useLg   = flag.Bool("ledger", true, "admit observations into the knowledge ledger and derive the verdict")
 		listen  = flag.String("listen", "", "serve /metrics, /statusz, and /debug/pprof on this address (e.g. :9090)")
 		sample  = flag.String("sample", "", "append per-second JSONL run-health samples to this file")
+
+		traceMode = flag.String("trace-mode", "off",
+			"wall-clock wire tracing: off, rotate (re-key the trace id at every decoupling boundary), or naive (one global id end-to-end — the planted mode the trace-plane audit must convict)")
+		traceSample = flag.Int("trace-sample", 1000, "trace one client in N (with -trace-mode)")
+		wirespans   = flag.String("wirespans", "", "write wire spans as strict JSONL to this file")
+		perfetto    = flag.String("perfetto", "", "write spans as a Chrome trace_event/Perfetto JSON document to this file")
 	)
 	flag.Parse()
 	if *full {
 		*clients = 1_000_000
 		*useLg = false
 	}
-	if *clients < 1 || *proxies < 1 || *relays < 1 || *workers < 1 {
+	if *clients < 1 || *proxies < 1 || *relays < 1 || *workers < 1 || *traceSample < 1 {
 		fmt.Fprintln(os.Stderr, "loadgen: all sizes must be >= 1")
+		return 2
+	}
+	wireMode, err := wiretrace.ParseMode(*traceMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
+	if (*wirespans != "" || *perfetto != "") && wireMode == wiretrace.ModeOff {
+		fmt.Fprintln(os.Stderr, "loadgen: -wirespans/-perfetto need -trace-mode rotate or naive")
 		return 2
 	}
 
@@ -162,6 +245,15 @@ func realMain() int {
 		*d = bench.Doc{Clients: *clients, Proxies: *proxies, Relays: *relays,
 			Workers: *workers, Seed: *seed, Full: *full}
 	})
+
+	// The trace plane: hop sampling keeps the unsampled majority span-
+	// free (they still carry zero-cost empty contexts), and the flush
+	// is deferred so an error exit still writes the artifacts.
+	plane := wiretrace.New(wireMode, *seed)
+	plane.SetHopSampling(true)
+	plane.SetClock(func() time.Duration { return time.Since(obs.start) })
+	obs.wire, obs.traceMode = plane, wireMode.String()
+	defer flushTraceArtifacts(plane, *wirespans, *perfetto)
 
 	if *listen != "" {
 		srv, addr, err := telemetry.ServeObs(*listen, obs.metrics, obs.status)
@@ -202,7 +294,7 @@ func realMain() int {
 	}
 
 	obs.setPhase("odoh")
-	odohRes, err := runODoH(*clients, *proxies, *workers, *seed, cls, lg, obs)
+	odohRes, err := runODoH(*clients, *proxies, *workers, *seed, cls, lg, obs, plane, *traceSample)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: odoh leg: %v\n", err)
 		return 1
@@ -210,7 +302,7 @@ func realMain() int {
 	obs.update(func(d *bench.Doc) { d.ODoH = odohRes })
 
 	obs.setPhase("mixnet")
-	mixRes, err := runMixnetLeg(*clients, *relays, *workers, *seed, obs)
+	mixRes, err := runMixnetLeg(*clients, *relays, *workers, *seed, obs, plane, *traceSample)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: mixnet leg: %v\n", err)
 		return 1
@@ -239,6 +331,27 @@ func realMain() int {
 			fmt.Fprintf(os.Stderr, "loadgen: tuple diff under load: %s\n", d)
 		}
 	}
+	traceCoupled := false
+	if plane.Enabled() {
+		var auditVerdict *bool
+		if lg != nil {
+			rep, err := wiretrace.Audit(plane, lg, core.ObliviousDNS())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: trace audit: %v\n", err)
+				return 1
+			}
+			auditVerdict = &rep.Decoupled
+			if !rep.Decoupled {
+				traceCoupled = true
+				rep.WriteReport(os.Stderr)
+			}
+		}
+		ts := traceSummary(plane, wireMode.String(), int(obs.sampled.Load()), auditVerdict)
+		obs.update(func(d *bench.Doc) { d.Trace = ts })
+		if cs := wiretrace.SummarizeCritical(plane, 3); cs != nil {
+			fmt.Fprint(os.Stderr, "loadgen: "+cs.String())
+		}
+	}
 	obs.setPhase("done")
 
 	var doc bench.Doc
@@ -263,7 +376,18 @@ func realMain() int {
 		fmt.Fprintf(os.Stderr, "loadgen: ledger %d observations, %d tuple diffs, decoupled=%v\n",
 			doc.Ledger.Observations, doc.Ledger.TupleDiffs, doc.Ledger.Decoupled)
 	}
-	if doc.ODoH.Errors > 0 || doc.Mixnet.Errors > 0 ||
+	if doc.Trace != nil {
+		verdict := "unaudited"
+		if doc.Trace.AuditDecoupled != nil {
+			verdict = "COUPLED"
+			if *doc.Trace.AuditDecoupled {
+				verdict = "decoupled"
+			}
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: trace mode=%s sampled=%d spans=%d rotations=%d audit=%s\n",
+			doc.Trace.Mode, doc.Trace.Sampled, doc.Trace.Spans, doc.Trace.Rotations, verdict)
+	}
+	if doc.ODoH.Errors > 0 || doc.Mixnet.Errors > 0 || traceCoupled ||
 		(doc.Ledger != nil && (doc.Ledger.TupleDiffs > 0 || !doc.Ledger.Decoupled)) {
 		return 1
 	}
@@ -274,7 +398,7 @@ func realMain() int {
 // net/http server belonging to the same logical operator (one ledger
 // observer), clients round-robin across shards, and each client issues
 // a churn-model session of oblivious queries over loopback HTTP.
-func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, lg *ledger.Ledger, obs *liveObs) (bench.Leg, error) {
+func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, lg *ledger.Ledger, obs *liveObs, plane *wiretrace.Plane, traceSample int) (bench.Leg, error) {
 	var res bench.Leg
 
 	browsing, err := workload.NewBrowsing(seed, 100, 1.2)
@@ -291,15 +415,18 @@ func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, l
 		zone.Add(dnswire.A(name, 300, [4]byte{198, 51, 100, byte(i)}))
 	}
 	origin := &dns.AuthServer{Name: "Origin", Zones: []*dns.Zone{zone}, Ledger: lg}
+	origin.Wire = plane
 	target, err := odoh.NewTarget(odoh.TargetName, origin, lg)
 	if err != nil {
 		return res, err
 	}
+	target.InstrumentWire(plane)
 	keyID, pub := target.KeyConfig()
 
 	// All shards share the proxy name: sharding is a deployment detail
 	// of one operator, and the derived knowledge tuple must say so.
 	proxy := odoh.NewProxy(odoh.ProxyName, target, lg)
+	proxy.InstrumentWire(plane)
 	if cls != nil {
 		cls.RegisterIdentity(odoh.ProxyName, "", "", core.NonSensitive)
 		cls.RegisterIdentity(odoh.TargetName, "", "", core.NonSensitive)
@@ -319,6 +446,13 @@ func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, l
 		who := r.Header.Get(clientHeader)
 		if who == "" {
 			who = r.RemoteAddr
+		}
+		if h := r.Header.Get(odoh.TraceHeader); h != "" && plane.Enabled() {
+			// Re-deposit the header-borne context keyed by the query
+			// bytes, exactly as ProxyHandler would.
+			if ctx, err := wiretrace.ParseHeader(h); err == nil {
+				plane.Handoff(body, ctx)
+			}
 		}
 		resp, err := proxy.Forward(who, body)
 		if err != nil {
@@ -393,15 +527,30 @@ func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, l
 				}
 				who := fmt.Sprintf("client%06d", i)
 				c := odoh.NewClient(who, keyID, pub)
+				traced := plane.Enabled() && i%traceSample == 0
+				if traced {
+					c.InstrumentWire(plane)
+					obs.sampled.Add(1)
+				}
 				url := urls[i%len(urls)]
 				forward := func(clientAddr string, raw []byte) ([]byte, error) {
-					return postQuery(httpClient, url, clientAddr, raw)
+					return postQuery(httpClient, url, clientAddr, raw, plane)
 				}
 				for j := 0; j < lengths[i]; j++ {
 					slot := done.Add(1) - 1
 					obs.odoh.inflight.Add(1)
+					name := wb.Next(i)
+					if traced && j == 0 {
+						// A sampled client's first query targets its own
+						// registered name, pinning at least one query whose
+						// ground-truth subject is the querier. The rotating
+						// plane must keep even that request unlinkable at
+						// every split vantage pair; the naive global id
+						// deterministically re-links it and is convicted.
+						name = browsing.Names[i%len(browsing.Names)]
+					}
 					t0 := time.Now()
-					_, err := c.Query(wb.Next(i), dnswire.TypeA, forward)
+					_, err := c.Query(name, dnswire.TypeA, forward)
 					d := time.Since(t0)
 					obs.odoh.inflight.Add(-1)
 					latencies[slot] = d.Nanoseconds()
@@ -435,13 +584,16 @@ func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, l
 // oblivious query POSTed to a shard with the logical identity in a
 // header, because ground truth needs stable client names and ephemeral
 // ports are recycled across logical clients at this scale.
-func postQuery(client *http.Client, url, clientAddr string, raw []byte) ([]byte, error) {
+func postQuery(client *http.Client, url, clientAddr string, raw []byte, plane *wiretrace.Plane) ([]byte, error) {
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/oblivious-dns-message")
 	req.Header.Set(clientHeader, clientAddr)
+	if ctx := plane.TakeHandoff(raw); !ctx.IsZero() {
+		req.Header.Set(odoh.TraceHeader, ctx.MarshalHeader())
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
@@ -465,7 +617,7 @@ func postQuery(client *http.Client, url, clientAddr string, raw []byte) ([]byte,
 // and again (by the receiver) when the innermost layer is opened, so
 // the quantiles include batching delay — the anonymity/latency price
 // the paper's mixnet discussion is about.
-func runMixnetLeg(clients, relays, workers int, seed int64, obs *liveObs) (bench.Leg, error) {
+func runMixnetLeg(clients, relays, workers int, seed int64, obs *liveObs, plane *wiretrace.Plane, traceSample int) (bench.Leg, error) {
 	var res bench.Leg
 
 	senders := clients / 10
@@ -492,12 +644,14 @@ func runMixnetLeg(clients, relays, workers int, seed int64, obs *liveObs) (bench
 		if err != nil {
 			return res, err
 		}
+		m.InstrumentWire(plane)
 		route = append(route, m.Info())
 	}
 	rcv, err := mixnet.NewReceiver(nt, "Receiver", "receiver", false, nil)
 	if err != nil {
 		return res, err
 	}
+	rcv.InstrumentWire(plane)
 
 	// sendAt[i] is the transport-clock instant sender i queued its
 	// onion; slot i is owned by exactly one worker, and the main
@@ -521,6 +675,10 @@ func runMixnetLeg(clients, relays, workers int, seed int64, obs *liveObs) (bench
 					return
 				}
 				s := &mixnet.Sender{Addr: transport.Addr(fmt.Sprintf("sender%06d", i))}
+				if plane.Enabled() && i%traceSample == 0 {
+					s.Wire = plane
+					obs.sampled.Add(1)
+				}
 				sendAt[i] = nt.Now()
 				obs.mixnet.requests.Add(1)
 				if err := s.Send(nt, route, rcv.Info(), []byte(fmt.Sprintf("message %06d", i))); err != nil {

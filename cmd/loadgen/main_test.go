@@ -8,11 +8,13 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"decoupling/internal/bench"
 	"decoupling/internal/core"
 	"decoupling/internal/ledger"
 	"decoupling/internal/telemetry"
+	"decoupling/internal/telemetry/wiretrace"
 )
 
 // TestODoHLegSmallScale runs the sharded-proxy leg at test scale and
@@ -22,7 +24,7 @@ import (
 func TestODoHLegSmallScale(t *testing.T) {
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
-	res, err := runODoH(200, 2, 16, 1, cls, lg, newLiveObs(nil))
+	res, err := runODoH(200, 2, 16, 1, cls, lg, newLiveObs(nil), nil, 1)
 	if err != nil {
 		t.Fatalf("odoh leg: %v", err)
 	}
@@ -51,7 +53,7 @@ func TestODoHLegSmallScale(t *testing.T) {
 }
 
 func TestMixnetLegSmallScale(t *testing.T) {
-	res, err := runMixnetLeg(1000, 3, 16, 1, newLiveObs(nil))
+	res, err := runMixnetLeg(1000, 3, 16, 1, newLiveObs(nil), nil, 1)
 	if err != nil {
 		t.Fatalf("mixnet leg: %v", err)
 	}
@@ -135,11 +137,11 @@ func TestLiveScrapeDuringRun(t *testing.T) {
 	}()
 
 	obs.setPhase("odoh")
-	if _, err := runODoH(100, 2, 8, 1, nil, nil, obs); err != nil {
+	if _, err := runODoH(100, 2, 8, 1, nil, nil, obs, nil, 1); err != nil {
 		t.Fatalf("odoh leg: %v", err)
 	}
 	obs.setPhase("mixnet")
-	if _, err := runMixnetLeg(640, 2, 8, 1, obs); err != nil {
+	if _, err := runMixnetLeg(640, 2, 8, 1, obs, nil, 1); err != nil {
 		t.Fatalf("mixnet leg: %v", err)
 	}
 	close(done)
@@ -194,5 +196,84 @@ func TestQuantiles(t *testing.T) {
 	}
 	if z := quantiles(nil); z != (bench.Latency{}) {
 		t.Fatalf("quantiles(nil) = %+v, want zero", z)
+	}
+}
+
+// runTracedLegs drives both legs at test scale with every client
+// traced, returning the plane and the ledger.
+func runTracedLegs(t *testing.T, mode wiretrace.Mode) (*wiretrace.Plane, *ledger.Ledger) {
+	t.Helper()
+	cls := ledger.NewClassifier()
+	lg := ledger.New(cls, nil)
+	obs := newLiveObs(telemetry.NewMetrics())
+	plane := wiretrace.New(mode, 1)
+	plane.SetHopSampling(true)
+	plane.SetClock(func() time.Duration { return time.Since(obs.start) })
+	obs.wire, obs.traceMode = plane, mode.String()
+	if _, err := runODoH(120, 2, 8, 1, cls, lg, obs, plane, 1); err != nil {
+		t.Fatalf("odoh leg: %v", err)
+	}
+	if _, err := runMixnetLeg(640, 2, 8, 1, obs, plane, 1); err != nil {
+		t.Fatalf("mixnet leg: %v", err)
+	}
+	return plane, lg
+}
+
+// TestTracedRunRotateAuditsDecoupled is the wall-clock half of the
+// trace-plane contract: with rotation on, a real loopback run (HTTP
+// header propagation on the ODoH leg, frame-codec v2 extensions on the
+// mixnet TCP leg) must produce a valid span artifact whose audit finds
+// the trace plane knowing exactly what the protocol plane knows.
+func TestTracedRunRotateAuditsDecoupled(t *testing.T) {
+	plane, lg := runTracedLegs(t, wiretrace.ModeRotate)
+	if plane.SpanCount() == 0 {
+		t.Fatal("traced run produced no spans")
+	}
+
+	var buf bytes.Buffer
+	if err := wiretrace.WriteJSONL(&buf, plane); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	recs, err := wiretrace.ParseJSONL(&buf)
+	if err != nil {
+		t.Fatalf("strict parse of exported spans: %v", err)
+	}
+	if err := wiretrace.Check(recs); err != nil {
+		t.Fatalf("span invariants under load: %v", err)
+	}
+	st := wiretrace.Summarize(recs)
+	if st.Rotations == 0 {
+		t.Fatal("rotate-mode run recorded no trace-id rotations")
+	}
+
+	rep, err := wiretrace.Audit(plane, lg, core.ObliviousDNS())
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if !rep.Decoupled {
+		var out bytes.Buffer
+		rep.WriteReport(&out)
+		t.Fatalf("rotating trace plane audited COUPLED under load:\n%s", out.String())
+	}
+
+	if cs := wiretrace.SummarizeCritical(plane, 3); cs == nil || cs.Requests == 0 {
+		t.Fatal("critical-path analyzer stitched no requests")
+	}
+}
+
+// TestTracedRunNaiveIsConvicted plants the vulnerable configuration:
+// one global trace id per request must let a split coalition re-link a
+// client to its query, and the audit must convict it.
+func TestTracedRunNaiveIsConvicted(t *testing.T) {
+	plane, lg := runTracedLegs(t, wiretrace.ModeNaive)
+	rep, err := wiretrace.Audit(plane, lg, core.ObliviousDNS())
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if rep.Decoupled {
+		t.Fatal("naive global-trace-id run audited DECOUPLED; the planted coupling escaped")
+	}
+	if len(rep.Leaks) == 0 {
+		t.Fatal("naive conviction carries no coalition leak evidence")
 	}
 }

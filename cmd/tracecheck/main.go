@@ -4,6 +4,7 @@
 //	tracecheck -trace t.jsonl              # strict JSONL span validation
 //	tracecheck -metrics m.prom             # exposition parse + round-trip
 //	tracecheck -samples s.jsonl            # run-sampler JSONL validation
+//	tracecheck -spans w.jsonl              # wall-clock wire-span validation
 //	tracecheck -trace t.jsonl -metrics m.prom
 //
 // A trace file passes when every line decodes as a span record, span
@@ -13,8 +14,18 @@
 // writer and parser keep each other honest. A samples file (from
 // `loadgen -sample`) passes when every line is a flat numeric JSON
 // object carrying the run-health fields with non-decreasing
-// timestamps. CI runs this against the artifacts of real runs,
-// including a /metrics scrape taken mid-run.
+// timestamps. A spans file (wire spans from `loadgen -wirespans` or
+// `experiments -wirespans`) passes when every line satisfies the
+// decoupling-wirespan/v1 schema and the artifact's structural
+// invariants hold: unique span ids, parent references that resolve,
+// children nesting inside same-vantage parents, and the mode's
+// rotation discipline — rotate artifacts must rotate at boundaries
+// and never let a trace id span more than two vantages; naive
+// artifacts must never record a rotation. An empty spans artifact is
+// an error unless -allow-empty is given, because "no spans" usually
+// means a silently broken pipeline, not a healthy one. CI runs this
+// against the artifacts of real runs, including a /metrics scrape
+// taken mid-run.
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 	"os"
 
 	"decoupling/internal/telemetry"
+	"decoupling/internal/telemetry/wiretrace"
 )
 
 func main() {
@@ -37,11 +49,13 @@ func run(out, errw io.Writer, args []string) int {
 	traceFile := fs.String("trace", "", "JSONL trace `file` to validate")
 	metricsFile := fs.String("metrics", "", "Prometheus exposition `file` to validate")
 	samplesFile := fs.String("samples", "", "run-sampler JSONL `file` to validate")
+	spansFile := fs.String("spans", "", "wire-span JSONL `file` to validate")
+	allowEmpty := fs.Bool("allow-empty", false, "accept an empty -spans artifact (a run with tracing off or nothing sampled)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *traceFile == "" && *metricsFile == "" && *samplesFile == "" || fs.NArg() > 0 {
-		fmt.Fprintln(errw, "usage: tracecheck [-trace f.jsonl] [-metrics f.prom] [-samples f.jsonl]")
+	if *traceFile == "" && *metricsFile == "" && *samplesFile == "" && *spansFile == "" || fs.NArg() > 0 {
+		fmt.Fprintln(errw, "usage: tracecheck [-trace f.jsonl] [-metrics f.prom] [-samples f.jsonl] [-spans f.jsonl [-allow-empty]]")
 		return 2
 	}
 	if *traceFile != "" {
@@ -62,7 +76,42 @@ func run(out, errw io.Writer, args []string) int {
 			return 1
 		}
 	}
+	if *spansFile != "" {
+		if err := checkSpans(out, *spansFile, *allowEmpty); err != nil {
+			fmt.Fprintf(errw, "tracecheck: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// checkSpans validates a wire-span artifact: strict per-line schema,
+// then the cross-span structural invariants (unique ids, resolving
+// parents, nesting, the mode's rotation discipline).
+func checkSpans(out io.Writer, path string, allowEmpty bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := wiretrace.ParseJSONL(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		if allowEmpty {
+			fmt.Fprintf(out, "%s: empty wire-span artifact (allowed)\n", path)
+			return nil
+		}
+		return fmt.Errorf("%s: no spans — tracing off or the exporter never ran (use -allow-empty if intended)", path)
+	}
+	if err := wiretrace.Check(recs); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	st := wiretrace.Summarize(recs)
+	fmt.Fprintf(out, "%s: %d spans (%d roots, %d rotations) across %d traces at %d vantages, mode %s, wall span %s\n",
+		path, st.Spans, st.Roots, st.Rotations, st.Traces, st.Vantages, st.Mode, st.WallSpan)
+	return nil
 }
 
 func checkSamples(out io.Writer, path string) error {

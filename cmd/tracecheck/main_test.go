@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"decoupling/internal/telemetry"
+	"decoupling/internal/telemetry/wiretrace"
 )
 
 func write(t *testing.T, name, content string) string {
@@ -120,5 +121,57 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code := run(&out, &errw, []string{"-trace", "does-not-exist.jsonl"}); code != 1 {
 		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}
+
+// TestSpansValidation exercises the wire-span artifact checks: a real
+// plane's export passes and reports its shape; empty artifacts fail
+// unless -allow-empty; broken invariants name the violation.
+func TestSpansValidation(t *testing.T) {
+	t.Parallel()
+	p := wiretrace.New(wiretrace.ModeRotate, 1)
+	root := p.Root("client", "send", "c", "m")
+	hop := p.Hop("Mix 1", "hop", root.Context(), "c", "r")
+	p.Hop("Receiver", "deliver", hop.Forward(), "m", "").End()
+	hop.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := wiretrace.WriteJSONL(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+
+	sp := write(t, "w.jsonl", buf.String())
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-spans", sp}); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "3 spans (1 roots, 1 rotations)") {
+		t.Errorf("span summary missing: %s", out.String())
+	}
+
+	// Empty artifact: error by default, fine with -allow-empty.
+	ep := write(t, "empty.jsonl", "")
+	out.Reset()
+	errw.Reset()
+	if code := run(&out, &errw, []string{"-spans", ep}); code != 1 {
+		t.Fatalf("empty artifact: exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "no spans") {
+		t.Errorf("empty-artifact error did not explain itself: %s", errw.String())
+	}
+	out.Reset()
+	errw.Reset()
+	if code := run(&out, &errw, []string{"-spans", ep, "-allow-empty"}); code != 0 {
+		t.Fatalf("-allow-empty: exit %d, stderr: %s", code, errw.String())
+	}
+
+	// Renaming the root span id orphans its child's parent reference,
+	// which must fail the structural check.
+	bad := strings.Replace(buf.String(), root.Context().Span.String(), "ffffffffffffffff", 1)
+	bp := write(t, "bad.jsonl", bad)
+	out.Reset()
+	errw.Reset()
+	if code := run(&out, &errw, []string{"-spans", bp}); code != 1 {
+		t.Fatalf("broken parent: exit %d, want 1", code)
 	}
 }

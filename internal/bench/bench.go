@@ -55,6 +55,36 @@ type Doc struct {
 	ODoH    Leg            `json:"odoh"`
 	Mixnet  Leg            `json:"mixnet"`
 	Ledger  *LedgerSummary `json:"ledger,omitempty"`
+	Trace   *TraceSummary  `json:"trace,omitempty"`
+}
+
+// TraceSummary is the wire-trace block: present when the run traced a
+// sample of clients end to end. Compare deliberately ignores it —
+// tracing is diagnostic context riding along with the latency numbers
+// (exemplar trace ids tie the slow quantiles to inspectable requests),
+// not a gated metric — so baselines recorded without tracing stay
+// comparable.
+type TraceSummary struct {
+	Mode      string `json:"mode"`
+	Sampled   int    `json:"sampled_clients"`
+	Spans     int    `json:"spans"`
+	Rotations int    `json:"rotations"`
+	// AuditDecoupled is the trace-plane audit verdict (nil when the
+	// run had no ledger to audit against).
+	AuditDecoupled *bool `json:"audit_decoupled,omitempty"`
+	// Dominant histograms which leg dominated each stitched request.
+	Dominant map[string]int `json:"dominant_legs,omitempty"`
+	// Exemplars are the slowest stitched requests, descending, so the
+	// latency summary's tail links to concrete traces.
+	Exemplars []TraceExemplar `json:"exemplars,omitempty"`
+}
+
+// TraceExemplar ties one slow request's latency to its trace id.
+type TraceExemplar struct {
+	Trace      string  `json:"trace"`
+	TotalMs    float64 `json:"total_ms"`
+	Dominant   string  `json:"dominant"`
+	DominantMs float64 `json:"dominant_ms"`
 }
 
 // Status is the live /statusz snapshot: the benchmark document as far

@@ -17,8 +17,10 @@ import (
 	"sync"
 	"time"
 
+	"decoupling/internal/core"
 	"decoupling/internal/dnswire"
 	"decoupling/internal/ledger"
+	"decoupling/internal/telemetry/wiretrace"
 )
 
 // Zone holds authoritative records under one origin.
@@ -104,6 +106,11 @@ type AuthServer struct {
 	Zones []*Zone
 	// Ledger, if set, records what this operator observes.
 	Ledger *ledger.Ledger
+	// Wire, if set, opens a wall-clock span per handled query,
+	// continuing the context handed off with the query name and
+	// mirroring the ledger observations. The origin is a terminal hop:
+	// it forwards nowhere, so it never rotates.
+	Wire *wiretrace.Plane
 }
 
 // zoneFor returns the most specific zone containing name, or nil.
@@ -135,6 +142,8 @@ func (s *AuthServer) Handle(from string, q *dnswire.Message) *dnswire.Message {
 	}
 	question := q.Questions[0]
 	name := dnswire.CanonicalName(question.Name)
+	hop := s.Wire.Hop(s.Name, "dns.auth.handle", s.Wire.TakeHandoff([]byte(name)), from, "")
+	defer hop.End()
 	if s.Ledger != nil {
 		// The connection to the querying party and the query name bytes
 		// are both join keys: anyone else who saw the same name string
@@ -143,6 +152,8 @@ func (s *AuthServer) Handle(from string, q *dnswire.Message) *dnswire.Message {
 		nameH := ledger.Hash([]byte(name))
 		s.Ledger.SawIdentity(s.Name, from, h, nameH)
 		s.Ledger.SawData(s.Name, name, h, nameH)
+		hop.Observe(core.Identity, from)
+		hop.Observe(core.Data, name)
 	}
 	z := s.zoneFor(name)
 	if z == nil {
@@ -184,6 +195,10 @@ type Resolver struct {
 	Auths []Authority
 	// Ledger, if set, records what this operator observes.
 	Ledger *ledger.Ledger
+	// Wire, if set, opens a wall-clock span per resolved query and
+	// rotates the trace ID before the authoritative leg: a forwarding
+	// resolver is a vantage boundary like any other.
+	Wire *wiretrace.Plane
 	// Clock supplies virtual time for TTL handling; nil means time
 	// stands still (cache entries never expire).
 	Clock func() time.Duration
@@ -221,6 +236,8 @@ func (r *Resolver) Resolve(client string, q *dnswire.Message) *dnswire.Message {
 	}
 	question := q.Questions[0]
 	name := dnswire.CanonicalName(question.Name)
+	hop := r.Wire.Hop(r.Name, "dns.resolve", r.Wire.TakeHandoff([]byte(name)), client, "")
+	defer hop.End()
 
 	r.mu.Lock()
 	r.log = append(r.log, QueryLogEntry{Client: client, Name: name, Time: r.now()})
@@ -230,6 +247,8 @@ func (r *Resolver) Resolve(client string, q *dnswire.Message) *dnswire.Message {
 		nameH := ledger.Hash([]byte(name))
 		r.Ledger.SawIdentity(r.Name, client, h, nameH)
 		r.Ledger.SawData(r.Name, name, h, nameH)
+		hop.Observe(core.Identity, client)
+		hop.Observe(core.Data, name)
 	}
 
 	key := cacheKey{name, question.Type}
@@ -255,6 +274,7 @@ func (r *Resolver) Resolve(client string, q *dnswire.Message) *dnswire.Message {
 		resp.RCode = dnswire.RCodeServFail
 		return resp
 	}
+	r.Wire.Handoff([]byte(name), hop.Forward())
 	upstream := auth.Handle(r.Name, q)
 	resp.RCode = upstream.RCode
 	resp.Answers = upstream.Answers

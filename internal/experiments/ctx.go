@@ -5,6 +5,7 @@ import (
 
 	"decoupling/internal/simnet"
 	"decoupling/internal/telemetry"
+	"decoupling/internal/telemetry/wiretrace"
 	"decoupling/internal/transport"
 )
 
@@ -18,6 +19,12 @@ type Ctx struct {
 	// Tel is the experiment's telemetry handle (nil when observability
 	// is off; all telemetry methods are nil-receiver safe).
 	Tel *telemetry.Telemetry
+
+	// Wire is the run's wire-trace plane (nil when tracing is off; all
+	// plane methods are nil-receiver safe). Scenario runners attach it
+	// to every protocol component they build, so traced runs produce
+	// per-vantage span stores the trace-plane audit can replay.
+	Wire *wiretrace.Plane
 
 	hooks *netHooks
 

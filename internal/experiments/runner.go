@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"decoupling/internal/telemetry"
+	"decoupling/internal/telemetry/wiretrace"
 )
 
 // Runner executes a set of experiments on a bounded worker pool and
@@ -35,6 +36,11 @@ type Runner struct {
 	// Metrics, when non-nil, is the shared registry every experiment
 	// reports counters and histograms into.
 	Metrics *telemetry.Metrics
+	// WireMode, when not ModeOff, gives each experiment its own
+	// wire-trace plane (returned in its RunnerResult for export and
+	// for the trace-plane audit). Per-experiment planes keep span and
+	// trace ids independent of -parallel, like the tracers.
+	WireMode wiretrace.Mode
 }
 
 // RunnerResult pairs one experiment's outcome with any execution error.
@@ -45,6 +51,9 @@ type RunnerResult struct {
 	// Trace is the experiment's span recording (nil unless the runner
 	// ran with Trace enabled).
 	Trace *telemetry.Tracer
+	// Wire is the experiment's wire-trace plane (nil unless the runner
+	// ran with a WireMode).
+	Wire *wiretrace.Plane
 }
 
 // Run executes every experiment in exps and returns one RunnerResult
@@ -86,14 +95,17 @@ func (r *Runner) Run(exps []Experiment) []RunnerResult {
 				// experiment's virtual elapsed time so the exported trace
 				// stays wall-clock free.
 				root := tel.Start("experiment", telemetry.A("id", exp.ID))
-				res, err := runOne(exp, tel)
+				// Seeded by slot so a plane's ids depend on the input
+				// order, never on which worker picked the job up.
+				wire := wiretrace.New(r.WireMode, int64(1000+j.idx))
+				res, err := runOne(exp, tel, wire)
 				if res != nil {
 					res.WallElapsed = time.Since(start)
 					root.EndAt(res.VirtualElapsed)
 				} else {
 					root.EndAt(0)
 				}
-				out[j.idx] = RunnerResult{ID: exp.ID, Result: res, Err: err, Trace: tel.Tracer()}
+				out[j.idx] = RunnerResult{ID: exp.ID, Result: res, Err: err, Trace: tel.Tracer(), Wire: wire}
 			}
 		}()
 	}
@@ -107,13 +119,13 @@ func (r *Runner) Run(exps []Experiment) []RunnerResult {
 
 // runOne executes a single experiment, converting panics into errors so
 // one faulty experiment cannot take down a parallel run.
-func runOne(exp Experiment, tel *telemetry.Telemetry) (res *Result, err error) {
+func runOne(exp Experiment, tel *telemetry.Telemetry, wire *wiretrace.Plane) (res *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("%s: panic: %v", exp.ID, p)
 		}
 	}()
-	return exp.Run(Ctx{Tel: tel})
+	return exp.Run(Ctx{Tel: tel, Wire: wire})
 }
 
 // RunAll is shorthand for running every registered experiment with the

@@ -150,8 +150,11 @@ func runODoHScenario(ctx Ctx, parallel int) (*ledger.Ledger, error) {
 		return nil, err
 	}
 	target.Instrument(tel)
+	target.InstrumentWire(ctx.Wire)
 	proxy := odoh.NewProxy(odoh.ProxyName, target, lg)
 	proxy.Instrument(tel)
+	proxy.InstrumentWire(ctx.Wire)
+	origin.Wire = ctx.Wire
 	keyID, pub := target.KeyConfig()
 
 	phase := tel.Start("phase:odoh")
@@ -160,6 +163,7 @@ func runODoHScenario(ctx Ctx, parallel int) (*ledger.Ledger, error) {
 		who := fmt.Sprintf("client-%d", i)
 		c := odoh.NewClient(who, keyID, pub)
 		c.Instrument(tel)
+		c.InstrumentWire(ctx.Wire)
 		_, err := c.Query(auditDNSNames[i%len(auditDNSNames)], dnswire.TypeA, proxy.Forward)
 		return err
 	})
@@ -183,12 +187,17 @@ func runODNSScenario(ctx Ctx, parallel int) (*ledger.Ledger, error) {
 		return nil, err
 	}
 	recursive := dns.NewResolver("Resolver", []dns.Authority{oblivious, origin}, lg, nil)
+	origin.Wire = ctx.Wire
+	oblivious.InstrumentWire(ctx.Wire)
+	recursive.Wire = ctx.Wire
 
 	phase := tel.Start("phase:odns")
 	defer phase.End()
 	err = forEachClient(parallel, auditDNSClients, func(i int) error {
 		who := fmt.Sprintf("client-%d", i)
-		_, err := odns.NewClient(who, oblivious.PublicKey(), recursive).Query(auditDNSNames[i%len(auditDNSNames)], dnswire.TypeA)
+		c := odns.NewClient(who, oblivious.PublicKey(), recursive)
+		c.InstrumentWire(ctx.Wire)
+		_, err := c.Query(auditDNSNames[i%len(auditDNSNames)], dnswire.TypeA)
 		return err
 	})
 	return lg, err
@@ -205,6 +214,7 @@ func runMixnetScenario(ctx Ctx, _ int) (*ledger.Ledger, error) {
 	net := ctx.NewRunner(2)
 	defer net.Close()
 	net.Instrument(tel)
+	ctx.Wire.SetClock(net.Now)
 	lg := ledger.New(cls, net.Now)
 	lg.Instrument(tel)
 
@@ -217,6 +227,7 @@ func runMixnetScenario(ctx Ctx, _ int) (*ledger.Ledger, error) {
 			return nil, err
 		}
 		m.Instrument(tel)
+		m.InstrumentWire(ctx.Wire)
 		route = append(route, m.Info())
 	}
 	rcv, err := mixnet.NewReceiver(net, "Receiver", "receiver", false, lg)
@@ -224,6 +235,7 @@ func runMixnetScenario(ctx Ctx, _ int) (*ledger.Ledger, error) {
 		return nil, err
 	}
 	rcv.Instrument(tel)
+	rcv.InstrumentWire(ctx.Wire)
 
 	phase := tel.Start("phase:forward")
 	defer phase.End()
@@ -232,7 +244,7 @@ func runMixnetScenario(ctx Ctx, _ int) (*ledger.Ledger, error) {
 		msg := fmt.Sprintf("private message %02d", i)
 		cls.RegisterIdentity(sender, sender, "", core.Sensitive)
 		cls.RegisterData(msg, sender, "", core.Sensitive)
-		s := &mixnet.Sender{Addr: simnet.Addr(sender)}
+		s := &mixnet.Sender{Addr: simnet.Addr(sender), Wire: ctx.Wire}
 		if err := s.Send(net, route, rcv.Info(), []byte(msg)); err != nil {
 			return nil, err
 		}
@@ -298,8 +310,11 @@ func odohFaultsRun(ctx Ctx, parallel, clients int, plan *simnet.FaultPlan, failO
 		return nil, err
 	}
 	target.Instrument(tel)
+	target.InstrumentWire(ctx.Wire)
 	proxy := odoh.NewProxy(odoh.ProxyName, target, lg)
 	proxy.Instrument(tel)
+	proxy.InstrumentWire(ctx.Wire)
+	origin.Wire = ctx.Wire
 	keyID, pub := target.KeyConfig()
 
 	// The fail-open escape hatch mirrors e16Run: a plain recursive

@@ -79,6 +79,7 @@ func E2Mixnet(ctx Ctx) (*Result, error) {
 	net := ctx.NewRunner(2)
 	defer net.Close()
 	net.Instrument(tel)
+	ctx.Wire.SetClock(net.Now)
 
 	var route []mixnet.NodeInfo
 	for i := 1; i <= 3; i++ {
@@ -87,6 +88,7 @@ func E2Mixnet(ctx Ctx) (*Result, error) {
 			return nil, err
 		}
 		m.Instrument(tel)
+		m.InstrumentWire(ctx.Wire)
 		route = append(route, m.Info())
 	}
 	rcv, err := mixnet.NewReceiver(net, "Receiver", "receiver", false, lg)
@@ -94,13 +96,14 @@ func E2Mixnet(ctx Ctx) (*Result, error) {
 		return nil, err
 	}
 	rcv.Instrument(tel)
+	rcv.InstrumentWire(ctx.Wire)
 	phase := tel.Start("phase:forward")
 	for i := 0; i < 64; i++ {
 		sender := fmt.Sprintf("sender%02d", i)
 		msg := fmt.Sprintf("private message %02d", i)
 		cls.RegisterIdentity(sender, sender, "", core.Sensitive)
 		cls.RegisterData(msg, sender, "", core.Sensitive)
-		s := &mixnet.Sender{Addr: simnet.Addr(sender)}
+		s := &mixnet.Sender{Addr: simnet.Addr(sender), Wire: ctx.Wire}
 		if err := s.Send(net, route, rcv.Info(), []byte(msg)); err != nil {
 			return nil, err
 		}

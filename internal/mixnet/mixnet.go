@@ -29,6 +29,8 @@ import (
 	"decoupling/internal/resilience"
 	"decoupling/internal/simnet"
 	"decoupling/internal/telemetry"
+	"decoupling/internal/telemetry/wiretrace"
+	"decoupling/internal/transport"
 )
 
 // Wire layer types.
@@ -158,9 +160,10 @@ type Mix struct {
 	// Timeout bounds queueing delay; <= 0 means wait for a full batch.
 	Timeout time.Duration
 
-	kp  *hpke.KeyPair
-	lg  *ledger.Ledger
-	tel *telemetry.Telemetry
+	kp   *hpke.KeyPair
+	lg   *ledger.Ledger
+	tel  *telemetry.Telemetry
+	wire *wiretrace.Plane
 
 	queue        []outbound
 	pendingFlush bool // a timeout flush is scheduled
@@ -172,6 +175,11 @@ type outbound struct {
 	next simnet.Addr
 	wire []byte
 	tag  byte
+	// trace is the outbound wire-trace context captured when the item
+	// was queued: under rotation it shares no trace ID with the inbound
+	// context, and the linkage between the two lives only in this mix's
+	// span store.
+	trace wiretrace.Context
 }
 
 // NewMix creates a mix and registers it on the network.
@@ -196,6 +204,13 @@ func (m *Mix) Stats() (flushes, dropped int) { return m.flushes, m.dropped }
 // triggering message) and flush sizes feed a histogram.
 func (m *Mix) Instrument(tel *telemetry.Telemetry) { m.tel = tel }
 
+// InstrumentWire attaches a wire-trace plane: each handled message
+// opens a span at this mix's vantage, mirrors the mix's ledger
+// observations, and rotates the trace ID before forwarding — the mix
+// is a decoupling boundary, so its tracing must re-key like its
+// cryptography does. Nil-safe.
+func (m *Mix) InstrumentWire(p *wiretrace.Plane) { m.wire = p }
+
 func (m *Mix) handle(net simnet.Transport, msg simnet.Message) {
 	if len(msg.Payload) < 1 {
 		m.dropped++
@@ -214,6 +229,8 @@ func (m *Mix) handle(net simnet.Transport, msg simnet.Message) {
 func (m *Mix) handleOnion(net simnet.Transport, msg simnet.Message) {
 	sp := m.tel.Start("mixnet.mix.in", telemetry.A("mix", m.Name))
 	defer sp.End()
+	hop := m.wire.Hop(m.Name, "mixnet.hop", msg.Trace, string(msg.Src), "")
+	defer hop.End()
 	inHandle := ledger.Hash(msg.Payload[1:])
 	plain, err := open(m.kp, msg.Payload[1:])
 	if err != nil {
@@ -234,8 +251,13 @@ func (m *Mix) handleOnion(net simnet.Transport, msg simnet.Message) {
 			{Kind: core.Identity, Value: string(msg.Src), Handles: []string{inHandle, outHandle}},
 			{Kind: core.Data, Value: "onion:" + outHandle, Handles: []string{inHandle, outHandle}},
 		})
+		// Mirror the same observations into the trace plane: the span
+		// store must know exactly what the ledger knows, so the
+		// trace-plane audit can hold the two to equality.
+		hop.Observe(core.Identity, string(msg.Src))
+		hop.Observe(core.Data, "onion:"+outHandle)
 	}
-	m.queue = append(m.queue, outbound{next: next, wire: inner, tag: tagOnion})
+	m.queue = append(m.queue, outbound{next: next, wire: inner, tag: tagOnion, trace: hop.Forward()})
 	if m.Threshold > 1 && len(m.queue) < m.Threshold {
 		if m.Timeout > 0 && !m.pendingFlush {
 			m.pendingFlush = true
@@ -268,7 +290,7 @@ func (m *Mix) flush(net simnet.Transport) {
 	}
 	for _, o := range q {
 		out := append([]byte{o.tag}, o.wire...)
-		if err := net.Send(m.Addr, o.next, out); err != nil {
+		if err := transport.SendWithContext(net, m.Addr, o.next, out, o.trace); err != nil {
 			m.dropped++
 		}
 	}
@@ -289,6 +311,7 @@ type Receiver struct {
 	kp   *hpke.KeyPair
 	lg   *ledger.Ledger
 	tel  *telemetry.Telemetry
+	wire *wiretrace.Plane
 	// Padded indicates senders pad messages; the receiver then strips
 	// the length-prefixed padding.
 	Padded bool
@@ -315,9 +338,15 @@ func (r *Receiver) Info() NodeInfo { return NodeInfo{Addr: r.Addr, PubKey: r.kp.
 // link of the chain) opens a span under the simulator's delivery span.
 func (r *Receiver) Instrument(tel *telemetry.Telemetry) { r.tel = tel }
 
+// InstrumentWire attaches a wire-trace plane: final deliveries open a
+// terminal span mirroring the receiver's ledger observations. Nil-safe.
+func (r *Receiver) InstrumentWire(p *wiretrace.Plane) { r.wire = p }
+
 func (r *Receiver) handle(net simnet.Transport, msg simnet.Message) {
 	sp := r.tel.Start("mixnet.receiver.open", telemetry.A("receiver", r.Name))
 	defer sp.End()
+	hop := r.wire.Hop(r.Name, "mixnet.deliver", msg.Trace, string(msg.Src), "")
+	defer hop.End()
 	if len(msg.Payload) < 1 || msg.Payload[0] != tagOnion {
 		r.dropped++
 		return
@@ -351,6 +380,8 @@ func (r *Receiver) handle(net simnet.Transport, msg simnet.Message) {
 			{Kind: core.Identity, Value: string(msg.Src), Handles: []string{inHandle}},
 			{Kind: core.Data, Value: string(body), Handles: []string{inHandle}},
 		})
+		hop.Observe(core.Identity, string(msg.Src))
+		hop.Observe(core.Data, string(body))
 	}
 	r.inbox = append(r.inbox, Received{From: msg.Src, Body: append([]byte(nil), body...), Time: net.Now()})
 }
@@ -366,6 +397,9 @@ func (r *Receiver) Dropped() int { return r.dropped }
 type Sender struct {
 	Addr  simnet.Addr
 	PadTo int
+	// Wire, when set, opens a client root span per message and attaches
+	// its context to the injected onion.
+	Wire *wiretrace.Plane
 }
 
 // Send wraps message for the route and injects it at the first mix.
@@ -374,7 +408,9 @@ func (s *Sender) Send(net simnet.Transport, route []NodeInfo, receiver NodeInfo,
 	if err != nil {
 		return err
 	}
-	return net.Send(s.Addr, route[0].Addr, append([]byte{tagOnion}, onion...))
+	root := s.Wire.Root(string(s.Addr), "mixnet.send", string(s.Addr), string(route[0].Addr))
+	defer root.End()
+	return transport.SendWithContext(net, s.Addr, route[0].Addr, append([]byte{tagOnion}, onion...), root.Context())
 }
 
 // SendResilient wraps message for a fresh random route and injects it,

@@ -129,6 +129,8 @@ func SendReply(net simnet.Transport, from simnet.Addr, ra *ReplyAddress, respons
 // deliver to the builder). Reply traffic joins the same batch queue as
 // forward onions, so it enjoys the same batching defense.
 func (m *Mix) handleReply(net simnet.Transport, msg simnet.Message) {
+	hop := m.wire.Hop(m.Name, "mixnet.reply", msg.Trace, string(msg.Src), "")
+	defer hop.End()
 	payload := msg.Payload[1:]
 	if len(payload) < 4 {
 		m.dropped++
@@ -186,7 +188,10 @@ func (m *Mix) handleReply(net simnet.Transport, msg simnet.Message) {
 			{Kind: core.Identity, Value: string(msg.Src), Handles: []string{inHandle, outHandle}},
 			{Kind: core.Data, Value: "reply:" + outHandle, Handles: []string{inHandle, outHandle}},
 		})
+		hop.Observe(core.Identity, string(msg.Src))
+		hop.Observe(core.Data, "reply:"+outHandle)
 	}
+	out.trace = hop.Forward()
 	m.queue = append(m.queue, out)
 	if m.Threshold > 1 && len(m.queue) < m.Threshold {
 		if m.Timeout > 0 && !m.pendingFlush {

@@ -6,8 +6,21 @@ import (
 	"strings"
 	"testing"
 
+	"decoupling/internal/telemetry/wiretrace"
 	"decoupling/internal/transport"
 )
+
+// testContext builds a deterministic non-zero trace context.
+func testContext(seed byte) wiretrace.Context {
+	var ctx wiretrace.Context
+	for i := range ctx.Trace {
+		ctx.Trace[i] = seed + byte(i)
+	}
+	for i := range ctx.Span {
+		ctx.Span[i] = seed ^ byte(0xA0+i)
+	}
+	return ctx
+}
 
 func mustFrame(t *testing.T, msg transport.Message) []byte {
 	t.Helper()
@@ -106,17 +119,133 @@ func TestFrameLenMatchesEncoding(t *testing.T) {
 	}
 }
 
+func TestFrameV2RoundTrip(t *testing.T) {
+	msgs := []transport.Message{
+		{Src: "a", Dst: "b", Payload: []byte("hello"), Trace: testContext(1)},
+		{Src: "client", Dst: "proxy", Payload: nil, Trace: testContext(9)},
+	}
+	var batch []byte
+	for _, m := range msgs {
+		var err error
+		batch, err = AppendFrame(batch, m)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+	}
+	if batch[1] != frameVersionV2 {
+		t.Fatalf("traced frame encoded version %d, want %d", batch[1], frameVersionV2)
+	}
+	rest := batch
+	for i, want := range msgs {
+		var got transport.Message
+		var err error
+		got, rest, err = DecodeFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Trace != want.Trace {
+			t.Fatalf("frame %d: trace context mismatch: got %+v want %+v", i, got.Trace, want.Trace)
+		}
+		if got.Src != want.Src || got.Dst != want.Dst || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: round trip mismatch", i)
+		}
+	}
+}
+
+// TestFrameV1BackwardCompat holds the version-negotiation contract:
+// an untraced message encodes bit-identically to the pre-extension v1
+// format, and old-version frames (hand-built the way a pre-v2 encoder
+// would) still decode with a zero trace context.
+func TestFrameV1BackwardCompat(t *testing.T) {
+	frame := mustFrame(t, transport.Message{Src: "old", Dst: "peer", Payload: []byte("legacy")})
+	if frame[1] != frameVersion {
+		t.Fatalf("untraced frame encoded version %d, want v1", frame[1])
+	}
+	// Hand-build the v1 wire image an old encoder produces.
+	legacy := []byte{frameMagic, frameVersion, 3, 4, 0, 0, 0, 6}
+	legacy = append(legacy, []byte("old")...)
+	legacy = append(legacy, []byte("peer")...)
+	legacy = append(legacy, []byte("legacy")...)
+	if !bytes.Equal(frame, legacy) {
+		t.Fatalf("untraced encoding is not bit-identical to v1:\n got  %x\n want %x", frame, legacy)
+	}
+	msg, rest, err := DecodeFrame(legacy)
+	if err != nil {
+		t.Fatalf("decoding legacy v1 frame: %v", err)
+	}
+	if !msg.Trace.IsZero() {
+		t.Fatalf("legacy frame decoded a non-zero trace context: %+v", msg.Trace)
+	}
+	if len(rest) != 0 || msg.Src != "old" || string(msg.Payload) != "legacy" {
+		t.Fatalf("legacy decode mismatch: %+v rest=%d", msg, len(rest))
+	}
+}
+
+// v2Frame hand-builds a v2 frame with an arbitrary extension length
+// byte and body, to probe the typed extension errors.
+func v2Frame(extLen int, ext []byte) []byte {
+	b := []byte{frameMagic, frameVersionV2, 1, 1, 0, 0, 0, 2, byte(extLen)}
+	b = append(b, ext...)
+	b = append(b, 's', 'd', 'p', 'q')
+	return b
+}
+
+func TestFrameTraceExtErrors(t *testing.T) {
+	if _, _, err := DecodeFrame(v2Frame(MaxTraceExt+1, make([]byte, MaxTraceExt+1))); !errors.Is(err, ErrTraceExtOversize) {
+		t.Fatalf("oversize extension: got %v, want ErrTraceExtOversize", err)
+	}
+	if _, _, err := DecodeFrame(v2Frame(wiretrace.EncodedLen-1, make([]byte, wiretrace.EncodedLen-1))); !errors.Is(err, ErrTraceExtTruncated) {
+		t.Fatalf("short extension: got %v, want ErrTraceExtTruncated", err)
+	}
+	// A well-formed length byte whose extension bytes are missing is
+	// stream truncation, not corruption: wait for more bytes.
+	full := mustFrame(t, transport.Message{Src: "s", Dst: "d", Payload: []byte("pq"), Trace: testContext(3)})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeFrame(full[:cut]); !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("v2 prefix length %d: got %v, want ErrFrameTruncated", cut, err)
+		}
+	}
+	// Extension bytes beyond the context are ignored (forward compat).
+	ext := testContext(5).Encode(nil)
+	ext = append(ext, 0xEE, 0xEE, 0xEE)
+	msg, rest, err := DecodeFrame(v2Frame(len(ext), ext))
+	if err != nil {
+		t.Fatalf("extended extension: %v", err)
+	}
+	if msg.Trace != testContext(5) || len(rest) != 0 {
+		t.Fatalf("extended extension decode mismatch: %+v rest=%d", msg.Trace, len(rest))
+	}
+}
+
+func TestFrameLenV2(t *testing.T) {
+	frame := mustFrame(t, transport.Message{Src: "src", Dst: "dst", Payload: []byte("abc"), Trace: testContext(7)})
+	if got := FrameLen(frame); got != len(frame) {
+		t.Fatalf("FrameLen = %d, want %d", got, len(frame))
+	}
+	if got := FrameLen(frame[:frameHeaderV2-1]); got != 0 {
+		t.Fatalf("FrameLen on short v2 header = %d, want 0", got)
+	}
+}
+
 // FuzzWireFrame holds the decoder's core safety contract over arbitrary
 // bytes: never panic, never slice out of range, make progress on every
 // successful decode, and stay canonical — re-encoding a decoded frame
-// reproduces exactly the bytes consumed.
+// reproduces exactly the bytes consumed. A valid-but-non-canonical v2
+// frame (extension longer than the context, legal for forward compat)
+// instead re-encodes to something that decodes back to the same
+// message.
 func FuzzWireFrame(f *testing.F) {
 	seed := [][]byte{
 		mustFrameF(f, transport.Message{Src: "a", Dst: "b", Payload: []byte("hello")}),
 		mustFrameF(f, transport.Message{Src: "", Dst: "", Payload: nil}),
 		mustFrameF(f, transport.Message{Src: "client000017", Dst: "Resolver", Payload: bytes.Repeat([]byte("q"), 512)}),
+		mustFrameF(f, transport.Message{Src: "a", Dst: "b", Payload: []byte("traced"), Trace: testContext(2)}),
 		{frameMagic, frameVersion, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}, // hostile length
-		{frameMagic, 2, 0, 0, 0, 0, 0, 0},                        // future version
+		{frameMagic, frameVersionV2, 0, 0, 0, 0, 0, 0},           // v2 header with no ext-length byte
+		{frameMagic, 3, 0, 0, 0, 0, 0, 0},                        // future version
+		v2Frame(0, nil),                                          // truncated extension
+		v2Frame(MaxTraceExt+1, nil),                              // oversize extension
+		v2Frame(30, make([]byte, 30)),                            // non-canonical extension
 		{0x00},
 		nil,
 	}
@@ -142,8 +271,21 @@ func FuzzWireFrame(f *testing.F) {
 			if encErr != nil {
 				t.Fatalf("re-encode of decoded frame failed: %v", encErr)
 			}
-			if !bytes.Equal(reenc, consumed) {
-				t.Fatalf("decode/encode not canonical:\n consumed %x\n re-enc   %x", consumed, reenc)
+			if canonicalFrame(consumed) {
+				if !bytes.Equal(reenc, consumed) {
+					t.Fatalf("decode/encode not canonical:\n consumed %x\n re-enc   %x", consumed, reenc)
+				}
+			} else {
+				// Legal non-canonical input (v2 with a long or zero-
+				// padded extension): the re-encoding must still decode
+				// to the same message.
+				msg2, rest2, err2 := DecodeFrame(reenc)
+				if err2 != nil || len(rest2) != 0 {
+					t.Fatalf("re-encoded frame failed to decode: %v (rest %d)", err2, len(rest2))
+				}
+				if msg2.Src != msg.Src || msg2.Dst != msg.Dst || !bytes.Equal(msg2.Payload, msg.Payload) || msg2.Trace != msg.Trace {
+					t.Fatalf("re-encoded frame decoded differently: %+v vs %+v", msg2, msg)
+				}
 			}
 			if len(next) >= len(rest) {
 				t.Fatalf("successful decode made no progress")
@@ -154,6 +296,20 @@ func FuzzWireFrame(f *testing.F) {
 			}
 		}
 	})
+}
+
+// canonicalFrame reports whether frame bytes are what AppendFrame
+// itself would produce: v1 always, v2 only with an exactly-sized,
+// non-zero trace extension.
+func canonicalFrame(b []byte) bool {
+	if len(b) < 2 || b[1] != frameVersionV2 {
+		return true
+	}
+	if int(b[8]) != wiretrace.EncodedLen {
+		return false
+	}
+	ctx, err := wiretrace.DecodeContext(b[frameHeaderV2:])
+	return err == nil && !ctx.IsZero()
 }
 
 func mustFrameF(f *testing.F, msg transport.Message) []byte {

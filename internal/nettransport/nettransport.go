@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"decoupling/internal/telemetry"
+	"decoupling/internal/telemetry/wiretrace"
 	"decoupling/internal/transport"
 )
 
@@ -433,6 +434,13 @@ func (t *Net) dropFrames(n int, reason string) {
 // closed (ErrClosed) after Close; queued frames travel the real wire
 // and are delivered by the destination node's dispatcher.
 func (t *Net) Send(src, dst transport.Addr, payload []byte) error {
+	return t.SendTraced(src, dst, payload, wiretrace.Context{})
+}
+
+// SendTraced is Send with a wire-trace context riding in the frame
+// codec's v2 trace extension — out-of-band of the payload, so traced
+// and untraced frames carry byte-identical payloads.
+func (t *Net) SendTraced(src, dst transport.Addr, payload []byte, ctx wiretrace.Context) error {
 	if t.closed.Load() {
 		return fmt.Errorf("nettransport: send %s->%s: %w", src, dst, ErrClosed)
 	}
@@ -445,7 +453,7 @@ func (t *Net) Send(src, dst transport.Addr, payload []byte) error {
 	if n.lnErr != nil {
 		return fmt.Errorf("nettransport: send to %q: %w", dst, n.lnErr)
 	}
-	frame, err := AppendFrame(nil, transport.Message{Src: src, Dst: dst, Payload: payload})
+	frame, err := AppendFrame(nil, transport.Message{Src: src, Dst: dst, Payload: payload, Trace: ctx})
 	if err != nil {
 		return err
 	}
@@ -625,18 +633,27 @@ func (t *Net) acceptTCP(n *node) {
 func (t *Net) readTCP(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
-	header := make([]byte, frameHeader)
+	header := make([]byte, frameHeader, frameHeaderV2)
 	for {
+		header = header[:frameHeader]
 		if _, err := io.ReadFull(conn, header); err != nil {
 			return
 		}
+		// A v2 frame's length depends on the extension-length byte that
+		// follows the common header; pull it before sizing the read.
+		if need := headerLen(header); need > len(header) {
+			header = header[:need]
+			if _, err := io.ReadFull(conn, header[frameHeader:]); err != nil {
+				return
+			}
+		}
 		total := FrameLen(header)
-		if total < frameHeader || total > frameHeader+2*MaxAddrLen+MaxFramePayload {
+		if total < frameHeader || total > frameHeaderV2+MaxTraceExt+2*MaxAddrLen+MaxFramePayload {
 			return
 		}
 		buf := make([]byte, total)
 		copy(buf, header)
-		if _, err := io.ReadFull(conn, buf[frameHeader:]); err != nil {
+		if _, err := io.ReadFull(conn, buf[len(header):]); err != nil {
 			return
 		}
 		msg, _, err := DecodeFrame(buf)
@@ -800,9 +817,13 @@ type nodeView struct {
 }
 
 var _ transport.Transport = (*nodeView)(nil)
+var _ transport.ContextSender = (*nodeView)(nil)
 
 func (v *nodeView) Send(src, dst transport.Addr, payload []byte) error {
 	return v.t.Send(src, dst, payload)
+}
+func (v *nodeView) SendTraced(src, dst transport.Addr, payload []byte, ctx wiretrace.Context) error {
+	return v.t.SendTraced(src, dst, payload, ctx)
 }
 func (v *nodeView) Register(addr transport.Addr, h transport.Handler) { v.t.Register(addr, h) }
 func (v *nodeView) Now() time.Duration                                { return v.t.Now() }

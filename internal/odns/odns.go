@@ -25,12 +25,14 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"decoupling/internal/core"
 	"decoupling/internal/dcrypto/hpke"
 	"decoupling/internal/dns"
 	"decoupling/internal/dnswire"
 	"decoupling/internal/ledger"
 	"decoupling/internal/resilience"
 	"decoupling/internal/telemetry"
+	"decoupling/internal/telemetry/wiretrace"
 )
 
 // TLD is the pseudo-TLD the oblivious resolver is authoritative for.
@@ -97,8 +99,9 @@ const respKeySize = 16
 // own recursive machinery. It implements dns.Authority for the .odns
 // zone.
 type ObliviousResolver struct {
-	kp *hpke.KeyPair
-	lg *ledger.Ledger
+	kp   *hpke.KeyPair
+	lg   *ledger.Ledger
+	wire *wiretrace.Plane
 	// Upstream answers the decrypted inner queries.
 	Upstream dns.Authority
 
@@ -115,6 +118,13 @@ func NewObliviousResolver(upstream dns.Authority, lg *ledger.Ledger) (*Oblivious
 	}
 	return &ObliviousResolver{kp: kp, lg: lg, Upstream: upstream}, nil
 }
+
+// InstrumentWire attaches a wire-trace plane: each handled query opens
+// a span continuing the context handed off with the outer (obfuscated)
+// name, mirrors the ledger observations, and rotates the trace before
+// the inner resolution — the oblivious resolver is the decoupling
+// boundary of the ODNS design. Nil-safe.
+func (o *ObliviousResolver) InstrumentWire(p *wiretrace.Plane) { o.wire = p }
 
 // PublicKey returns the key clients encrypt queries to.
 func (o *ObliviousResolver) PublicKey() []byte { return o.kp.PublicKey() }
@@ -134,6 +144,9 @@ func (o *ObliviousResolver) Handle(from string, q *dnswire.Message) *dnswire.Mes
 		return r
 	}
 	qname := q.Questions[0].Name
+	hop := o.wire.Hop(ObliviousResolverName, "odns.oblivious.handle",
+		o.wire.TakeHandoff([]byte(dnswire.CanonicalName(qname))), from, "")
+	defer hop.End()
 	raw, err := decapsulate(qname)
 	if err != nil || len(raw) < hpke.NEnc+16 {
 		o.dropped.Add(1)
@@ -159,12 +172,15 @@ func (o *ObliviousResolver) Handle(from string, q *dnswire.Message) *dnswire.Mes
 		innerH := ledger.Hash([]byte(dnswire.CanonicalName(innerName)))
 		o.lg.SawIdentity(ObliviousResolverName, from, h, outerH)
 		o.lg.SawData(ObliviousResolverName, dnswire.CanonicalName(innerName), h, outerH, innerH)
+		hop.Observe(core.Identity, from)
+		hop.Observe(core.Data, dnswire.CanonicalName(innerName))
 	}
 
 	// Resolve the real query.
 	inner := dnswire.NewQuery(q.ID, innerName, qtype)
 	var upstream *dnswire.Message
 	if o.Upstream != nil && o.Upstream.Serves(innerName) {
+		o.wire.Handoff([]byte(dnswire.CanonicalName(innerName)), hop.Forward())
 		upstream = o.Upstream.Handle(ObliviousResolverName, inner)
 	} else {
 		upstream = inner.Reply()
@@ -202,7 +218,13 @@ type Client struct {
 	ID        string // client identity as the recursive resolver sees it
 	targetKey []byte
 	recursive *dns.Resolver
+	wire      *wiretrace.Plane
 }
+
+// InstrumentWire attaches a wire-trace plane: each Query opens the
+// root span of the trace and hands its context off with the outer
+// query name. Nil-safe.
+func (c *Client) InstrumentWire(p *wiretrace.Plane) { c.wire = p }
 
 // NewClient creates an ODNS client using the given recursive resolver
 // and oblivious-resolver public key.
@@ -231,6 +253,9 @@ func (c *Client) Query(name string, qtype dnswire.Type) (*dnswire.Message, error
 		return nil, err
 	}
 
+	root := c.wire.Root(wiretrace.ClientVantage, "odns.client.query", c.ID, "")
+	defer root.End()
+	c.wire.Handoff([]byte(dnswire.CanonicalName(qname)), root.Context())
 	outer := c.recursive.Resolve(c.ID, dnswire.NewQuery(1, qname, dnswire.TypeTXT))
 	if outer.RCode != dnswire.RCodeNoError || len(outer.Answers) != 1 {
 		return nil, fmt.Errorf("odns: outer query failed: rcode=%v answers=%d: %w",

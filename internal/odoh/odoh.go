@@ -36,6 +36,7 @@ import (
 	"decoupling/internal/dnswire"
 	"decoupling/internal/ledger"
 	"decoupling/internal/telemetry"
+	"decoupling/internal/telemetry/wiretrace"
 )
 
 // Message types.
@@ -126,6 +127,7 @@ type Target struct {
 	Name     string
 	lg       *ledger.Ledger
 	tel      *telemetry.Telemetry
+	wire     *wiretrace.Plane
 	Upstream dns.Authority
 
 	mu      sync.Mutex
@@ -171,6 +173,13 @@ func (t *Target) RotateKey() (keyID, pub []byte, err error) {
 // from fresh key material and would break trace determinism.
 func (t *Target) Instrument(tel *telemetry.Telemetry) { t.tel = tel }
 
+// InstrumentWire attaches a wire-trace plane: each handled query opens
+// a span continuing the context handed off with the query bytes (or
+// carried in the TraceHeader over HTTP), mirrors the target's ledger
+// observations, and rotates the trace before the recursion upstream —
+// the target is a decoupling boundary. Nil-safe.
+func (t *Target) InstrumentWire(p *wiretrace.Plane) { t.wire = p }
+
 // ExpireOldKeys drops every config except the current one. Expired ids
 // are remembered so an in-flight query racing the rotation gets the
 // typed ErrStaleKey (refetch and retry) rather than the fatal
@@ -209,6 +218,8 @@ func (t *Target) HandleQuery(from string, raw []byte) ([]byte, error) {
 	sp := t.tel.Start("odoh.target.handle",
 		telemetry.A("target", t.Name), telemetry.A("bytes", telemetry.Itoa(len(raw))))
 	defer sp.End()
+	hop := t.wire.Hop(t.Name, "odoh.target.handle", t.wire.TakeHandoff(raw), from, "")
+	defer hop.End()
 	m, err := UnmarshalMessage(raw)
 	if err != nil {
 		return nil, err
@@ -252,10 +263,13 @@ func (t *Target) HandleQuery(from string, raw []byte) ([]byte, error) {
 			{Kind: core.Identity, Value: from, Handles: []string{h}},
 			{Kind: core.Data, Value: name, Handles: []string{h, "recursion:" + name}},
 		})
+		hop.Observe(core.Identity, from)
+		hop.Observe(core.Data, name)
 	}
 
 	var resp *dnswire.Message
 	if t.Upstream != nil && t.Upstream.Serves(name) {
+		t.wire.Handoff([]byte(name), hop.Forward())
 		resp = t.Upstream.Handle(t.Name, query)
 	} else {
 		resp = query.Reply()
@@ -284,6 +298,7 @@ type Proxy struct {
 	Target *Target
 	lg     *ledger.Ledger
 	tel    *telemetry.Telemetry
+	wire   *wiretrace.Plane
 
 	mu        sync.Mutex
 	forwarded int
@@ -299,6 +314,11 @@ func NewProxy(name string, target *Target, lg *ledger.Ledger) *Proxy {
 // counter.
 func (p *Proxy) Instrument(tel *telemetry.Telemetry) { p.tel = tel }
 
+// InstrumentWire attaches a wire-trace plane; the proxy is the
+// prototypical decoupling boundary, so its span rotates the trace ID
+// before the target leg. Nil-safe.
+func (p *Proxy) InstrumentWire(w *wiretrace.Plane) { p.wire = w }
+
 // Forwarded reports the number of relayed queries.
 func (p *Proxy) Forwarded() int {
 	p.mu.Lock()
@@ -313,6 +333,8 @@ func (p *Proxy) Forward(clientAddr string, raw []byte) ([]byte, error) {
 	sp := p.tel.Start("odoh.proxy.forward",
 		telemetry.A("proxy", p.Name), telemetry.A("bytes", telemetry.Itoa(len(raw))))
 	defer sp.End()
+	hop := p.wire.Hop(p.Name, "odoh.proxy.forward", p.wire.TakeHandoff(raw), clientAddr, p.Target.Name)
+	defer hop.End()
 	p.tel.Count(telemetry.MetricOdohForwarded, "Oblivious queries relayed by the proxy.", 1,
 		telemetry.A("proxy", p.Name))
 	if p.lg != nil {
@@ -328,7 +350,10 @@ func (p *Proxy) Forward(clientAddr string, raw []byte) ([]byte, error) {
 			{Kind: core.Identity, Value: clientAddr, Handles: []string{clientAddr, clientLeg}},
 			{Kind: core.Data, Value: "ciphertext:" + ledger.Hash(raw), Handles: []string{clientLeg, targetLeg}},
 		})
+		hop.Observe(core.Identity, clientAddr)
+		hop.Observe(core.Data, "ciphertext:"+ledger.Hash(raw))
 	}
+	p.wire.Handoff(raw, hop.Forward())
 	resp, err := p.Target.HandleQuery(p.Name, raw)
 	if err != nil {
 		return nil, err
@@ -346,11 +371,21 @@ type Client struct {
 	targetKey []byte
 	keyID     []byte
 	tel       *telemetry.Telemetry
+	wire      *wiretrace.Plane
 }
+
+// ClientVantage is the span-store vantage shared by all traced
+// clients.
+const ClientVantage = wiretrace.ClientVantage
 
 // Instrument attaches a telemetry sink: each Query opens the root span
 // of the client → proxy → target chain.
 func (c *Client) Instrument(tel *telemetry.Telemetry) { c.tel = tel }
+
+// InstrumentWire attaches a wire-trace plane: each Query opens the
+// root span of the trace and hands its context off with the query
+// bytes. Nil-safe.
+func (c *Client) InstrumentWire(p *wiretrace.Plane) { c.wire = p }
 
 // NewClient creates a client for the given target key config.
 func NewClient(id string, keyID, targetPub []byte) *Client {
@@ -385,7 +420,11 @@ func (c *Client) Query(name string, qtype dnswire.Type, forward ForwardFunc) (*d
 	body := append(append([]byte(nil), enc...), ctx.Seal(nil, wire)...)
 	msg := &Message{Type: MessageTypeQuery, KeyID: c.keyID, Body: body}
 
-	rawResp, err := forward(c.ID, msg.Marshal())
+	raw := msg.Marshal()
+	root := c.wire.Root(ClientVantage, "odoh.client.query", c.ID, "")
+	defer root.End()
+	c.wire.Handoff(raw, root.Context())
+	rawResp, err := forward(c.ID, raw)
 	if err != nil {
 		return nil, err
 	}
@@ -408,6 +447,12 @@ func (c *Client) Query(name string, qtype dnswire.Type, forward ForwardFunc) (*d
 
 const contentType = "application/oblivious-dns-message"
 
+// TraceHeader carries a hex-encoded wire-trace context across an HTTP
+// hop, the header-borne equivalent of the frame codec's v2 trace
+// extension: out-of-band of the oblivious message body, so traced and
+// untraced requests carry identical payload bytes.
+const TraceHeader = "X-Decoupling-Trace"
+
 // TargetHandler serves the target at POST /dns-query.
 func TargetHandler(t *Target) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -420,6 +465,7 @@ func TargetHandler(t *Target) http.Handler {
 			http.Error(w, "read error", http.StatusBadRequest)
 			return
 		}
+		depositHeaderContext(t.wire, r, body)
 		resp, err := t.HandleQuery(r.RemoteAddr, body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -444,6 +490,7 @@ func ProxyHandler(p *Proxy, client *http.Client, httpTarget string) http.Handler
 			http.Error(w, "read error", http.StatusBadRequest)
 			return
 		}
+		depositHeaderContext(p.wire, r, body)
 		var resp []byte
 		if httpTarget == "" {
 			resp, err = p.Forward(r.RemoteAddr, body)
@@ -460,6 +507,8 @@ func ProxyHandler(p *Proxy, client *http.Client, httpTarget string) http.Handler
 }
 
 func (p *Proxy) forwardHTTP(client *http.Client, baseURL, clientAddr string, raw []byte) ([]byte, error) {
+	hop := p.wire.Hop(p.Name, "odoh.proxy.forward", p.wire.TakeHandoff(raw), clientAddr, p.Target.Name)
+	defer hop.End()
 	if p.lg != nil {
 		clientLeg := ledger.ConnHandle(clientAddr, p.Name)
 		targetLeg := ledger.ConnHandle(p.Name, p.Target.Name)
@@ -467,8 +516,16 @@ func (p *Proxy) forwardHTTP(client *http.Client, baseURL, clientAddr string, raw
 			{Kind: core.Identity, Value: clientAddr, Handles: []string{clientAddr, clientLeg}},
 			{Kind: core.Data, Value: "ciphertext:" + ledger.Hash(raw), Handles: []string{clientLeg, targetLeg}},
 		})
+		hop.Observe(core.Identity, clientAddr)
+		hop.Observe(core.Data, "ciphertext:"+ledger.Hash(raw))
 	}
-	resp, err := client.Post(baseURL+"/dns-query", contentType, bytes.NewReader(raw))
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/dns-query", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	setHeaderContext(req, hop.Forward())
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -487,10 +544,24 @@ func (p *Proxy) forwardHTTP(client *http.Client, baseURL, clientAddr string, raw
 }
 
 // HTTPForward returns a ForwardFunc posting to a ProxyHandler at
-// baseURL.
+// baseURL. When wire is non-nil, any context the client handed off
+// with the query bytes crosses the hop in TraceHeader.
 func HTTPForward(client *http.Client, baseURL string) ForwardFunc {
+	return HTTPForwardWire(client, baseURL, nil)
+}
+
+// HTTPForwardWire is HTTPForward with wire-trace propagation: it
+// claims the context deposited for the query bytes (by Client.Query)
+// and sends it in TraceHeader; ProxyHandler re-deposits it on receipt.
+func HTTPForwardWire(client *http.Client, baseURL string, wire *wiretrace.Plane) ForwardFunc {
 	return func(clientAddr string, raw []byte) ([]byte, error) {
-		resp, err := client.Post(baseURL+"/proxy", contentType, bytes.NewReader(raw))
+		req, err := http.NewRequest(http.MethodPost, baseURL+"/proxy", bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		setHeaderContext(req, wire.TakeHandoff(raw))
+		resp, err := client.Do(req)
 		if err != nil {
 			return nil, err
 		}
@@ -503,5 +574,25 @@ func HTTPForward(client *http.Client, baseURL string) ForwardFunc {
 			return nil, fmt.Errorf("odoh: proxy returned %s: %s", resp.Status, out)
 		}
 		return out, nil
+	}
+}
+
+// setHeaderContext attaches a non-zero context to an outbound request.
+func setHeaderContext(req *http.Request, ctx wiretrace.Context) {
+	if !ctx.IsZero() {
+		req.Header.Set(TraceHeader, ctx.MarshalHeader())
+	}
+}
+
+// depositHeaderContext re-deposits a TraceHeader context into the
+// plane's handoff queue keyed by the request body, so the handler's
+// TakeHandoff finds it exactly as it would on a direct call.
+func depositHeaderContext(wire *wiretrace.Plane, r *http.Request, body []byte) {
+	h := r.Header.Get(TraceHeader)
+	if h == "" || !wire.Enabled() {
+		return
+	}
+	if ctx, err := wiretrace.ParseHeader(h); err == nil {
+		wire.Handoff(body, ctx)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"decoupling/internal/telemetry"
+	"decoupling/internal/telemetry/wiretrace"
 	"decoupling/internal/transport"
 )
 
@@ -50,6 +51,7 @@ type Transport = transport.Transport
 
 // Network implements the full experiment-facing transport contract.
 var _ transport.Runner = (*Network)(nil)
+var _ transport.ContextSender = (*Network)(nil)
 
 // Link describes delivery characteristics between a pair of nodes.
 type Link struct {
@@ -216,6 +218,14 @@ func (n *Network) Rand(max int) int {
 // from a crashed node fail fast with an error wrapping ErrNodeDown;
 // partitions and loss drop silently, as the wire would.
 func (n *Network) Send(src, dst Addr, payload []byte) error {
+	return n.SendTraced(src, dst, payload, wiretrace.Context{})
+}
+
+// SendTraced is Send with a wire-trace context riding on the simulated
+// datagram — the simulator's equivalent of the real transport's frame
+// trace extension. The context is out-of-band: payload bytes, link
+// faults, and scheduling are identical whether or not it is present.
+func (n *Network) SendTraced(src, dst Addr, payload []byte, ctx wiretrace.Context) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.nodes[dst]; !ok {
@@ -252,7 +262,7 @@ func (n *Network) Send(src, dst Addr, payload []byte) error {
 	if l.Jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(l.Jitter)))
 	}
-	msg := &Message{Src: src, Dst: dst, Payload: append([]byte(nil), payload...)}
+	msg := &Message{Src: src, Dst: dst, Payload: append([]byte(nil), payload...), Trace: ctx}
 	n.seq++
 	e := &event{at: n.now + delay, seq: n.seq, deliver: msg}
 	if n.tel != nil {

@@ -1,0 +1,200 @@
+package wiretrace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// critpath.go: the per-request critical-path analyzer. A traced
+// request is a chain of spans linked by Parent references (which cross
+// trace-ID rotations: the span IDs stitch, the trace IDs deliberately
+// don't). Stitching is an *operator* capability — it requires every
+// vantage's store at once, which is exactly the full-coalition view —
+// so it lives here in analysis code, never in any single vantage.
+//
+// For each root-to-leaf chain the request's wall time decomposes into
+// alternating segments: time inside a span (a vantage handling the
+// message) and the gap between a parent ending and a child starting
+// (queueing — e.g. a mix batching — plus the wire). The dominant
+// segment is the critical hop: where this request actually spent its
+// latency.
+
+// Segment is one leg of a request's critical path.
+type Segment struct {
+	// Label names the leg: "Mix 1/mixnet.hop" for time inside a span,
+	// "Mix 1 → Mix 2" for the gap between them.
+	Label string
+	Dur   time.Duration
+}
+
+// Path is one stitched request chain.
+type Path struct {
+	Trace    string // root trace ID (request identifier for exemplars)
+	Total    time.Duration
+	Hops     int
+	Dominant Segment
+}
+
+// Paths stitches all stores and returns one Path per root span that
+// leads at least one child, sorted by total duration descending.
+func Paths(stores []*Store) []Path {
+	byID := map[SpanID]*Span{}
+	children := map[SpanID][]*Span{}
+	roots := []*Span{}
+	for _, st := range stores {
+		for _, sp := range st.Spans() {
+			byID[sp.ID] = sp
+		}
+	}
+	for _, sp := range byID {
+		if !sp.Parent.IsZero() && byID[sp.Parent] != nil {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	for _, cs := range children {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].ID.String() < cs[j].ID.String() })
+	}
+	var out []Path
+	for _, root := range roots {
+		if len(children[root.ID]) == 0 {
+			continue
+		}
+		chain := longestChain(root, children)
+		p := Path{Trace: root.Trace.String(), Hops: len(chain)}
+		last := chain[len(chain)-1]
+		end := last.End
+		if end < last.Start {
+			end = last.Start
+		}
+		p.Total = end - root.Start
+		for i, sp := range chain {
+			spanEnd := sp.End
+			if spanEnd < sp.Start {
+				spanEnd = sp.Start
+			}
+			seg := Segment{Label: sp.Vantage + "/" + sp.Name, Dur: spanEnd - sp.Start}
+			if seg.Dur > p.Dominant.Dur {
+				p.Dominant = seg
+			}
+			if i+1 < len(chain) {
+				next := chain[i+1]
+				if gap := next.Start - spanEnd; gap > p.Dominant.Dur {
+					p.Dominant = Segment{Label: sp.Vantage + " → " + next.Vantage, Dur: gap}
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Trace < out[j].Trace
+	})
+	return out
+}
+
+// longestChain walks from root to the leaf with the latest end time.
+func longestChain(root *Span, children map[SpanID][]*Span) []*Span {
+	chain := []*Span{root}
+	cur := root
+	for {
+		next := children[cur.ID]
+		if len(next) == 0 {
+			return chain
+		}
+		best := next[0]
+		for _, c := range next[1:] {
+			if c.End > best.End {
+				best = c
+			}
+		}
+		chain = append(chain, best)
+		cur = best
+	}
+}
+
+// Exemplar ties a latency to a concrete trace so slow percentiles in a
+// summary link to an inspectable request.
+type Exemplar struct {
+	Trace      string  `json:"trace"`
+	TotalMs    float64 `json:"total_ms"`
+	Dominant   string  `json:"dominant"`
+	DominantMs float64 `json:"dominant_ms"`
+}
+
+// CritSummary aggregates the critical-path analysis over a run.
+type CritSummary struct {
+	Requests int `json:"requests"`
+	// DominantCounts histograms which leg dominated each request.
+	DominantCounts map[string]int `json:"dominant_counts"`
+	// Slowest holds exemplars for the slowest requests, descending.
+	Slowest []Exemplar `json:"slowest,omitempty"`
+}
+
+// SummarizeCritical runs the analyzer over the plane and keeps topK
+// slowest exemplars. Returns nil when nothing was stitched.
+func SummarizeCritical(p *Plane, topK int) *CritSummary {
+	if !p.Enabled() {
+		return nil
+	}
+	paths := Paths(p.Stores())
+	if len(paths) == 0 {
+		return nil
+	}
+	s := &CritSummary{Requests: len(paths), DominantCounts: map[string]int{}}
+	for _, pt := range paths {
+		s.DominantCounts[pt.Dominant.Label]++
+	}
+	for i := 0; i < len(paths) && i < topK; i++ {
+		pt := paths[i]
+		s.Slowest = append(s.Slowest, Exemplar{
+			Trace:      pt.Trace,
+			TotalMs:    float64(pt.Total.Nanoseconds()) / 1e6,
+			Dominant:   pt.Dominant.Label,
+			DominantMs: float64(pt.Dominant.Dur.Nanoseconds()) / 1e6,
+		})
+	}
+	return s
+}
+
+// String renders the summary as a short human block for loadgen output.
+func (s *CritSummary) String() string {
+	if s == nil {
+		return ""
+	}
+	type kv struct {
+		label string
+		n     int
+	}
+	var ks []kv
+	for l, n := range s.DominantCounts {
+		ks = append(ks, kv{l, n})
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].n != ks[j].n {
+			return ks[i].n > ks[j].n
+		}
+		return ks[i].label < ks[j].label
+	})
+	out := fmt.Sprintf("critical path over %d stitched requests:\n", s.Requests)
+	for i, k := range ks {
+		if i == 5 {
+			out += fmt.Sprintf("  … %d more legs\n", len(ks)-5)
+			break
+		}
+		out += fmt.Sprintf("  dominant %-28s %6d requests (%.1f%%)\n",
+			k.label, k.n, 100*float64(k.n)/float64(s.Requests))
+	}
+	for i, ex := range s.Slowest {
+		if i == 3 {
+			break
+		}
+		out += fmt.Sprintf("  slowest #%d: trace %s total %.2fms dominated by %s (%.2fms)\n",
+			i+1, ex.Trace, ex.TotalMs, ex.Dominant, ex.DominantMs)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package wiretrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// perfetto.go renders span stores in the Chrome trace_event JSON
+// format (the "JSON Array Format" both chrome://tracing and Perfetto
+// ingest): one complete "X" event per span, one synthetic process, and
+// one named thread per vantage so each vantage's spans land on their
+// own track.
+
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type perfettoDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+	DisplayUnit string       `json:"displayTimeUnit"`
+}
+
+// WritePerfetto renders the plane's spans as a trace_event document.
+// Vantages map to threads in sorted order; timestamps are the plane's
+// clock in microseconds.
+func WritePerfetto(w io.Writer, p *Plane) error {
+	doc := perfettoDoc{DisplayUnit: "ms", TraceEvents: []traceEvent{}}
+	if p.Enabled() {
+		stores := p.Stores()
+		sort.Slice(stores, func(i, j int) bool { return stores[i].Vantage < stores[j].Vantage })
+		for tid, st := range stores {
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tid + 1,
+				Args: map[string]string{"name": st.Vantage},
+			})
+			for _, sp := range st.Spans() {
+				end := sp.End
+				if end < sp.Start {
+					end = sp.Start
+				}
+				ev := traceEvent{
+					Name: sp.Name,
+					Cat:  "wiretrace",
+					Ph:   "X",
+					TS:   float64(sp.Start.Nanoseconds()) / 1e3,
+					Dur:  float64((end - sp.Start).Nanoseconds()) / 1e3,
+					PID:  1,
+					TID:  tid + 1,
+					Args: map[string]string{
+						"trace": sp.Trace.String(),
+						"span":  sp.ID.String(),
+					},
+				}
+				if !sp.Parent.IsZero() {
+					ev.Args["parent"] = sp.Parent.String()
+				}
+				if !sp.RotatedTo.IsZero() {
+					ev.Args["rotated_to"] = sp.RotatedTo.String()
+				}
+				doc.TraceEvents = append(doc.TraceEvents, ev)
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"decoupling/internal/telemetry"
+	"decoupling/internal/telemetry/wiretrace"
 )
 
 // Addr names a node on the network.
@@ -34,6 +35,12 @@ type Addr string
 type Message struct {
 	Src, Dst Addr
 	Payload  []byte
+	// Trace is the wire-level trace context that rode with the
+	// datagram: out-of-band of the payload (it never changes the bytes
+	// the ledger hashes), carried by the frame codec's v2 trace
+	// extension on the real transport and on the event record in the
+	// simulator. Zero when the sender attached none.
+	Trace wiretrace.Context
 }
 
 // Handler processes a delivered message on behalf of a node. The
@@ -85,6 +92,27 @@ type Transport interface {
 	// for protocol decisions that must be reproducible on the
 	// simulator (shuffles, route picks, chaff schedules).
 	Rand(max int) int
+}
+
+// ContextSender is the optional wire-tracing surface: a Transport
+// that can attach a trace context to a datagram. Both implementations
+// provide it; it is split from Transport so the base contract (and
+// every existing fake) stays unchanged.
+type ContextSender interface {
+	// SendTraced is Send with a trace context riding out-of-band of the
+	// payload. The delivered Message carries it in its Trace field.
+	SendTraced(src, dst Addr, payload []byte, ctx wiretrace.Context) error
+}
+
+// SendWithContext sends via SendTraced when the transport supports it
+// and a context is present, falling back to plain Send. Protocol code
+// uses this so wire tracing degrades to a no-op on transports (or
+// test fakes) that don't implement the extension.
+func SendWithContext(t Transport, src, dst Addr, payload []byte, ctx wiretrace.Context) error {
+	if cs, ok := t.(ContextSender); ok && !ctx.IsZero() {
+		return cs.SendTraced(src, dst, payload, ctx)
+	}
+	return t.Send(src, dst, payload)
 }
 
 // Runner is the experiment-facing surface: a Transport plus the
