@@ -71,6 +71,38 @@ func TestRunInjectedRegression(t *testing.T) {
 	}
 }
 
+// TestRunFaultBlockZeroBaseline: a chaos candidate graded against the
+// committed pre-chaos baseline (no "faults" block) passes when its SLO
+// held and fails on slo_ok when it did not — the exact pairing the CI
+// chaos-transport job runs.
+func TestRunFaultBlockZeroBaseline(t *testing.T) {
+	t.Parallel()
+	base := writeDoc(t, "base.json", healthyDoc())
+	withFaults := healthyDoc()
+	withFaults.Faults = &bench.FaultSummary{
+		Spec: "loss:*>mix1:0.2@0-", Injected: 120, Shed: 40, Retries: 90,
+		Reconnects: 8, ErrorRate: 0.01, DeliveredFraction: 0.95, SLOOK: true,
+	}
+	cand := writeDoc(t, "cand.json", withFaults)
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{base, cand}); code != 0 {
+		t.Fatalf("chaos candidate vs pre-chaos baseline: exit %d, want 0; out: %s", code, out.String())
+	}
+
+	blown := withFaults
+	fs := *withFaults.Faults
+	fs.SLOOK = false
+	blown.Faults = &fs
+	cand = writeDoc(t, "blown.json", blown)
+	out.Reset()
+	if code := run(&out, &errw, []string{base, cand}); code != 1 {
+		t.Fatalf("blown SLO: exit %d, want 1; out: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "faults.slo_ok") {
+		t.Fatalf("regression report lacks faults.slo_ok: %s", out.String())
+	}
+}
+
 func TestRunThresholdFlags(t *testing.T) {
 	t.Parallel()
 	base := writeDoc(t, "base.json", healthyDoc())

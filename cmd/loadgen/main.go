@@ -26,6 +26,22 @@
 // ledger and packet capture to measure the bare transport:
 //
 //	go run ./cmd/loadgen -full -out BENCH_transport.json
+//
+// Chaos under load: -faults injects a fault plan (the same grammar the
+// simulator's -faults flags speak) on the run's wall clock — proxy
+// crash windows become 503s on the ODoH leg, link faults land on the
+// mixnet leg's real TCP transport, and small -inbox-depth/-shed-after
+// values make overload shedding reachable. The run then grades itself
+// against a fail-closed SLO (bounded error rate, delivered fraction,
+// ledger verdict still DECOUPLED) recorded as the "faults" block of the
+// benchmark document; a blown SLO is a nonzero exit:
+//
+//	go run ./cmd/loadgen -clients 10000 -faults "loss:*>relay1:0.25@0-800ms" -out bench.chaos.json
+//
+// -fail-open is the PLANTED negative control: clients that exhaust
+// their retry budget under -faults fall back to a direct resolver —
+// the re-coupling the paper warns about. The ledger audit must convict
+// the run (verdict not DECOUPLED) and the exit must be nonzero.
 package main
 
 import (
@@ -39,6 +55,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,10 +64,12 @@ import (
 	"decoupling/internal/core"
 	"decoupling/internal/dns"
 	"decoupling/internal/dnswire"
+	"decoupling/internal/faults"
 	"decoupling/internal/ledger"
 	"decoupling/internal/mixnet"
 	"decoupling/internal/nettransport"
 	"decoupling/internal/odoh"
+	"decoupling/internal/resilience"
 	"decoupling/internal/telemetry"
 	"decoupling/internal/telemetry/wiretrace"
 	"decoupling/internal/transport"
@@ -62,6 +81,98 @@ import (
 // r.RemoteAddr is useless for that at this scale because the kernel
 // recycles ephemeral ports across logical clients mid-run.
 const clientHeader = "X-Loadgen-Client"
+
+// chaosProxyNode is the fault-plan address of the ODoH proxy operator:
+// a crash window on this node turns every proxy shard into a hung 503.
+// The shards are one logical operator, so they fail as one node — same
+// reason they share one ledger observer name.
+const chaosProxyNode transport.Addr = "proxy"
+
+// chaos is a run's fault configuration, nil when -faults is off. Each
+// leg evaluates plan windows against its own wall clock (legStart is
+// re-zeroed when the leg begins): the ODoH leg window-queries the plan
+// directly — its proxies are plain net/http servers with no transport
+// underneath — while the mixnet leg hands the plan to nettransport's
+// fault layer, which enforces it at the frame codec boundary.
+type chaos struct {
+	plan     *faults.Plan
+	failOpen bool // PLANTED: direct fallback on retry exhaustion
+
+	// Transport tuning for the mixnet leg: small inbox/out depths plus
+	// a shed deadline make overload shedding reachable at test scale.
+	inboxDepth int
+	outDepth   int
+	shedAfter  time.Duration
+
+	// Fail-closed SLO bounds.
+	maxErrRate   float64
+	minDelivered float64
+
+	legMu    sync.Mutex
+	legStart time.Time
+
+	// Chaos accounting, aggregated across legs into bench.FaultSummary.
+	injectedODoH atomic.Uint64 // proxy 503s from crash windows
+	retries      atomic.Uint64 // client-level retried attempts
+	fallbacks    atomic.Uint64 // planted fail-open direct queries
+
+	// Transport counters, captured from the mixnet leg's Net before it
+	// closes; deliveredFrac is distinct-messages-delivered / senders.
+	injectedWire  atomic.Uint64
+	shed          atomic.Uint64
+	reconnects    atomic.Uint64
+	deliveredFrac atomic.Uint64 // *1e6, fixed-point
+}
+
+// startLeg re-zeroes the plan clock: fault windows are leg-relative,
+// so one -faults string stresses both legs without knowing how long
+// the other takes.
+func (ch *chaos) startLeg() {
+	if ch == nil {
+		return
+	}
+	ch.legMu.Lock()
+	ch.legStart = time.Now()
+	ch.legMu.Unlock()
+}
+
+// elapsed is the plan clock for the current leg.
+func (ch *chaos) elapsed() time.Duration {
+	ch.legMu.Lock()
+	defer ch.legMu.Unlock()
+	return time.Since(ch.legStart)
+}
+
+// proxyDown reports whether the ODoH proxy operator is inside a crash
+// window right now.
+func (ch *chaos) proxyDown() bool {
+	return ch != nil && ch.plan.CrashedAt(chaosProxyNode, ch.elapsed())
+}
+
+// captureTransport records the mixnet transport's chaos counters
+// before the Net closes.
+func (ch *chaos) captureTransport(nt *nettransport.Net) {
+	ch.injectedWire.Add(nt.FaultDrops())
+	ch.shed.Add(nt.Shed())
+	ch.reconnects.Add(nt.Reconnects())
+}
+
+// summary assembles the benchmark document's faults block; SLOOK is
+// filled in by the caller once the ledger verdict is known.
+func (ch *chaos) summary(doc bench.Doc) *bench.FaultSummary {
+	fs := &bench.FaultSummary{
+		Spec:       ch.plan.Spec(),
+		Injected:   ch.injectedWire.Load() + ch.injectedODoH.Load(),
+		Shed:       ch.shed.Load(),
+		Retries:    ch.retries.Load(),
+		Reconnects: ch.reconnects.Load(),
+	}
+	if total := doc.ODoH.Requests + doc.Mixnet.Requests; total > 0 {
+		fs.ErrorRate = float64(doc.ODoH.Errors+doc.Mixnet.Errors) / float64(total)
+	}
+	fs.DeliveredFraction = float64(ch.deliveredFrac.Load()) / 1e6
+	return fs
+}
 
 // legObs is the live instrumentation for one benchmark leg: cached
 // nil-safe handles, so a run without -listen pays one pointer check
@@ -220,6 +331,16 @@ func realMain() int {
 		traceSample = flag.Int("trace-sample", 1000, "trace one client in N (with -trace-mode)")
 		wirespans   = flag.String("wirespans", "", "write wire spans as strict JSONL to this file")
 		perfetto    = flag.String("perfetto", "", "write spans as a Chrome trace_event/Perfetto JSON document to this file")
+
+		faultsSpec = flag.String("faults", "",
+			"chaos: a named fault plan ("+strings.Join(faults.NamedPlans(), ", ")+") or a spec string (see internal/faults); windows are per leg on that leg's wall clock")
+		failOpen = flag.Bool("fail-open", false,
+			"PLANTED negative control (needs -faults): clients that exhaust retries fall back to a direct resolver; the ledger must convict the run and the exit must be nonzero")
+		shedAfter    = flag.Duration("shed-after", 2*time.Millisecond, "with -faults: bound a blocked send/delivery to this wait, then shed (typed error, counted — never silent)")
+		inboxDepth   = flag.Int("inbox-depth", 16_384, "with -faults: transport per-node inbox depth (small values make overload shedding reachable)")
+		outDepth     = flag.Int("out-depth", 0, "with -faults: transport writer-queue depth (0 = transport default)")
+		maxErrRate   = flag.Float64("max-error-rate", 0.05, "with -faults: fail-closed SLO bound on the client-visible error rate")
+		minDelivered = flag.Float64("min-delivered", 0.9, "with -faults: fail-closed SLO floor for the mixnet leg's delivered fraction after retries")
 	)
 	flag.Parse()
 	if *full {
@@ -240,10 +361,37 @@ func realMain() int {
 		return 2
 	}
 
+	plan, err := faults.PlanFromSpec(*faultsSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: -faults: %v\n", err)
+		return 2
+	}
+	var ch *chaos
+	if plan != nil {
+		ch = &chaos{
+			plan: plan, failOpen: *failOpen,
+			inboxDepth: *inboxDepth, outDepth: *outDepth, shedAfter: *shedAfter,
+			maxErrRate: *maxErrRate, minDelivered: *minDelivered,
+		}
+	}
+	if *failOpen && ch == nil {
+		fmt.Fprintln(os.Stderr, "loadgen: -fail-open is a chaos degradation policy; it needs -faults")
+		return 2
+	}
+	if ch != nil && ch.failOpen && !*useLg {
+		fmt.Fprintln(os.Stderr, "loadgen: -fail-open needs -ledger: without it nobody can convict the fallback")
+		return 2
+	}
+
 	obs := newLiveObs(telemetry.NewMetrics())
 	obs.update(func(d *bench.Doc) {
 		*d = bench.Doc{Clients: *clients, Proxies: *proxies, Relays: *relays,
 			Workers: *workers, Seed: *seed, Full: *full}
+		if ch != nil {
+			// The spec is visible on /statusz from the first scrape; the
+			// counters fill in as the legs finish.
+			d.Faults = &bench.FaultSummary{Spec: ch.plan.Spec()}
+		}
 	})
 
 	// The trace plane: hop sampling keeps the unsampled majority span-
@@ -294,7 +442,7 @@ func realMain() int {
 	}
 
 	obs.setPhase("odoh")
-	odohRes, err := runODoH(*clients, *proxies, *workers, *seed, cls, lg, obs, plane, *traceSample)
+	odohRes, err := runODoH(*clients, *proxies, *workers, *seed, cls, lg, obs, plane, *traceSample, ch)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: odoh leg: %v\n", err)
 		return 1
@@ -302,7 +450,7 @@ func realMain() int {
 	obs.update(func(d *bench.Doc) { d.ODoH = odohRes })
 
 	obs.setPhase("mixnet")
-	mixRes, err := runMixnetLeg(*clients, *relays, *workers, *seed, obs, plane, *traceSample)
+	mixRes, err := runMixnetLeg(*clients, *relays, *workers, *seed, obs, plane, *traceSample, ch)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: mixnet leg: %v\n", err)
 		return 1
@@ -356,6 +504,19 @@ func realMain() int {
 
 	var doc bench.Doc
 	obs.update(func(d *bench.Doc) { doc = *d })
+	if ch != nil {
+		fs := ch.summary(doc)
+		// The fail-closed SLO: errors bounded, the lossy leg recovered
+		// its messages, and — the decoupling invariant — degraded
+		// availability never bought linkability: the ledger verdict is
+		// still DECOUPLED with zero tuple diffs.
+		fs.SLOOK = fs.ErrorRate <= ch.maxErrRate && fs.DeliveredFraction >= ch.minDelivered
+		if doc.Ledger != nil && (!doc.Ledger.Decoupled || doc.Ledger.TupleDiffs > 0) {
+			fs.SLOOK = false
+		}
+		doc.Faults = fs
+		obs.update(func(d *bench.Doc) { d.Faults = fs })
+	}
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: marshal: %v\n", err)
@@ -387,6 +548,20 @@ func realMain() int {
 		fmt.Fprintf(os.Stderr, "loadgen: trace mode=%s sampled=%d spans=%d rotations=%d audit=%s\n",
 			doc.Trace.Mode, doc.Trace.Sampled, doc.Trace.Spans, doc.Trace.Rotations, verdict)
 	}
+	if doc.Faults != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: faults spec=%q injected=%d shed=%d retries=%d reconnects=%d fallbacks=%d error_rate=%.4f delivered=%.4f slo_ok=%v\n",
+			doc.Faults.Spec, doc.Faults.Injected, doc.Faults.Shed, doc.Faults.Retries,
+			doc.Faults.Reconnects, ch.fallbacks.Load(), doc.Faults.ErrorRate, doc.Faults.DeliveredFraction, doc.Faults.SLOOK)
+	}
+	if doc.Faults != nil {
+		// Chaos runs are graded on the fail-closed SLO, not on a zero
+		// error count — bounded errors under injected faults are the
+		// point. A coupled trace plane still fails outright.
+		if !doc.Faults.SLOOK || traceCoupled {
+			return 1
+		}
+		return 0
+	}
 	if doc.ODoH.Errors > 0 || doc.Mixnet.Errors > 0 || traceCoupled ||
 		(doc.Ledger != nil && (doc.Ledger.TupleDiffs > 0 || !doc.Ledger.Decoupled)) {
 		return 1
@@ -398,8 +573,9 @@ func realMain() int {
 // net/http server belonging to the same logical operator (one ledger
 // observer), clients round-robin across shards, and each client issues
 // a churn-model session of oblivious queries over loopback HTTP.
-func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, lg *ledger.Ledger, obs *liveObs, plane *wiretrace.Plane, traceSample int) (bench.Leg, error) {
+func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, lg *ledger.Ledger, obs *liveObs, plane *wiretrace.Plane, traceSample int, ch *chaos) (bench.Leg, error) {
 	var res bench.Leg
+	ch.startLeg()
 
 	browsing, err := workload.NewBrowsing(seed, 100, 1.2)
 	if err != nil {
@@ -427,6 +603,20 @@ func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, l
 	// of one operator, and the derived knowledge tuple must say so.
 	proxy := odoh.NewProxy(odoh.ProxyName, target, lg)
 	proxy.InstrumentWire(plane)
+
+	// Chaos retry policy, plus the planted fail-open fallback: a plain
+	// recursive resolver registered under the proxy operator's name —
+	// the operator who ran the oblivious proxy now sees plaintext
+	// identity+name, exactly the re-coupling E16 convicts.
+	var chaosPolicy resilience.Policy
+	var direct *dns.Resolver
+	if ch != nil {
+		chaosPolicy = resilience.Default("odoh")
+		if ch.failOpen {
+			chaosPolicy.Mode = resilience.FailOpen
+			direct = dns.NewResolver(odoh.ProxyName, []dns.Authority{origin}, lg, nil)
+		}
+	}
 	if cls != nil {
 		cls.RegisterIdentity(odoh.ProxyName, "", "", core.NonSensitive)
 		cls.RegisterIdentity(odoh.TargetName, "", "", core.NonSensitive)
@@ -438,6 +628,16 @@ func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, l
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /proxy", func(w http.ResponseWriter, r *http.Request) {
+		if ch.proxyDown() {
+			// Injected fault, HTTP flavor: the proxy operator is inside
+			// a crash window, so every shard hangs briefly and fails —
+			// the wall-clock analogue of simnet dropping inbound to a
+			// crashed node. Counted apart from organic errors.
+			ch.injectedODoH.Add(1)
+			time.Sleep(2 * time.Millisecond)
+			http.Error(w, "injected fault: proxy crash window", http.StatusServiceUnavailable)
+			return
+		}
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
 		if err != nil {
 			http.Error(w, "read error", http.StatusBadRequest)
@@ -536,6 +736,40 @@ func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, l
 				forward := func(clientAddr string, raw []byte) ([]byte, error) {
 					return postQuery(httpClient, url, clientAddr, raw, plane)
 				}
+				query := func(name string) (*dnswire.Message, error) {
+					return c.Query(name, dnswire.TypeA, forward)
+				}
+				if ch != nil {
+					// Under chaos every query runs behind the shared
+					// resilience layer: wall-clock backoff, retries
+					// counted, and — only in the planted -fail-open
+					// mode — the direct fallback on exhaustion.
+					attempts := 0
+					fw := func(clientAddr string, raw []byte) ([]byte, error) {
+						attempts++
+						return forward(clientAddr, raw)
+					}
+					rc := &odoh.ResilientClient{Client: c, Policy: chaosPolicy,
+						Sleep: time.Sleep, Forwards: []odoh.ForwardFunc{fw}}
+					if ch.failOpen {
+						rc.Fallback = func(name string, qtype dnswire.Type) (*dnswire.Message, error) {
+							ch.fallbacks.Add(1)
+							resp := direct.Resolve(who, dnswire.NewQuery(1, name, qtype))
+							if resp.RCode != dnswire.RCodeNoError {
+								return nil, fmt.Errorf("direct fallback failed: rcode=%v", resp.RCode)
+							}
+							return resp, nil
+						}
+					}
+					query = func(name string) (*dnswire.Message, error) {
+						attempts = 0
+						resp, err := rc.Query(name, dnswire.TypeA)
+						if attempts > 1 {
+							ch.retries.Add(uint64(attempts - 1))
+						}
+						return resp, err
+					}
+				}
 				for j := 0; j < lengths[i]; j++ {
 					slot := done.Add(1) - 1
 					obs.odoh.inflight.Add(1)
@@ -550,7 +784,7 @@ func runODoH(clients, shards, workers int, seed int64, cls *ledger.Classifier, l
 						name = browsing.Names[i%len(browsing.Names)]
 					}
 					t0 := time.Now()
-					_, err := c.Query(name, dnswire.TypeA, forward)
+					_, err := query(name)
 					d := time.Since(t0)
 					obs.odoh.inflight.Add(-1)
 					latencies[slot] = d.Nanoseconds()
@@ -617,8 +851,9 @@ func postQuery(client *http.Client, url, clientAddr string, raw []byte, plane *w
 // and again (by the receiver) when the innermost layer is opened, so
 // the quantiles include batching delay — the anonymity/latency price
 // the paper's mixnet discussion is about.
-func runMixnetLeg(clients, relays, workers int, seed int64, obs *liveObs, plane *wiretrace.Plane, traceSample int) (bench.Leg, error) {
+func runMixnetLeg(clients, relays, workers int, seed int64, obs *liveObs, plane *wiretrace.Plane, traceSample int, ch *chaos) (bench.Leg, error) {
 	var res bench.Leg
+	ch.startLeg()
 
 	senders := clients / 10
 	if senders < 64 {
@@ -628,12 +863,21 @@ func runMixnetLeg(clients, relays, workers int, seed int64, obs *liveObs, plane 
 		senders = 50_000
 	}
 
-	nt := nettransport.New(nettransport.Options{
+	opts := nettransport.Options{
 		Mode:           nettransport.ModeTCP,
 		Seed:           seed,
 		DisableCapture: true,
 		InboxDepth:     16_384,
-	})
+	}
+	if ch != nil {
+		// Chaos tuning: bounded queues plus a shed deadline turn a slow
+		// node into typed, counted sheds instead of a stalled writer
+		// pool.
+		opts.InboxDepth = ch.inboxDepth
+		opts.OutDepth = ch.outDepth
+		opts.ShedAfter = ch.shedAfter
+	}
+	nt := nettransport.New(opts)
 	defer nt.Close()
 	nt.Instrument(telemetry.New("loadgen", false, obs.metrics))
 
@@ -652,6 +896,11 @@ func runMixnetLeg(clients, relays, workers int, seed int64, obs *liveObs, plane 
 		return res, err
 	}
 	rcv.InstrumentWire(plane)
+	if ch != nil {
+		// Link faults engage at the frame codec, crash windows arm their
+		// wall-clock timers now — the leg's t=0.
+		nt.ApplyFaults(ch.plan)
+	}
 
 	// sendAt[i] is the transport-clock instant sender i queued its
 	// onion; slot i is owned by exactly one worker, and the main
@@ -682,31 +931,83 @@ func runMixnetLeg(clients, relays, workers int, seed int64, obs *liveObs, plane 
 				sendAt[i] = nt.Now()
 				obs.mixnet.requests.Add(1)
 				if err := s.Send(nt, route, rcv.Info(), []byte(fmt.Sprintf("message %06d", i))); err != nil {
-					errs.Add(1)
-					obs.mixnet.errors.Add(1)
+					if ch == nil {
+						errs.Add(1)
+						obs.mixnet.errors.Add(1)
+					}
+					// Under chaos a failed send (shed, crashed relay) is
+					// retryable, not terminal: the retry rounds below pick
+					// it up, and only messages still missing at the end
+					// count as errors.
 				}
 			}
 		}()
 	}
 	wg.Wait()
 	nt.Run()
+
+	// delivered returns the set of distinct sender indices whose message
+	// reached the receiver; duplicates (a mix flushing a stale batch after
+	// a crash window plus our retry of the same index) collapse here.
+	delivered := func() map[int]bool {
+		got := make(map[int]bool, senders)
+		for _, r := range rcv.Inbox() {
+			var idx int
+			if _, err := fmt.Sscanf(string(r.Body), "message %06d", &idx); err == nil && idx >= 0 && idx < senders {
+				got[idx] = true
+			}
+		}
+		return got
+	}
+
+	if ch != nil {
+		// Retry rounds: resend only the missing indices, pausing between
+		// rounds so crash/spike/loss windows expire and restarted nodes
+		// finish rebinding. Each resend is a counted retry; send errors
+		// (typed sheds, ErrNodeDown) just roll into the next round.
+		const maxRounds = 20
+		for round := 0; round < maxRounds; round++ {
+			got := delivered()
+			if len(got) == senders {
+				break
+			}
+			time.Sleep(150 * time.Millisecond)
+			for i := 0; i < senders; i++ {
+				if got[i] {
+					continue
+				}
+				ch.retries.Add(1)
+				s := &mixnet.Sender{Addr: transport.Addr(fmt.Sprintf("sender%06d", i))}
+				_ = s.Send(nt, route, rcv.Info(), []byte(fmt.Sprintf("message %06d", i)))
+			}
+			nt.Run()
+		}
+	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 
 	inbox := rcv.Inbox()
-	if got := len(inbox); got != senders {
-		return res, fmt.Errorf("receiver got %d of %d messages (lost %d)", got, senders, nt.Lost())
+	if ch == nil {
+		if got := len(inbox); got != senders {
+			return res, fmt.Errorf("receiver got %d of %d messages (lost %d)", got, senders, nt.Lost())
+		}
 	}
 
 	// Reconstruct per-message delivery latency from the receiver's
 	// timestamps: bodies carry the sender index, Received.Time is the
-	// transport clock at the moment the innermost layer was opened.
+	// transport clock at the moment the innermost layer was opened. Under
+	// chaos only the first copy of each index counts.
 	latencies := make([]int64, 0, senders)
+	seen := make(map[int]bool, senders)
 	for _, r := range inbox {
 		var idx int
 		if _, err := fmt.Sscanf(string(r.Body), "message %06d", &idx); err != nil || idx < 0 || idx >= senders {
 			continue
 		}
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
 		if d := r.Time - sendAt[idx]; d > 0 {
 			latencies = append(latencies, d.Nanoseconds())
 			obs.mixnet.latency.Observe(d.Seconds())
@@ -715,6 +1016,13 @@ func runMixnetLeg(clients, relays, workers int, seed int64, obs *liveObs, plane 
 
 	res.Requests = uint64(senders)
 	res.Errors = errs.Load()
+	if ch != nil {
+		undelivered := uint64(senders - len(seen))
+		res.Errors += undelivered
+		obs.mixnet.errors.Add(undelivered)
+		ch.deliveredFrac.Store(uint64(float64(len(seen)) / float64(senders) * 1e6))
+		ch.captureTransport(nt)
+	}
 	res.Seconds = elapsed.Seconds()
 	res.Throughput = float64(senders) / elapsed.Seconds()
 	res.Latency = quantiles(latencies)

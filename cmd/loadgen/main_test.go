@@ -12,6 +12,7 @@ import (
 
 	"decoupling/internal/bench"
 	"decoupling/internal/core"
+	"decoupling/internal/faults"
 	"decoupling/internal/ledger"
 	"decoupling/internal/telemetry"
 	"decoupling/internal/telemetry/wiretrace"
@@ -24,7 +25,7 @@ import (
 func TestODoHLegSmallScale(t *testing.T) {
 	cls := ledger.NewClassifier()
 	lg := ledger.New(cls, nil)
-	res, err := runODoH(200, 2, 16, 1, cls, lg, newLiveObs(nil), nil, 1)
+	res, err := runODoH(200, 2, 16, 1, cls, lg, newLiveObs(nil), nil, 1, nil)
 	if err != nil {
 		t.Fatalf("odoh leg: %v", err)
 	}
@@ -53,7 +54,7 @@ func TestODoHLegSmallScale(t *testing.T) {
 }
 
 func TestMixnetLegSmallScale(t *testing.T) {
-	res, err := runMixnetLeg(1000, 3, 16, 1, newLiveObs(nil), nil, 1)
+	res, err := runMixnetLeg(1000, 3, 16, 1, newLiveObs(nil), nil, 1, nil)
 	if err != nil {
 		t.Fatalf("mixnet leg: %v", err)
 	}
@@ -137,11 +138,11 @@ func TestLiveScrapeDuringRun(t *testing.T) {
 	}()
 
 	obs.setPhase("odoh")
-	if _, err := runODoH(100, 2, 8, 1, nil, nil, obs, nil, 1); err != nil {
+	if _, err := runODoH(100, 2, 8, 1, nil, nil, obs, nil, 1, nil); err != nil {
 		t.Fatalf("odoh leg: %v", err)
 	}
 	obs.setPhase("mixnet")
-	if _, err := runMixnetLeg(640, 2, 8, 1, obs, nil, 1); err != nil {
+	if _, err := runMixnetLeg(640, 2, 8, 1, obs, nil, 1, nil); err != nil {
 		t.Fatalf("mixnet leg: %v", err)
 	}
 	close(done)
@@ -199,6 +200,91 @@ func TestQuantiles(t *testing.T) {
 	}
 }
 
+// TestMixnetLegChaosRecovers drives the relay cascade through a fault
+// plan at test scale: burst loss on the first hop, a latency spike on
+// the exit link with a tiny writer queue and a shed deadline so
+// overload shedding actually engages. The leg must degrade loudly
+// (counted injected drops/sheds, counted retries) and recover fully —
+// every message delivered exactly once after the retry rounds, zero
+// client-visible errors.
+func TestMixnetLegChaosRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos leg waits out wall-clock fault windows; skipped in -short")
+	}
+	plan, err := faults.PlanFromSpec("loss:*>relay1:0.3@0-500ms;spike:relay2>receiver:2ms@0-1s")
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	ch := &chaos{plan: plan, inboxDepth: 96, outDepth: 8, shedAfter: time.Millisecond,
+		maxErrRate: 0.05, minDelivered: 0.9}
+	res, err := runMixnetLeg(640, 2, 16, 1, newLiveObs(nil), nil, 1, ch)
+	if err != nil {
+		t.Fatalf("mixnet chaos leg: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("chaos leg left %d messages undelivered after retries", res.Errors)
+	}
+	if got := ch.deliveredFrac.Load(); got != 1_000_000 {
+		t.Errorf("delivered fraction = %d/1e6, want full recovery", got)
+	}
+	if ch.injectedWire.Load() == 0 {
+		t.Error("30%% burst loss on the first hop injected no drops")
+	}
+	if ch.retries.Load() == 0 {
+		t.Error("messages were lost but nothing was retried")
+	}
+	// Counters must surface in the faults block the benchmark document
+	// and /statusz expose.
+	fs := ch.summary(bench.Doc{Mixnet: res})
+	if fs.Spec == "" || fs.Injected == 0 || fs.Retries == 0 {
+		t.Errorf("faults summary dropped counters: %+v", fs)
+	}
+}
+
+// TestChaosFailOpenConvicted plants the degradation mistake the paper
+// warns about: under a permanent proxy outage, -fail-open clients fall
+// back to a direct resolver run by the proxy operator. Availability is
+// preserved — and the knowledge ledger must convict the run, because
+// the operator now sees identity and query together.
+func TestChaosFailOpenConvicted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fail-open conviction drives retry backoff on a wall clock; skipped in -short")
+	}
+	plan, err := faults.PlanFromSpec("crash:proxy@0-")
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	ch := &chaos{plan: plan, failOpen: true, inboxDepth: 16_384,
+		maxErrRate: 0.05, minDelivered: 0.9}
+	cls := ledger.NewClassifier()
+	lg := ledger.New(cls, nil)
+	res, err := runODoH(100, 2, 16, 1, cls, lg, newLiveObs(nil), nil, 1, ch)
+	if err != nil {
+		t.Fatalf("odoh chaos leg: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("fail-open fallback should preserve availability, got %d errors", res.Errors)
+	}
+	if ch.fallbacks.Load() == 0 {
+		t.Fatal("permanent proxy outage never triggered the fail-open fallback")
+	}
+	if ch.injectedODoH.Load() == 0 {
+		t.Error("proxy crash window injected no faults")
+	}
+	expected := core.ObliviousDNS()
+	measured := lg.DeriveSystem(expected)
+	v, err := core.Analyze(measured)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if v.Decoupled {
+		t.Fatal("fail-open run still analyzes as DECOUPLED; the planted re-coupling escaped the ledger")
+	}
+	if diffs := core.CompareTuples(expected, measured); len(diffs) == 0 {
+		t.Error("fail-open run shows no tuple diffs; expected the resolver entity to gain identity knowledge")
+	}
+}
+
 // runTracedLegs drives both legs at test scale with every client
 // traced, returning the plane and the ledger.
 func runTracedLegs(t *testing.T, mode wiretrace.Mode) (*wiretrace.Plane, *ledger.Ledger) {
@@ -210,10 +296,10 @@ func runTracedLegs(t *testing.T, mode wiretrace.Mode) (*wiretrace.Plane, *ledger
 	plane.SetHopSampling(true)
 	plane.SetClock(func() time.Duration { return time.Since(obs.start) })
 	obs.wire, obs.traceMode = plane, mode.String()
-	if _, err := runODoH(120, 2, 8, 1, cls, lg, obs, plane, 1); err != nil {
+	if _, err := runODoH(120, 2, 8, 1, cls, lg, obs, plane, 1, nil); err != nil {
 		t.Fatalf("odoh leg: %v", err)
 	}
-	if _, err := runMixnetLeg(640, 2, 8, 1, obs, plane, 1); err != nil {
+	if _, err := runMixnetLeg(640, 2, 8, 1, obs, plane, 1, nil); err != nil {
 		t.Fatalf("mixnet leg: %v", err)
 	}
 	return plane, lg

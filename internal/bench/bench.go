@@ -56,6 +56,33 @@ type Doc struct {
 	Mixnet  Leg            `json:"mixnet"`
 	Ledger  *LedgerSummary `json:"ledger,omitempty"`
 	Trace   *TraceSummary  `json:"trace,omitempty"`
+	Faults  *FaultSummary  `json:"faults,omitempty"`
+}
+
+// FaultSummary is the chaos block: present when the run injected a
+// fault plan (loadgen -faults). It records what the fault layer did
+// (injected drops, sheds, retries, reconnects) and whether the run held
+// its fail-closed SLO: errors bounded, no silent drops, the ledger
+// verdict still DECOUPLED.
+type FaultSummary struct {
+	// Spec is the canonical fault-plan spec the run injected.
+	Spec string `json:"spec"`
+	// Injected counts frames dropped by the injected plan (distinct
+	// from organic wire loss).
+	Injected uint64 `json:"injected_drops"`
+	// Shed counts frames refused under overload (typed, never silent).
+	Shed uint64 `json:"shed"`
+	// Retries counts client-level retried attempts.
+	Retries uint64 `json:"retries"`
+	// Reconnects counts writer streams re-established after a reset or
+	// a destination restart.
+	Reconnects uint64 `json:"reconnects"`
+	// ErrorRate is client-visible errors / requests across both legs.
+	ErrorRate float64 `json:"error_rate"`
+	// DeliveredFraction is delivered / sent on the lossy leg.
+	DeliveredFraction float64 `json:"delivered_fraction"`
+	// SLOOK reports whether the run met its fail-closed SLO.
+	SLOOK bool `json:"slo_ok"`
 }
 
 // TraceSummary is the wire-trace block: present when the run traced a
@@ -226,6 +253,22 @@ func Compare(baseline, candidate Doc, th Thresholds) []Regression {
 		}
 		if !lg.Decoupled {
 			out = append(out, Regression{"ledger.verdict_decoupled", 1, 0, 1})
+		}
+	}
+	// The fault SLO is likewise absolute: a chaos run that blew its
+	// fail-closed SLO fails even against a baseline recorded before the
+	// fault block existed. Relative checks (delivered fraction) only
+	// apply when the baseline carries a fault block of its own — a
+	// pre-chaos baseline must not vacuously fail the gate.
+	if f := candidate.Faults; f != nil {
+		if !f.SLOOK {
+			out = append(out, Regression{"faults.slo_ok", 1, 0, 1})
+		}
+		if base := baseline.Faults; base != nil && base.DeliveredFraction > 0 {
+			limit := base.DeliveredFraction * (1 - th.ThroughputDrop)
+			if f.DeliveredFraction < limit {
+				out = append(out, Regression{"faults.delivered_fraction", base.DeliveredFraction, f.DeliveredFraction, limit})
+			}
 		}
 	}
 	return out

@@ -91,6 +91,55 @@ func TestCompareSkipsAbsentBaselines(t *testing.T) {
 	}
 }
 
+// TestCompareFaultBlock covers the chaos SLO gate: the candidate's
+// slo_ok is absolute, while relative fault checks only engage when the
+// baseline recorded a fault block of its own — a baseline committed
+// before chaos runs existed (Faults == nil) must not gate, and must
+// not be gated, vacuously.
+func TestCompareFaultBlock(t *testing.T) {
+	t.Parallel()
+	th := DefaultThresholds()
+	chaos := func(sloOK bool, delivered float64) *FaultSummary {
+		return &FaultSummary{
+			Spec: "loss:*>mix1:0.2@0-", Injected: 120, Shed: 40, Retries: 90,
+			Reconnects: 8, ErrorRate: 0.01, DeliveredFraction: delivered, SLOOK: sloOK,
+		}
+	}
+
+	// Zero-baseline skip: pre-chaos baseline, healthy chaos candidate.
+	base := healthyDoc()
+	cand := healthyDoc()
+	cand.Faults = chaos(true, 0.95)
+	if regs := Compare(base, cand, th); len(regs) != 0 {
+		t.Fatalf("missing baseline fault block gated a healthy chaos run: %v", regs)
+	}
+	// ...and the skip does not extend to the absolute SLO check.
+	cand.Faults = chaos(false, 0.95)
+	regs := Compare(base, cand, th)
+	if len(regs) != 1 || regs[0].Metric != "faults.slo_ok" {
+		t.Fatalf("blown SLO against a pre-chaos baseline: got %v, want faults.slo_ok", regs)
+	}
+
+	// A fault-aware baseline gates delivered fraction relatively.
+	base.Faults = chaos(true, 0.95)
+	cand.Faults = chaos(true, 0.95*(1-th.ThroughputDrop)/2)
+	regs = Compare(base, cand, th)
+	if len(regs) != 1 || regs[0].Metric != "faults.delivered_fraction" {
+		t.Fatalf("collapsed delivered fraction: got %v, want faults.delivered_fraction", regs)
+	}
+	cand.Faults = chaos(true, 0.94)
+	if regs := Compare(base, cand, th); len(regs) != 0 {
+		t.Fatalf("in-tolerance delivered fraction regressed: %v", regs)
+	}
+
+	// A baseline WITH a fault block against a candidate without one is
+	// fine too: the candidate simply did not run chaos.
+	cand.Faults = nil
+	if regs := Compare(base, cand, th); len(regs) != 0 {
+		t.Fatalf("chaos-free candidate gated by fault-aware baseline: %v", regs)
+	}
+}
+
 func TestCompareZeroThresholdsAreStrict(t *testing.T) {
 	t.Parallel()
 	base := healthyDoc()

@@ -25,11 +25,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"decoupling/internal/core"
 	"decoupling/internal/dns"
 	"decoupling/internal/dnswire"
+	"decoupling/internal/faults"
 	"decoupling/internal/ledger"
 	"decoupling/internal/mixnet"
 	"decoupling/internal/odns"
@@ -38,38 +40,46 @@ import (
 	"decoupling/internal/provenance"
 	"decoupling/internal/resilience"
 	"decoupling/internal/simnet"
+	"decoupling/internal/transport"
 )
 
-// chaosOverlay is an extra fault plan merged into every simulator the
+// chaosOverlay is an extra fault plan merged into every network the
 // chaos experiments build, set from cmd/experiments -faults. Reports
 // stay deterministic for any FIXED overlay; the experiments' own pass
 // criteria assume the default (nil) overlay.
 var (
 	chaosMu      sync.Mutex
-	chaosOverlay *simnet.FaultPlan
+	chaosOverlay *faults.Plan
 )
 
 // SetChaosFaults installs an overlay fault plan for the chaos
 // experiments (nil clears it). Safe to call before Runner.Run.
-func SetChaosFaults(p *simnet.FaultPlan) {
+func SetChaosFaults(p *faults.Plan) {
 	chaosMu.Lock()
 	defer chaosMu.Unlock()
 	chaosOverlay = p
 }
 
-func chaosFaults() *simnet.FaultPlan {
+func chaosFaults() *faults.Plan {
 	chaosMu.Lock()
 	defer chaosMu.Unlock()
 	return chaosOverlay
 }
 
-// applyChaos overlays a run's own plan plus the -faults overlay.
-func applyChaos(net *simnet.Network, own *simnet.FaultPlan) {
+// applyChaos overlays a run's own plan plus the -faults overlay. The
+// network is addressed through the transport-neutral faults.Injector
+// surface, so the same plan lands on the simulator's virtual clock or
+// the real transport's wall clock — whichever the Ctx built.
+func applyChaos(net transport.Runner, own *faults.Plan) {
+	inj, ok := net.(faults.Injector)
+	if !ok {
+		return
+	}
 	if !own.Empty() {
-		net.ApplyFaults(own)
+		inj.ApplyFaults(own)
 	}
 	if o := chaosFaults(); !o.Empty() {
-		net.ApplyFaults(o)
+		inj.ApplyFaults(o)
 	}
 }
 
@@ -144,10 +154,16 @@ var chaosRates = []float64{0, 0.1, 0.3}
 
 // mixnetChaosRun sends 16 staggered messages through a 3-mix cascade
 // with burst loss injected on the entry link, driven by RetryAsync on
-// the virtual clock. retry=false caps the policy at a single attempt.
+// the transport's clock. retry=false caps the policy at a single
+// attempt. It builds through ctx.NewRunner, so the same run drives the
+// simulator or real sockets; injected loss draws from the shared
+// per-link LossDraw stream, making the availability table identical on
+// both. The retry counter is atomic because real-transport attempts
+// fire from concurrent timer goroutines.
 func mixnetChaosRun(ctx Ctx, rate float64, retry bool) (delivered, retries int, elapsed time.Duration, err error) {
 	tel := ctx.Tel
-	net := ctx.NewNet(14)
+	net := ctx.NewRunner(14)
+	defer net.Close()
 	net.Instrument(tel)
 	var route []mixnet.NodeInfo
 	for i := 1; i <= 3; i++ {
@@ -161,17 +177,22 @@ func mixnetChaosRun(ctx Ctx, rate float64, retry bool) (delivered, retries int, 
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	plan := simnet.NewFaultPlan()
+	plan := faults.NewPlan()
 	if rate > 0 {
-		plan.Loss(simnet.Wildcard, "mix1", rate, 0, 0)
+		plan.Loss(faults.Wildcard, "mix1", rate, 0, 0)
 	}
 	applyChaos(net, plan)
 
 	p := resilience.Default("mixnet")
-	p.Timeout = 60 * time.Millisecond
+	// Generous against the wall clock: deliveries take microseconds on
+	// loopback and milliseconds virtually; the timeout only has to beat
+	// scheduler noise, and a fatter margin keeps the retry counts (and
+	// so the table) identical across transports on a loaded machine.
+	p.Timeout = 150 * time.Millisecond
 	if !retry {
 		p.MaxAttempts = 1
 	}
+	var retryCount atomic.Int64
 	seen := map[string]bool{}
 	for i := 0; i < 16; i++ {
 		i := i
@@ -181,7 +202,7 @@ func mixnetChaosRun(ctx Ctx, rate float64, retry bool) (delivered, retries int, 
 			resilience.RetryAsync(net, tel, p, uint64(0xE14<<8)|uint64(i),
 				func(attempt int) error {
 					if attempt > 0 {
-						retries++
+						retryCount.Add(1)
 					}
 					return s.Send(net, route, rcv.Info(), msg)
 				},
@@ -200,7 +221,7 @@ func mixnetChaosRun(ctx Ctx, rate float64, retry bool) (delivered, retries int, 
 	for _, got := range rcv.Inbox() {
 		seen[string(got.Body)] = true
 	}
-	return len(seen), retries, net.Now(), nil
+	return len(seen), int(retryCount.Load()), net.Now(), nil
 }
 
 // onionChaosRun crashes the entry relay of an established circuit and
@@ -209,7 +230,8 @@ func mixnetChaosRun(ctx Ctx, rate float64, retry bool) (delivered, retries int, 
 // surviving entry (BuildCircuitResilient) and the response arrives.
 func onionChaosRun(ctx Ctx, retry bool) (delivered int, err error) {
 	tel := ctx.Tel
-	net := ctx.NewNet(15)
+	net := ctx.NewRunner(15)
+	defer net.Close()
 	net.Instrument(tel)
 	var pool []onion.RelayInfo
 	for i := 1; i <= 4; i++ {
@@ -222,23 +244,27 @@ func onionChaosRun(ctx Ctx, retry bool) (delivered int, err error) {
 	onion.NewOrigin(net, "Origin", "origin", 0, nil)
 	client := onion.NewClient(net, "alice")
 
-	// Circuit setup completes by 30ms (3 hops); the entry dies at 35ms
-	// and restarts at 100ms. Rebuilt circuits may still route through
-	// the dead relay as a middle hop (the client cannot see mid-route
-	// crashes), so recovery needs the timeout-driven retry to outlast
-	// the crash window — exactly the §4.3 cost being measured.
+	// Circuit setup completes by 30ms virtually (3 hops) and within a
+	// few ms of wall time; the entry dies at 35ms and restarts at
+	// 200ms, and the request fires at 100ms — every gap is tens of
+	// milliseconds wide so wall-clock timer skew cannot reorder the
+	// crash, the request, and the restart. Rebuilt circuits may still
+	// route through the dead relay as a middle hop (the client cannot
+	// see mid-route crashes), so recovery needs the timeout-driven
+	// retry to outlast the crash window — exactly the §4.3 cost being
+	// measured.
 	circ, err := client.BuildCircuit(pool[:3])
 	if err != nil {
 		return 0, err
 	}
-	applyChaos(net, simnet.NewFaultPlan().Crash("relay1", 35*time.Millisecond, 100*time.Millisecond))
+	applyChaos(net, faults.NewPlan().Crash("relay1", 35*time.Millisecond, 200*time.Millisecond))
 
 	p := resilience.Default("onion")
-	p.Timeout = 120 * time.Millisecond
+	p.Timeout = 150 * time.Millisecond
 	if !retry {
 		p.MaxAttempts = 1
 	}
-	net.After(40*time.Millisecond, func() {
+	net.After(100*time.Millisecond, func() {
 		resilience.RetryAsync(net, tel, p, 0xE14A,
 			func(attempt int) error {
 				c := circ
@@ -355,7 +381,7 @@ func E14ChaosAvailability(ctx Ctx) (*Result, error) {
 	// Mixnet: burst loss on the entry link.
 	mixT := Table{
 		Title:   "mixnet: 16 messages, 3-mix cascade, burst loss on the entry link",
-		Columns: []string{"loss rate", "delivered (no retry)", "delivered (retry)", "retries", "virtual time (retry)"},
+		Columns: []string{"loss rate", "delivered (no retry)", "delivered (retry)", "retries", "elapsed (retry)"},
 	}
 	for _, rate := range chaosRates {
 		d0, _, _, err := mixnetChaosRun(ctx, rate, false)

@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSpecRoundTripCanonical(t *testing.T) {
+	p := NewPlan().
+		Crash("mix2", 25*time.Millisecond, 120*time.Millisecond).
+		Loss(Wildcard, "mix1", 0.3, 0, 0).
+		LatencySpike("exit", "origin", 40*time.Millisecond, 50*time.Millisecond, 90*time.Millisecond).
+		Partition("a", "b", 10*time.Millisecond, 0)
+	spec := p.Spec()
+	back, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatalf("ParsePlan(Spec()): %v", err)
+	}
+	if got := back.Spec(); got != spec {
+		t.Fatalf("Spec not canonical:\n first %q\nsecond %q", spec, got)
+	}
+}
+
+func TestParseRejectsOverlappingCrash(t *testing.T) {
+	_, err := ParsePlan("crash:a@0-50ms;crash:*@40ms-60ms")
+	if !errors.Is(err, ErrOverlappingCrash) {
+		t.Fatalf("overlapping crash windows: err = %v, want ErrOverlappingCrash", err)
+	}
+}
+
+func TestNamedPlansResolve(t *testing.T) {
+	for _, name := range NamedPlans() {
+		p, err := PlanFromSpec(name)
+		if err != nil || p.Empty() {
+			t.Fatalf("named plan %q: plan=%v err=%v", name, p, err)
+		}
+	}
+	if p, err := PlanFromSpec(""); p != nil || err != nil {
+		t.Fatalf("empty spec: plan=%v err=%v, want nil/nil", p, err)
+	}
+}
+
+// TestLossDrawDeterministicPerLink is the property the cross-transport
+// chaos equivalence rests on: the fate of the n-th datagram on a link
+// depends only on (seed, src, dst, n) — not on call order, other
+// links, or which transport asks.
+func TestLossDrawDeterministicPerLink(t *testing.T) {
+	first := make([]float64, 64)
+	for n := range first {
+		first[n] = LossDraw(14, "sender03", "mix1", uint64(n))
+	}
+	// Interleave draws for other links between re-draws: values must
+	// not move.
+	for n := range first {
+		LossDraw(14, "sender04", "mix1", uint64(n))
+		LossDraw(99, "sender03", "mix1", uint64(n))
+		if got := LossDraw(14, "sender03", "mix1", uint64(n)); got != first[n] {
+			t.Fatalf("LossDraw(14, sender03, mix1, %d) moved: %v != %v", n, got, first[n])
+		}
+	}
+	// Different links and seeds give different streams.
+	same := 0
+	for n := range first {
+		if LossDraw(14, "sender04", "mix1", uint64(n)) == first[n] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for two links collide in %d/64 draws", same)
+	}
+}
+
+func TestLossDrawRoughlyUniform(t *testing.T) {
+	const n = 20000
+	var sum float64
+	below := 0
+	for i := 0; i < n; i++ {
+		v := LossDraw(1, "a", "b", uint64(i))
+		if v < 0 || v >= 1 {
+			t.Fatalf("draw %d out of [0,1): %v", i, v)
+		}
+		sum += v
+		if v < 0.3 {
+			below++
+		}
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("mean draw %v, want ~0.5", mean)
+	}
+	if frac := float64(below) / n; math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("fraction below 0.3 = %v, want ~0.3", frac)
+	}
+}
+
+func TestWindowQueriesHonorHalfOpenWindows(t *testing.T) {
+	p := NewPlan().
+		Crash("m", 10*time.Millisecond, 20*time.Millisecond).
+		PartitionOneWay("a", "b", 5*time.Millisecond, 0).
+		Loss("x", "y", 0.4, 0, 15*time.Millisecond).
+		LatencySpike("x", "y", 7*time.Millisecond, 0, 0).
+		LatencySpike("x", "y", 3*time.Millisecond, 0, 0)
+	if p.CrashedAt("m", 9*time.Millisecond) || !p.CrashedAt("m", 10*time.Millisecond) || p.CrashedAt("m", 20*time.Millisecond) {
+		t.Fatal("crash window not half-open [10ms, 20ms)")
+	}
+	if !p.PartitionedAt("a", "b", time.Hour) || p.PartitionedAt("b", "a", time.Hour) {
+		t.Fatal("one-way partition direction wrong or until<=0 cleared")
+	}
+	if got := p.LossAt("x", "y", 14*time.Millisecond); got != 0.4 {
+		t.Fatalf("LossAt inside window = %v, want 0.4", got)
+	}
+	if got := p.LossAt("x", "y", 15*time.Millisecond); got != 0 {
+		t.Fatalf("LossAt at window end = %v, want 0", got)
+	}
+	if got := p.SpikeAt("x", "y", time.Second); got != 10*time.Millisecond {
+		t.Fatalf("overlapping spikes should sum: %v, want 10ms", got)
+	}
+}

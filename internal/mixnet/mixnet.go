@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"decoupling/internal/core"
@@ -316,6 +317,11 @@ type Receiver struct {
 	// the length-prefixed padding.
 	Padded bool
 
+	// mu guards inbox and dropped: on the real transport, retry
+	// watchdogs poll Inbox from timer goroutines while the receiver's
+	// dispatcher appends (the simulator serializes both, so it never
+	// contends).
+	mu      sync.Mutex
 	inbox   []Received
 	dropped int
 }
@@ -348,29 +354,29 @@ func (r *Receiver) handle(net simnet.Transport, msg simnet.Message) {
 	hop := r.wire.Hop(r.Name, "mixnet.deliver", msg.Trace, string(msg.Src), "")
 	defer hop.End()
 	if len(msg.Payload) < 1 || msg.Payload[0] != tagOnion {
-		r.dropped++
+		r.drop()
 		return
 	}
 	inHandle := ledger.Hash(msg.Payload[1:])
 	plain, err := open(r.kp, msg.Payload[1:])
 	if err != nil {
-		r.dropped++
+		r.drop()
 		return
 	}
 	typ, _, inner, err := parseLayer(plain)
 	if err != nil || typ != layerDeliver {
-		r.dropped++
+		r.drop()
 		return
 	}
 	body := inner
 	if r.Padded {
 		if len(inner) < 4 {
-			r.dropped++
+			r.drop()
 			return
 		}
 		n := int(binary.BigEndian.Uint32(inner))
 		if n > len(inner)-4 {
-			r.dropped++
+			r.drop()
 			return
 		}
 		body = inner[4 : 4+n]
@@ -383,14 +389,30 @@ func (r *Receiver) handle(net simnet.Transport, msg simnet.Message) {
 		hop.Observe(core.Identity, string(msg.Src))
 		hop.Observe(core.Data, string(body))
 	}
+	r.mu.Lock()
 	r.inbox = append(r.inbox, Received{From: msg.Src, Body: append([]byte(nil), body...), Time: net.Now()})
+	r.mu.Unlock()
+}
+
+func (r *Receiver) drop() {
+	r.mu.Lock()
+	r.dropped++
+	r.mu.Unlock()
 }
 
 // Inbox returns the messages received so far.
-func (r *Receiver) Inbox() []Received { return append([]Received(nil), r.inbox...) }
+func (r *Receiver) Inbox() []Received {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Received(nil), r.inbox...)
+}
 
 // Dropped reports undecryptable or malformed deliveries.
-func (r *Receiver) Dropped() int { return r.dropped }
+func (r *Receiver) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
 
 // Sender originates onions. It is a thin helper tying a client address
 // to BuildOnion + Send.

@@ -36,6 +36,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"decoupling/internal/faults"
+	"decoupling/internal/resilience"
 	"decoupling/internal/telemetry"
 	"decoupling/internal/telemetry/wiretrace"
 	"decoupling/internal/transport"
@@ -99,11 +101,25 @@ type Options struct {
 	// loss progress before giving up on in-flight work (UDP kernel
 	// drops leave no other signal). 0 means 5s.
 	StallTimeout time.Duration
+	// OutDepth is each destination's writer-queue depth. 0 means 4096.
+	// Chaos runs shrink it to make overload reachable at test scale.
+	OutDepth int
+	// ShedAfter bounds how long a send may wait on a full writer queue
+	// (and a delivery on a full inbox) before the frame is shed: the
+	// sender gets a typed error wrapping faults.ErrShed and the drop is
+	// counted, never silent. 0 keeps the legacy block-forever behavior.
+	ShedAfter time.Duration
 }
 
 type item struct {
 	msg  transport.Message
 	fire func()
+	// owned timers carry the arming node's crash epoch: a timer armed
+	// before its owner crashed must not fire after (or across) the
+	// crash — the wall-clock analogue of simnet cancelling a crashed
+	// node's queue events.
+	epoch uint64
+	owned bool
 }
 
 type node struct {
@@ -119,15 +135,25 @@ type node struct {
 	h   transport.Handler
 
 	// Endpoint state, by mode. lnErr records a failed listener setup;
-	// sends to the node surface it.
-	tcpLn   net.Listener
-	udpConn *net.UDPConn
-	httpSrv *http.Server
-	baseURL string
-	dialTo  string
-	udpAddr *net.UDPAddr
-	lnErr   error
+	// sends to the node surface it. endpointMu guards the mutable
+	// fields across crash/restart transitions.
+	endpointMu sync.Mutex
+	tcpLn      net.Listener
+	udpConn    *net.UDPConn
+	httpSrv    *http.Server
+	baseURL    string
+	dialTo     string
+	udpAddr    *net.UDPAddr
+	lnErr      error
+
+	// Crash-window state: down refuses sends and drops deliveries;
+	// epoch increments at every down transition, invalidating timers
+	// armed before the crash.
+	down  atomic.Bool
+	epoch atomic.Uint64
 }
+
+func (n *node) isDown() bool { return n.down.Load() }
 
 func (n *node) handler() transport.Handler {
 	n.hmu.Lock()
@@ -141,10 +167,24 @@ func (n *node) setHandler(h transport.Handler) {
 	n.hmu.Unlock()
 }
 
+// wireItem is one unit of writer work: an encoded frame, plus any
+// fault flavoring decided at the codec boundary — a writer-side delay
+// (latency spike), a TCP poison (write a partial header then reset the
+// stream), or an HTTP chaos marker (POST that the server answers with
+// a hung 5xx). Poison and chaos items carry frames already accounted
+// as injected drops; they exist to make the loss observable on the
+// wire, not to deliver.
+type wireItem struct {
+	frame  []byte
+	delay  time.Duration
+	poison bool
+	chaos  bool
+}
+
 // outQueue is the writer side of one destination endpoint: a frame
 // queue drained by a worker pool that batches frames per write.
 type outQueue struct {
-	ch chan []byte
+	ch chan wireItem
 }
 
 // Net is a real loopback transport. Construct with New; Close releases
@@ -171,6 +211,19 @@ type Net struct {
 	pending   atomic.Int64
 	delivered atomic.Uint64
 	lost      atomic.Uint64
+
+	// Fault-layer state: the merged injected plan (nil when fault-free;
+	// swapped whole so the send path reads one atomic pointer), the
+	// deterministic per-link loss-draw counters, and the chaos
+	// accounting. transMu serializes crash/restart transitions against
+	// Close so no goroutine starts after wg.Wait.
+	plan       atomic.Pointer[faults.Plan]
+	lossMu     sync.Mutex
+	lossSeq    map[[2]transport.Addr]uint64
+	transMu    sync.Mutex
+	faultDrops atomic.Uint64
+	shed       atomic.Uint64
+	reconnects atomic.Uint64
 
 	capMu   sync.Mutex
 	capture []transport.PacketRecord
@@ -206,6 +259,9 @@ func New(opts Options) *Net {
 	}
 	if opts.StallTimeout <= 0 {
 		opts.StallTimeout = 5 * time.Second
+	}
+	if opts.OutDepth <= 0 {
+		opts.OutDepth = 4096
 	}
 	t := &Net{
 		opts:  opts,
@@ -306,26 +362,58 @@ func (t *Net) Register(addr transport.Addr, h transport.Handler) {
 // its readers. Loopback listen failures are environmental; they are
 // recorded and surfaced by sends to this node.
 func (t *Net) listen(n *node) {
+	if err := t.bind(n, ""); err != nil {
+		n.lnErr = err
+	}
+}
+
+// chaosHeader marks a POST carrying a frame the fault plan decided to
+// lose: the receiving server hangs briefly and answers 5xx without
+// delivering, so HTTP-mode injected loss looks like a failing upstream,
+// not a silent gap.
+const chaosHeader = "X-Decoupling-Chaos"
+
+// bind opens (or, for a crash restart, re-opens) the node's endpoint
+// and starts its readers. An empty addr binds an ephemeral loopback
+// port and records it; a non-empty addr rebinds the recorded port so
+// peers' dial targets survive the restart. The caller holds no lock;
+// reader goroutines are wg-tracked.
+func (t *Net) bind(n *node, addr string) error {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
 	switch t.opts.Mode {
 	case ModeUDP:
-		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		ua, err := net.ResolveUDPAddr("udp", addr)
 		if err != nil {
-			n.lnErr = err
-			return
+			return err
+		}
+		conn, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			return err
 		}
 		_ = conn.SetReadBuffer(4 << 20)
+		n.endpointMu.Lock()
 		n.udpConn = conn
 		n.udpAddr = conn.LocalAddr().(*net.UDPAddr)
+		n.endpointMu.Unlock()
 		t.wg.Add(1)
-		go t.readUDP(n)
+		go t.readUDP(n, conn)
 	case ModeHTTP:
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		ln, err := net.Listen("tcp", addr)
 		if err != nil {
-			n.lnErr = err
-			return
+			return err
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("POST /frames", func(w http.ResponseWriter, r *http.Request) {
+			if r.Header.Get(chaosHeader) != "" {
+				// Injected loss, HTTP flavor: a hung then failing
+				// response. The frame was already accounted at the
+				// codec boundary; it must not be delivered.
+				time.Sleep(2 * time.Millisecond)
+				http.Error(w, "injected fault", http.StatusServiceUnavailable)
+				return
+			}
 			body, err := io.ReadAll(io.LimitReader(r.Body, 2*MaxFramePayload))
 			if err != nil {
 				http.Error(w, "read error", http.StatusBadRequest)
@@ -334,24 +422,30 @@ func (t *Net) listen(n *node) {
 			t.deliverBatch(body)
 			w.WriteHeader(http.StatusOK)
 		})
-		n.httpSrv = &http.Server{Handler: mux}
+		srv := &http.Server{Handler: mux}
+		n.endpointMu.Lock()
+		n.httpSrv = srv
 		n.baseURL = "http://" + ln.Addr().String()
+		n.dialTo = ln.Addr().String()
+		n.endpointMu.Unlock()
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
-			_ = n.httpSrv.Serve(ln)
+			_ = srv.Serve(ln)
 		}()
 	default: // ModeTCP
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		ln, err := net.Listen("tcp", addr)
 		if err != nil {
-			n.lnErr = err
-			return
+			return err
 		}
+		n.endpointMu.Lock()
 		n.tcpLn = ln
 		n.dialTo = ln.Addr().String()
+		n.endpointMu.Unlock()
 		t.wg.Add(1)
-		go t.acceptTCP(n)
+		go t.acceptTCP(n, ln)
 	}
+	return nil
 }
 
 // dispatch is a node's single dispatcher: every inbound datagram and
@@ -377,8 +471,20 @@ func (t *Net) dispatch(n *node) {
 				}
 			}
 			if it.fire != nil {
+				// A timer owned by a node that crashed after arming it is
+				// cancelled: the epoch moved (or the node is still down).
+				if it.owned && (n.isDown() || it.epoch != n.epoch.Load()) {
+					t.finish(1)
+					continue
+				}
 				it.fire()
 				t.finish(1)
+				continue
+			}
+			if n.isDown() {
+				// Raced a crash transition: treat like any other inbound
+				// datagram to a crashed node.
+				t.dropInjected(1, "crash")
 				continue
 			}
 			t.recordDelivery(it.msg)
@@ -415,18 +521,60 @@ func (t *Net) recordDelivery(msg transport.Message) {
 	}
 }
 
+// countLost accounts n lost frames without touching pending. Organic
+// losses (the wire ate it: write errors, closed transport, kernel
+// drops) and injected ones (the fault plan ate it) land under the same
+// lost total — retry logic cares only that the message is gone — but
+// carry distinct metric labels, so a chaos run never masquerades as
+// wire flakiness in /metrics.
+func (t *Net) countLost(n int, reason string, injected bool) {
+	t.lost.Add(uint64(n))
+	tel := t.telemetrySink()
+	if injected {
+		t.faultDrops.Add(uint64(n))
+		if tel != nil {
+			tel.Count(telemetry.MetricTransportFaultDrops, "Datagrams dropped by injected faults (real transport).", uint64(n),
+				telemetry.A("reason", reason))
+		}
+		reason = "injected:" + reason
+	}
+	if tel != nil {
+		tel.Count(telemetry.MetricTransportLost, "Datagrams lost on the real transport.", uint64(n),
+			telemetry.A("reason", reason))
+	}
+}
+
 // dropFrames accounts n in-flight frames the wire ate (write error,
-// closed transport, unroutable destination).
+// closed transport, unroutable destination) and releases their pending
+// units.
 func (t *Net) dropFrames(n int, reason string) {
 	if n <= 0 {
 		return
 	}
-	t.lost.Add(uint64(n))
+	t.countLost(n, reason, false)
 	t.finish(int64(n))
-	if tel := t.telemetrySink(); tel != nil {
-		tel.Count(telemetry.MetricTransportLost, "Datagrams lost on the real transport.", uint64(n),
-			telemetry.A("reason", reason))
+}
+
+// dropInjected is dropFrames for in-flight frames an injected fault
+// ate (a crashed destination, a drained inbox).
+func (t *Net) dropInjected(n int, reason string) {
+	if n <= 0 {
+		return
 	}
+	t.countLost(n, reason, true)
+	t.finish(int64(n))
+}
+
+// shedFrame accounts one shed under overload: counted, surfaced in
+// metrics, and — on the send side — returned to the caller as a typed
+// error. Never silent.
+func (t *Net) shedFrame(where string) {
+	t.shed.Add(1)
+	if tel := t.telemetrySink(); tel != nil {
+		tel.Count(telemetry.MetricTransportShed, "Frames shed under overload instead of blocking.", 1,
+			telemetry.A("where", where))
+	}
+	t.dropFrames(1, "shed")
 }
 
 // Send encodes a frame and queues it on the destination endpoint's
@@ -457,6 +605,53 @@ func (t *Net) SendTraced(src, dst transport.Addr, payload []byte, ctx wiretrace.
 	if err != nil {
 		return err
 	}
+	// The frame exists; the fault plan now decides its fate at the
+	// codec boundary, mirroring simnet's Send-time order: crashed
+	// destination fails fast, crashed source fails fast, partitions
+	// drop silently, burst loss drops with a mode-flavored wire symptom,
+	// spikes ride on the writer.
+	it := wireItem{frame: frame}
+	if n.isDown() {
+		t.countLost(1, "crash", true)
+		return fmt.Errorf("nettransport: send %s->%s: %w", src, dst, faults.ErrNodeDown)
+	}
+	if pl := t.plan.Load(); pl != nil {
+		t.mu.Lock()
+		srcNode := t.nodes[src]
+		t.mu.Unlock()
+		if srcNode != nil && srcNode.isDown() {
+			return fmt.Errorf("nettransport: send %s->%s: source %w", src, dst, faults.ErrNodeDown)
+		}
+		now := t.Now()
+		if pl.PartitionedAt(src, dst, now) {
+			t.countLost(1, "partition", true)
+			return nil // partitions are silent: only timeouts notice
+		}
+		if burst := pl.LossAt(src, dst, now); burst > 0 {
+			t.lossMu.Lock()
+			if t.lossSeq == nil {
+				t.lossSeq = map[[2]transport.Addr]uint64{}
+			}
+			seq := t.lossSeq[[2]transport.Addr{src, dst}]
+			t.lossSeq[[2]transport.Addr{src, dst}] = seq + 1
+			t.lossMu.Unlock()
+			if faults.LossDraw(t.opts.Seed, src, dst, seq) < burst {
+				// Injected drop. Deterministic (same draw stream as
+				// simnet), accounted here; the writer then makes it
+				// hurt the way this wire fails: TCP resets the stream
+				// mid-frame, HTTP gets a hung 5xx, UDP just loses it.
+				t.countLost(1, "loss", true)
+				switch t.opts.Mode {
+				case ModeTCP:
+					t.offerSpecial(dst, n, wireItem{frame: frame, poison: true})
+				case ModeHTTP:
+					t.offerSpecial(dst, n, wireItem{frame: frame, chaos: true})
+				}
+				return nil // silently dropped, as the wire would
+			}
+		}
+		it.delay = pl.SpikeAt(src, dst, now)
+	}
 	q := t.queueFor(dst, n)
 	level := t.pending.Add(1)
 	ih := t.instr.Load()
@@ -469,19 +664,45 @@ func (t *Net) SendTraced(src, dst transport.Addr, payload []byte, ctx wiretrace.
 	// a writer-queue stall — the wire (or its writer pool) is not
 	// keeping up with producers — which the live plane counts.
 	select {
-	case q.ch <- frame:
+	case q.ch <- it:
 		return nil
 	default:
 	}
 	if ih != nil {
 		ih.stalls.Add(1)
 	}
+	if t.opts.ShedAfter > 0 {
+		timer := time.NewTimer(t.opts.ShedAfter)
+		defer timer.Stop()
+		select {
+		case q.ch <- it:
+			return nil
+		case <-timer.C:
+			t.shedFrame("send")
+			return fmt.Errorf("nettransport: send %s->%s: %w", src, dst, faults.ErrShed)
+		case <-t.stop:
+			t.dropFrames(1, "closed")
+			return fmt.Errorf("nettransport: send %s->%s: %w", src, dst, ErrClosed)
+		}
+	}
 	select {
-	case q.ch <- frame:
+	case q.ch <- it:
 		return nil
 	case <-t.stop:
 		t.dropFrames(1, "closed")
 		return fmt.Errorf("nettransport: send %s->%s: %w", src, dst, ErrClosed)
+	}
+}
+
+// offerSpecial best-effort enqueues a poison/chaos item so an injected
+// drop is visible on the wire. The loss is already accounted; if the
+// writer queue is saturated the wire symptom is skipped, never the
+// accounting.
+func (t *Net) offerSpecial(dst transport.Addr, n *node, it wireItem) {
+	q := t.queueFor(dst, n)
+	select {
+	case q.ch <- it:
+	default:
 	}
 }
 
@@ -493,7 +714,7 @@ func (t *Net) queueFor(dst transport.Addr, n *node) *outQueue {
 	if q := t.out[dst]; q != nil {
 		return q
 	}
-	q := &outQueue{ch: make(chan []byte, 4096)}
+	q := &outQueue{ch: make(chan wireItem, t.opts.OutDepth)}
 	t.out[dst] = q
 	workers := t.opts.Workers
 	if t.opts.Mode == ModeTCP {
@@ -513,56 +734,172 @@ func (t *Net) queueFor(dst transport.Addr, n *node) *outQueue {
 	return q
 }
 
-// nextBatch blocks for one frame then coalesces whatever else is
-// queued, up to limit bytes, into a single write. Returns the batch
-// and its frame count; nil on shutdown.
-func (t *Net) nextBatch(q *outQueue, limit int) ([]byte, int) {
-	var first []byte
-	select {
-	case <-t.stop:
-		return nil, 0
-	case first = <-q.ch:
-	}
-	batch := first
-	count := 1
-	for len(batch) < limit {
+// work is one drained unit of writer work: either a coalesced batch of
+// plain frames (optionally delayed by a latency spike — the delay is
+// head-of-line, as a slow stream would be) or a single poison/chaos
+// item making an injected drop observable on the wire.
+type work struct {
+	batch  []byte
+	count  int
+	delay  time.Duration
+	poison bool
+	chaos  bool
+	frame  []byte // victim frame for poison/chaos wire symptoms
+}
+
+// nextWork blocks for one item then coalesces whatever plain frames
+// are queued, up to limit bytes, into a single write. Special items
+// (poison, chaos, delayed) never coalesce: one pulled mid-batch is
+// stashed for the next call so nothing reorders. ok is false on
+// shutdown.
+func (t *Net) nextWork(q *outQueue, limit int, stash *wireItem, stashed *bool) (w work, ok bool) {
+	var first wireItem
+	if *stashed {
+		first, *stashed = *stash, false
+	} else {
 		select {
-		case f := <-q.ch:
-			batch = append(batch, f...)
-			count++
-		default:
-			return batch, count
+		case <-t.stop:
+			return work{}, false
+		case first = <-q.ch:
 		}
 	}
-	return batch, count
+	if first.poison || first.chaos {
+		return work{poison: first.poison, chaos: first.chaos, frame: first.frame}, true
+	}
+	w = work{batch: first.frame, count: 1, delay: first.delay}
+	if w.delay > 0 {
+		return w, true
+	}
+	for len(w.batch) < limit {
+		select {
+		case f := <-q.ch:
+			if f.poison || f.chaos || f.delay > 0 {
+				*stash, *stashed = f, true
+				return w, true
+			}
+			w.batch = append(w.batch, f.frame...)
+			w.count++
+		default:
+			return w, true
+		}
+	}
+	return w, true
+}
+
+// sleepOrStop sleeps d (a spike delay, a reconnect backoff) unless the
+// transport stops first; reports whether the sleep completed.
+func (t *Net) sleepOrStop(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-t.stop:
+		return false
+	}
+}
+
+// dialRetry is the capped-jittered backoff writers use to re-establish
+// a stream after a reset or a crashed destination's restart window.
+var dialRetry = resilience.Policy{
+	Protocol:    "nettransport-dial",
+	MaxAttempts: 8,
+	BaseDelay:   2 * time.Millisecond,
+	MaxDelay:    250 * time.Millisecond,
+	JitterFrac:  0.25,
 }
 
 func (t *Net) tcpWriter(q *outQueue, n *node) {
 	defer t.wg.Done()
 	var conn net.Conn
+	var stash wireItem
+	var stashed, everConnected bool
+	seed := uint64(t.opts.Seed) ^ uint64(len(n.addr))
 	defer func() {
 		if conn != nil {
 			conn.Close()
 		}
 	}()
 	for {
-		batch, count := t.nextBatch(q, t.opts.BatchBytes)
-		if batch == nil {
+		w, ok := t.nextWork(q, t.opts.BatchBytes, &stash, &stashed)
+		if !ok {
+			return
+		}
+		if w.poison {
+			// Injected loss, TCP flavor: the victim frame dies mid-wire.
+			// Write just the header so the reader stalls inside the
+			// frame body, then reset the stream (SO_LINGER 0 turns the
+			// close into an RST). The next batch reconnects.
+			if conn != nil {
+				_, _ = conn.Write(w.frame[:frameHeader])
+				if tc, okc := conn.(*net.TCPConn); okc {
+					_ = tc.SetLinger(0)
+				}
+				conn.Close()
+				conn = nil
+			}
+			continue
+		}
+		if n.isDown() {
+			// In-flight frames to a crashed destination die as fault
+			// drops, same as simnet dropping inbound at delivery time.
+			t.dropInjected(w.count, "crash")
+			continue
+		}
+		if !t.sleepOrStop(w.delay) {
+			t.dropFrames(w.count, "closed")
 			return
 		}
 		if conn == nil {
-			c, err := net.Dial("tcp", n.dialTo)
-			if err != nil {
-				t.dropFrames(count, "dial")
+			c, derr := t.dialBackoff(n, seed)
+			if derr != nil {
+				t.dropFrames(w.count, "dial")
 				continue
 			}
 			conn = c
+			if everConnected {
+				t.noteReconnect(n)
+			}
+			everConnected = true
 		}
-		if _, err := conn.Write(batch); err != nil {
+		if _, err := conn.Write(w.batch); err != nil {
 			conn.Close()
 			conn = nil
-			t.dropFrames(count, "write")
+			t.dropFrames(w.count, "write")
 		}
+	}
+}
+
+// dialBackoff dials the node's current TCP endpoint with capped,
+// jittered, seed-deterministic backoff — riding out a crash window is
+// exactly as long as the restart plus one backoff step.
+func (t *Net) dialBackoff(n *node, seed uint64) (net.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt < dialRetry.MaxAttempts; attempt++ {
+		if attempt > 0 && !t.sleepOrStop(dialRetry.Backoff(seed, attempt)) {
+			return nil, ErrClosed
+		}
+		n.endpointMu.Lock()
+		target := n.dialTo
+		n.endpointMu.Unlock()
+		c, err := net.Dial("tcp", target)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// noteReconnect counts one re-established stream.
+func (t *Net) noteReconnect(n *node) {
+	t.reconnects.Add(1)
+	if tel := t.telemetrySink(); tel != nil {
+		tel.Count(telemetry.MetricTransportReconnects, "Writer streams re-established after a reset or restart.", 1,
+			telemetry.A("dst", string(n.addr)))
 	}
 }
 
@@ -572,54 +909,98 @@ const maxUDPBatch = 60000
 
 func (t *Net) udpWriter(q *outQueue, n *node) {
 	defer t.wg.Done()
+	var stash wireItem
+	var stashed bool
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		// Without a send socket this worker can only drain and drop.
 		for {
-			_, count := t.nextBatch(q, maxUDPBatch)
-			if count == 0 {
+			w, ok := t.nextWork(q, maxUDPBatch, &stash, &stashed)
+			if !ok {
 				return
 			}
-			t.dropFrames(count, "socket")
+			t.dropFrames(w.count, "socket")
 		}
 	}
 	defer conn.Close()
 	_ = conn.SetWriteBuffer(4 << 20)
 	for {
-		batch, count := t.nextBatch(q, maxUDPBatch)
-		if batch == nil {
+		w, ok := t.nextWork(q, maxUDPBatch, &stash, &stashed)
+		if !ok {
 			return
 		}
-		if _, err := conn.WriteToUDP(batch, n.udpAddr); err != nil {
-			t.dropFrames(count, "write")
+		if w.count == 0 {
+			continue // UDP injected drops never enqueue wire symptoms
+		}
+		if n.isDown() {
+			t.dropInjected(w.count, "crash")
+			continue
+		}
+		if !t.sleepOrStop(w.delay) {
+			t.dropFrames(w.count, "closed")
+			return
+		}
+		n.endpointMu.Lock()
+		dst := n.udpAddr
+		n.endpointMu.Unlock()
+		if _, err := conn.WriteToUDP(w.batch, dst); err != nil {
+			t.dropFrames(w.count, "write")
 		}
 	}
 }
 
 func (t *Net) httpWriter(q *outQueue, n *node) {
 	defer t.wg.Done()
+	var stash wireItem
+	var stashed bool
 	for {
-		batch, count := t.nextBatch(q, t.opts.BatchBytes)
-		if batch == nil {
+		w, ok := t.nextWork(q, t.opts.BatchBytes, &stash, &stashed)
+		if !ok {
 			return
 		}
-		resp, err := t.httpClient.Post(n.baseURL+"/frames", "application/octet-stream", bytes.NewReader(batch))
+		n.endpointMu.Lock()
+		base := n.baseURL
+		n.endpointMu.Unlock()
+		if w.chaos {
+			// Injected loss, HTTP flavor: a marked POST the server
+			// answers with a hung 5xx. Accounting happened at the codec
+			// boundary; a transport error here changes nothing.
+			req, rerr := http.NewRequest("POST", base+"/frames", bytes.NewReader(w.frame))
+			if rerr == nil {
+				req.Header.Set("Content-Type", "application/octet-stream")
+				req.Header.Set(chaosHeader, "drop")
+				if resp, perr := t.httpClient.Do(req); perr == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+			continue
+		}
+		if n.isDown() {
+			t.dropInjected(w.count, "crash")
+			continue
+		}
+		if !t.sleepOrStop(w.delay) {
+			t.dropFrames(w.count, "closed")
+			return
+		}
+		resp, err := t.httpClient.Post(base+"/frames", "application/octet-stream", bytes.NewReader(w.batch))
 		if err != nil {
-			t.dropFrames(count, "post")
+			t.dropFrames(w.count, "post")
 			continue
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			t.dropFrames(count, "status")
+			t.dropFrames(w.count, "status")
 		}
 	}
 }
 
-func (t *Net) acceptTCP(n *node) {
+func (t *Net) acceptTCP(n *node, ln net.Listener) {
 	defer t.wg.Done()
 	for {
-		conn, err := n.tcpLn.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
@@ -664,11 +1045,11 @@ func (t *Net) readTCP(conn net.Conn) {
 	}
 }
 
-func (t *Net) readUDP(n *node) {
+func (t *Net) readUDP(n *node, conn *net.UDPConn) {
 	defer t.wg.Done()
 	buf := make([]byte, 64<<10)
 	for {
-		nr, _, err := n.udpConn.ReadFromUDP(buf)
+		nr, _, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			return // socket closed
 		}
@@ -701,6 +1082,33 @@ func (t *Net) deliver(msg transport.Message) {
 	t.mu.Unlock()
 	if n == nil {
 		t.dropFrames(1, "unroutable")
+		return
+	}
+	if n.isDown() {
+		// A frame that crossed the wire before the destination crashed
+		// dies at delivery, exactly where simnet drops inbound to a
+		// crashed node.
+		t.dropInjected(1, "crash")
+		return
+	}
+	select {
+	case n.inbox <- item{msg: msg}:
+		return
+	default:
+	}
+	if t.opts.ShedAfter > 0 {
+		// Bounded-inbox overload: wait at most ShedAfter for the
+		// dispatcher to drain, then shed — counted and labeled, never a
+		// silent drop.
+		timer := time.NewTimer(t.opts.ShedAfter)
+		defer timer.Stop()
+		select {
+		case n.inbox <- item{msg: msg}:
+		case <-timer.C:
+			t.shedFrame("deliver")
+		case <-t.stop:
+			t.dropFrames(1, "closed")
+		}
 		return
 	}
 	select {
@@ -786,6 +1194,11 @@ func (t *Net) Close() error {
 		return nil
 	}
 	close(t.stop)
+	// Ride out any in-flight crash/restart transition: transitions check
+	// closed under transMu before adding goroutines, so once we hold the
+	// lock no new endpoint or reader can appear behind our back.
+	t.transMu.Lock()
+	t.transMu.Unlock()
 	t.mu.Lock()
 	nodes := make([]*node, 0, len(t.nodes))
 	for _, n := range t.nodes {
@@ -793,6 +1206,7 @@ func (t *Net) Close() error {
 	}
 	t.mu.Unlock()
 	for _, n := range nodes {
+		n.endpointMu.Lock()
 		if n.tcpLn != nil {
 			n.tcpLn.Close()
 		}
@@ -802,6 +1216,7 @@ func (t *Net) Close() error {
 		if n.httpSrv != nil {
 			n.httpSrv.Close()
 		}
+		n.endpointMu.Unlock()
 	}
 	t.httpClient.CloseIdleConnections()
 	t.wg.Wait()
@@ -831,13 +1246,17 @@ func (v *nodeView) Rand(max int) int                                  { return v
 
 func (v *nodeView) After(delay time.Duration, fn func()) {
 	t := v.t
-	if t.closed.Load() {
+	if t.closed.Load() || v.n.isDown() {
+		// A crashed node arms nothing; and any timer armed here carries
+		// the node's crash epoch so a later crash cancels it at fire
+		// time (simnet cancels the queue events of a crashed owner).
 		return
 	}
+	ep := v.n.epoch.Load()
 	t.pending.Add(1)
 	time.AfterFunc(delay, func() {
 		select {
-		case v.n.inbox <- item{fire: fn}:
+		case v.n.inbox <- item{fire: fn, epoch: ep, owned: true}:
 		case <-t.stop:
 			t.finish(1)
 		}

@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"decoupling/internal/dcrypto/hpke"
@@ -403,6 +404,11 @@ type Client struct {
 	Addr simnet.Addr
 	net  simnet.Transport
 
+	// mu guards the circuit table and response log: on the real
+	// transport, retry attempts build circuits from timer goroutines
+	// while the client's dispatcher delivers backward cells (the
+	// simulator serializes both, so it never contends).
+	mu        sync.Mutex
 	circuits  map[uint32]*Circuit
 	responses []Response
 	dropped   int
@@ -463,7 +469,9 @@ func (c *Client) BuildCircuit(relays []RelayInfo) (*Circuit, error) {
 		}
 		inner = append(enc, ct...)
 	}
+	c.mu.Lock()
 	c.circuits[circ.cids[0]] = circ
+	c.mu.Unlock()
 	if err := c.net.Send(c.Addr, circ.entry, append([]byte{wireSetup}, inner...)); err != nil {
 		return nil, err
 	}
@@ -555,6 +563,8 @@ func (circ *Circuit) sendCell(cmd byte, data []byte) error {
 
 // handle processes backward cells arriving at the client.
 func (c *Client) handle(net simnet.Transport, msg simnet.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(msg.Payload) != 1+CellSize || msg.Payload[0] != wireCell {
 		c.dropped++
 		return
@@ -588,10 +598,18 @@ func (c *Client) handle(net simnet.Transport, msg simnet.Message) {
 }
 
 // Responses returns payloads received so far.
-func (c *Client) Responses() []Response { return append([]Response(nil), c.responses...) }
+func (c *Client) Responses() []Response {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Response(nil), c.responses...)
+}
 
 // Dropped reports discarded inbound cells.
-func (c *Client) Dropped() int { return c.dropped }
+func (c *Client) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
 
 // ScheduleChaff arms a periodic dummy-cell generator on the circuit:
 // one chaff cell every interval, count times (count <= 0 disables).

@@ -1,14 +1,16 @@
 // Fault injection for the deterministic simulator.
 //
-// A FaultPlan is a declarative schedule of failures — node crash/restart
-// windows, link partitions, burst loss, and latency spikes — evaluated
-// against the virtual clock. Every fault draws randomness (when it needs
-// any) from the network's single seeded RNG, so a chaos run is exactly
-// as reproducible as a healthy one: same seed + same plan = same bytes.
+// The fault-plan grammar (kinds, windows, the Spec round-trip, named
+// plans) lives in the transport-neutral internal/faults package; this
+// file keeps aliases so existing callers and specs are untouched, plus
+// the simulator-side enforcement that is genuinely simnet's: scheduling
+// crash transitions as queue events on the virtual clock, cancelling a
+// crashed node's timers, and dropping faulted datagrams with counted
+// reasons.
 //
-// Determinism rules for fault plans:
+// Determinism rules for fault plans on simnet:
 //
-//   - Windows are half-open [From, Until) in virtual time; Until <= 0
+//   - Windows are half-open [From, Until) in VIRTUAL time; Until <= 0
 //     means the fault never clears.
 //   - Crash and restart transitions are scheduled as ordinary queue
 //     events when ApplyFaults is called, so their ordering against
@@ -16,8 +18,11 @@
 //     apply the plan before sending and the crash wins; the reverse
 //     order lets the in-flight delivery land first.
 //   - Link faults (partition, loss, spike) are evaluated at Send time
-//     from the sender's virtual clock; loss consumes one RNG draw
-//     exactly when the effective loss probability is positive.
+//     from the sender's virtual clock. INJECTED loss draws from the
+//     deterministic faults.LossDraw stream keyed per directed link —
+//     not from the network RNG — so the same plan drops the same
+//     datagrams on the real transport; organic Link.Loss keeps its RNG
+//     draw and its separate accounting.
 //
 // Crashed nodes drop inbound datagrams (counted as fault drops), refuse
 // new sends with ErrNodeDown, and have their pending After timers
@@ -26,369 +31,56 @@ package simnet
 
 import (
 	"container/heap"
-	"errors"
-	"fmt"
 	"sort"
-	"strconv"
-	"strings"
-	"time"
+
+	"decoupling/internal/faults"
 )
 
 // ErrNodeDown is wrapped into Send errors when the source or destination
-// node is inside a crash window. Unlike silent link loss, a send to a
-// crashed node fails fast — the caller's retry logic gets an immediate,
-// typed signal (the moral equivalent of a connection refused).
-var ErrNodeDown = errors.New("simnet: node down")
+// node is inside a crash window (see faults.ErrNodeDown).
+var ErrNodeDown = faults.ErrNodeDown
 
 // ErrOverlappingCrash is wrapped into ParseFaultPlan errors when two
-// crash windows can cover the same node at the same instant. Overlap is
-// rejected rather than merged because the transitions are scheduled
-// independently: the first window's restart would bring the node up in
-// the middle of the second window, silently contradicting the spec.
-var ErrOverlappingCrash = errors.New("simnet: overlapping crash windows for the same node")
+// crash windows can cover the same node at the same instant (see
+// faults.ErrOverlappingCrash).
+var ErrOverlappingCrash = faults.ErrOverlappingCrash
 
 // Wildcard matches any node in a fault's Node/Src/Dst position.
-const Wildcard Addr = "*"
+const Wildcard = faults.Wildcard
 
 // FaultKind enumerates the injectable failure modes.
-type FaultKind int
+type FaultKind = faults.Kind
 
 const (
-	// FaultCrash takes a node down for a window: inbound datagrams are
-	// dropped, sends from/to it fail with ErrNodeDown, and its pending
-	// timers are cancelled.
-	FaultCrash FaultKind = iota
-	// FaultPartition silently drops every datagram on a directed link
-	// for a window (the wire gives no error — only timeouts notice).
-	FaultPartition
-	// FaultLoss raises a directed link's drop probability for a window
-	// (burst loss).
-	FaultLoss
-	// FaultSpike adds fixed extra latency on a directed link for a
-	// window.
-	FaultSpike
+	FaultCrash     = faults.FaultCrash
+	FaultPartition = faults.FaultPartition
+	FaultLoss      = faults.FaultLoss
+	FaultSpike     = faults.FaultSpike
 )
 
 // Fault is one scheduled failure. Src/Dst/Node may be Wildcard.
-type Fault struct {
-	Kind FaultKind
-	Node Addr // FaultCrash target
-	Src  Addr // link faults: directed source
-	Dst  Addr // link faults: directed destination
-	// Window [From, Until) in virtual time; Until <= 0 = never clears.
-	From, Until time.Duration
-	Loss        float64       // FaultLoss probability in [0, 1]
-	Extra       time.Duration // FaultSpike added latency
-}
+type Fault = faults.Fault
 
-func (f Fault) active(t time.Duration) bool {
-	return t >= f.From && (f.Until <= 0 || t < f.Until)
-}
-
-func matchAddr(pat, a Addr) bool { return pat == Wildcard || pat == a }
-
-// FaultPlan is an immutable-once-applied schedule of faults. The
-// builder methods return the plan for chaining.
-type FaultPlan struct {
-	faults []Fault
-}
+// FaultPlan is an immutable-once-applied schedule of faults.
+type FaultPlan = faults.Plan
 
 // NewFaultPlan returns an empty plan.
-func NewFaultPlan() *FaultPlan { return &FaultPlan{} }
+func NewFaultPlan() *FaultPlan { return faults.NewPlan() }
 
-// Crash schedules node down during [from, until); until <= 0 means no
-// restart.
-func (p *FaultPlan) Crash(node Addr, from, until time.Duration) *FaultPlan {
-	p.faults = append(p.faults, Fault{Kind: FaultCrash, Node: node, From: from, Until: until})
-	return p
-}
+// ParseFaultPlan parses a compact spec string (see faults.ParsePlan for
+// the grammar).
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return faults.ParsePlan(spec) }
 
-// Partition severs the link between a and b in both directions during
-// [from, until).
-func (p *FaultPlan) Partition(a, b Addr, from, until time.Duration) *FaultPlan {
-	return p.PartitionOneWay(a, b, from, until).PartitionOneWay(b, a, from, until)
-}
-
-// PartitionOneWay severs only the directed link src->dst.
-func (p *FaultPlan) PartitionOneWay(src, dst Addr, from, until time.Duration) *FaultPlan {
-	p.faults = append(p.faults, Fault{Kind: FaultPartition, Src: src, Dst: dst, From: from, Until: until})
-	return p
-}
-
-// Loss raises the directed link's drop probability to at least prob
-// during [from, until).
-func (p *FaultPlan) Loss(src, dst Addr, prob float64, from, until time.Duration) *FaultPlan {
-	p.faults = append(p.faults, Fault{Kind: FaultLoss, Src: src, Dst: dst, Loss: prob, From: from, Until: until})
-	return p
-}
-
-// LatencySpike adds extra delay on the directed link during [from,
-// until). Overlapping spikes sum.
-func (p *FaultPlan) LatencySpike(src, dst Addr, extra, from, until time.Duration) *FaultPlan {
-	p.faults = append(p.faults, Fault{Kind: FaultSpike, Src: src, Dst: dst, Extra: extra, From: from, Until: until})
-	return p
-}
-
-// Merge appends every fault of o (overlay semantics).
-func (p *FaultPlan) Merge(o *FaultPlan) *FaultPlan {
-	if o != nil {
-		p.faults = append(p.faults, o.faults...)
-	}
-	return p
-}
-
-// Faults returns a copy of the schedule.
-func (p *FaultPlan) Faults() []Fault {
-	if p == nil {
-		return nil
-	}
-	return append([]Fault(nil), p.faults...)
-}
-
-// Empty reports whether the plan schedules nothing.
-func (p *FaultPlan) Empty() bool { return p == nil || len(p.faults) == 0 }
-
-// CrashedAt reports whether node is inside any crash window at t. It is
-// a pure window query: protocols that run outside the simulator (the
-// HTTP-based stacks) can evaluate the same plan against their own
-// logical clocks.
-func (p *FaultPlan) CrashedAt(node Addr, t time.Duration) bool {
-	if p == nil {
-		return false
-	}
-	for _, f := range p.faults {
-		if f.Kind == FaultCrash && matchAddr(f.Node, node) && f.active(t) {
-			return true
-		}
-	}
-	return false
-}
-
-// PartitionedAt reports whether the directed link src->dst is severed
-// at t.
-func (p *FaultPlan) PartitionedAt(src, dst Addr, t time.Duration) bool {
-	if p == nil {
-		return false
-	}
-	for _, f := range p.faults {
-		if f.Kind == FaultPartition && matchAddr(f.Src, src) && matchAddr(f.Dst, dst) && f.active(t) {
-			return true
-		}
-	}
-	return false
-}
-
-// LossAt returns the highest injected loss probability on src->dst at t
-// (0 when no loss fault is active).
-func (p *FaultPlan) LossAt(src, dst Addr, t time.Duration) float64 {
-	if p == nil {
-		return 0
-	}
-	var loss float64
-	for _, f := range p.faults {
-		if f.Kind == FaultLoss && matchAddr(f.Src, src) && matchAddr(f.Dst, dst) && f.active(t) && f.Loss > loss {
-			loss = f.Loss
-		}
-	}
-	return loss
-}
-
-// SpikeAt returns the summed extra latency on src->dst at t.
-func (p *FaultPlan) SpikeAt(src, dst Addr, t time.Duration) time.Duration {
-	if p == nil {
-		return 0
-	}
-	var extra time.Duration
-	for _, f := range p.faults {
-		if f.Kind == FaultSpike && matchAddr(f.Src, src) && matchAddr(f.Dst, dst) && f.active(t) {
-			extra += f.Extra
-		}
-	}
-	return extra
-}
-
-// Spec renders the plan in the ParseFaultPlan grammar, one clause per
-// fault in schedule order. The output is canonical — parsing it yields
-// an equal plan whose Spec is byte-identical — which is what lets
-// fault plans ride inside replay traces and shrink by clause removal.
-// Both-direction partitions built with Partition serialize as their two
-// one-way clauses.
-func (p *FaultPlan) Spec() string {
-	if p.Empty() {
-		return ""
-	}
-	clauses := make([]string, 0, len(p.faults))
-	for _, f := range p.faults {
-		w := f.From.String() + "-"
-		if f.Until > 0 {
-			w += f.Until.String()
-		}
-		switch f.Kind {
-		case FaultCrash:
-			clauses = append(clauses, fmt.Sprintf("crash:%s@%s", f.Node, w))
-		case FaultPartition:
-			clauses = append(clauses, fmt.Sprintf("partition:%s>%s@%s", f.Src, f.Dst, w))
-		case FaultLoss:
-			clauses = append(clauses, fmt.Sprintf("loss:%s>%s:%s@%s",
-				f.Src, f.Dst, strconv.FormatFloat(f.Loss, 'g', -1, 64), w))
-		case FaultSpike:
-			clauses = append(clauses, fmt.Sprintf("spike:%s>%s:%s@%s", f.Src, f.Dst, f.Extra, w))
-		}
-	}
-	return strings.Join(clauses, ";")
-}
-
-// validateCrashWindows rejects plans where two crash windows can cover
-// the same node at the same instant (Wildcard overlaps everything).
-func validateCrashWindows(faults []Fault) error {
-	var crashes []Fault
-	for _, f := range faults {
-		if f.Kind == FaultCrash {
-			crashes = append(crashes, f)
-		}
-	}
-	for i, f := range crashes {
-		for _, g := range crashes[i+1:] {
-			if f.Node != g.Node && f.Node != Wildcard && g.Node != Wildcard {
-				continue
-			}
-			// Half-open windows [From, Until) with Until <= 0 = forever.
-			disjoint := (f.Until > 0 && f.Until <= g.From) || (g.Until > 0 && g.Until <= f.From)
-			if !disjoint {
-				return fmt.Errorf("%w: %s@%s- and %s@%s-", ErrOverlappingCrash, f.Node, f.From, g.Node, g.From)
-			}
-		}
-	}
-	return nil
-}
-
-// ParseFaultPlan parses a compact spec string:
-//
-//	crash:NODE@FROM-[UNTIL]
-//	partition:A<>B@FROM-[UNTIL]     (both directions)
-//	partition:A>B@FROM-[UNTIL]      (one direction)
-//	loss:SRC>DST:PROB@FROM-[UNTIL]
-//	spike:SRC>DST:EXTRA@FROM-[UNTIL]
-//
-// Faults are ';'-separated; addresses may be "*"; FROM/UNTIL are Go
-// durations ("25ms"); an empty UNTIL means the fault never clears.
-//
-//	crash:mix2@25ms-120ms;loss:*>mix1:0.3@0-;spike:exit>origin:40ms@50ms-90ms
-func ParseFaultPlan(spec string) (*FaultPlan, error) {
-	p := NewFaultPlan()
-	for _, part := range strings.Split(spec, ";") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		kind, rest, ok := strings.Cut(part, ":")
-		if !ok {
-			return nil, fmt.Errorf("simnet: fault %q: missing kind", part)
-		}
-		body, window, ok := strings.Cut(rest, "@")
-		if !ok {
-			return nil, fmt.Errorf("simnet: fault %q: missing @window", part)
-		}
-		from, until, err := parseWindow(window)
-		if err != nil {
-			return nil, fmt.Errorf("simnet: fault %q: %w", part, err)
-		}
-		switch kind {
-		case "crash":
-			if body == "" {
-				return nil, fmt.Errorf("simnet: fault %q: missing node", part)
-			}
-			p.Crash(Addr(body), from, until)
-		case "partition":
-			if a, b, ok := strings.Cut(body, "<>"); ok {
-				p.Partition(Addr(a), Addr(b), from, until)
-			} else if a, b, ok := strings.Cut(body, ">"); ok {
-				p.PartitionOneWay(Addr(a), Addr(b), from, until)
-			} else {
-				return nil, fmt.Errorf("simnet: fault %q: want A<>B or A>B", part)
-			}
-		case "loss":
-			link, probStr, ok := strings.Cut(body, ":")
-			src, dst, ok2 := strings.Cut(link, ">")
-			if !ok || !ok2 {
-				return nil, fmt.Errorf("simnet: fault %q: want SRC>DST:PROB", part)
-			}
-			prob, err := strconv.ParseFloat(probStr, 64)
-			if err != nil || !(prob >= 0 && prob <= 1) {
-				return nil, fmt.Errorf("simnet: fault %q: loss probability must be in [0,1]", part)
-			}
-			p.Loss(Addr(src), Addr(dst), prob, from, until)
-		case "spike":
-			link, extraStr, ok := strings.Cut(body, ":")
-			src, dst, ok2 := strings.Cut(link, ">")
-			if !ok || !ok2 {
-				return nil, fmt.Errorf("simnet: fault %q: want SRC>DST:EXTRA", part)
-			}
-			extra, err := time.ParseDuration(extraStr)
-			if err != nil || extra < 0 {
-				return nil, fmt.Errorf("simnet: fault %q: bad spike duration %q", part, extraStr)
-			}
-			p.LatencySpike(Addr(src), Addr(dst), extra, from, until)
-		default:
-			return nil, fmt.Errorf("simnet: fault %q: unknown kind %q (crash, partition, loss, spike)", part, kind)
-		}
-	}
-	if err := validateCrashWindows(p.faults); err != nil {
-		return nil, err
-	}
-	return p, nil
-}
-
-func parseWindow(w string) (from, until time.Duration, err error) {
-	fromStr, untilStr, ok := strings.Cut(w, "-")
-	if !ok {
-		return 0, 0, fmt.Errorf("window %q: want FROM-[UNTIL]", w)
-	}
-	if fromStr != "" {
-		if from, err = time.ParseDuration(fromStr); err != nil || from < 0 {
-			return 0, 0, fmt.Errorf("window %q: bad FROM", w)
-		}
-	}
-	if untilStr != "" {
-		if until, err = time.ParseDuration(untilStr); err != nil || until <= from {
-			return 0, 0, fmt.Errorf("window %q: UNTIL must be a duration after FROM", w)
-		}
-	}
-	return from, until, nil
-}
-
-// namedFaultPlans are the canonical chaos schedules selectable by name
-// via the -faults flag (spec strings remain accepted for ad-hoc plans).
-var namedFaultPlans = map[string]string{
-	// flaky: 20% burst loss on every link from t=0, forever.
-	"flaky": "loss:*>*:0.2@0-",
-	// split: every link severed for a mid-run window.
-	"split": "partition:*>*@30ms-80ms",
-	// tail: a latency spike on every link mid-run.
-	"tail": "spike:*>*:40ms@30ms-120ms",
-}
+// namedFaultPlans mirrors the shared named-plan table (fuzz seeds range
+// over it).
+var namedFaultPlans = faults.NamedPlanSpecs()
 
 // NamedFaultPlans returns the selectable plan names, sorted.
-func NamedFaultPlans() []string {
-	names := make([]string, 0, len(namedFaultPlans))
-	for n := range namedFaultPlans {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
+func NamedFaultPlans() []string { return faults.NamedPlans() }
 
 // FaultPlanFromSpec resolves a -faults argument: a registered plan name
 // or a ParseFaultPlan spec string. Empty means no plan (nil).
-func FaultPlanFromSpec(spec string) (*FaultPlan, error) {
-	if spec == "" {
-		return nil, nil
-	}
-	if named, ok := namedFaultPlans[spec]; ok {
-		spec = named
-	}
-	return ParseFaultPlan(spec)
-}
+func FaultPlanFromSpec(spec string) (*FaultPlan, error) { return faults.PlanFromSpec(spec) }
 
 // ApplyFaults overlays a plan on the network. Link faults take effect
 // immediately (window queries at Send time); crash/restart transitions
@@ -407,7 +99,7 @@ func (n *Network) ApplyFaults(p *FaultPlan) {
 		n.plan = NewFaultPlan()
 	}
 	n.plan.Merge(p)
-	for _, f := range p.faults {
+	for _, f := range p.Faults() {
 		if f.Kind != FaultCrash {
 			continue
 		}

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"decoupling/internal/faults"
 	"decoupling/internal/telemetry"
 	"decoupling/internal/telemetry/wiretrace"
 	"decoupling/internal/transport"
@@ -115,6 +116,7 @@ type Network struct {
 	mu          sync.Mutex
 	now         time.Duration
 	seq         uint64
+	seed        int64
 	rng         *rand.Rand
 	nodes       map[Addr]Handler
 	links       map[[2]Addr]Link
@@ -130,6 +132,7 @@ type Network struct {
 	plan       *FaultPlan
 	crashed    map[Addr]bool
 	faultDrops uint64
+	lossSeq    map[[2]Addr]uint64
 	running    Addr
 
 	// tel is the optional telemetry sink. When nil (the default) the
@@ -155,6 +158,7 @@ func (n *Network) pushLocked(e *event) { heap.Push(&n.queue, e) }
 // latency of 10ms with no jitter.
 func New(seed int64) *Network {
 	return &Network{
+		seed:        seed,
 		rng:         rand.New(rand.NewSource(seed)),
 		nodes:       map[Addr]Handler{},
 		links:       map[[2]Addr]Link{},
@@ -246,11 +250,28 @@ func (n *Network) SendTraced(src, dst Addr, payload []byte, ctx wiretrace.Contex
 	if !ok {
 		l = n.defaultLink
 	}
-	loss := l.Loss
-	if burst := n.plan.LossAt(src, dst, n.now); burst > loss {
-		loss = burst
+	// Injected burst loss draws from the deterministic per-link
+	// faults.LossDraw stream — shared with nettransport, so the same
+	// plan + seed drop the same datagrams on either transport. Organic
+	// link loss stays on the network RNG; a link under both can lose a
+	// datagram to either cause, and each draw happens exactly when its
+	// probability is positive.
+	if burst := n.plan.LossAt(src, dst, n.now); burst > 0 {
+		if n.lossSeq == nil {
+			n.lossSeq = map[[2]Addr]uint64{}
+		}
+		seq := n.lossSeq[[2]Addr{src, dst}]
+		n.lossSeq[[2]Addr{src, dst}] = seq + 1
+		if faults.LossDraw(n.seed, src, dst, seq) < burst {
+			n.lost++
+			if n.tel != nil {
+				n.tel.Count(telemetry.MetricSimnetLost, "Datagrams dropped by link loss.", 1,
+					telemetry.A("src", string(src)), telemetry.A("dst", string(dst)))
+			}
+			return nil // silently dropped, as the wire would
+		}
 	}
-	if loss > 0 && n.rng.Float64() < loss {
+	if l.Loss > 0 && n.rng.Float64() < l.Loss {
 		n.lost++
 		if n.tel != nil {
 			n.tel.Count(telemetry.MetricSimnetLost, "Datagrams dropped by link loss.", 1,

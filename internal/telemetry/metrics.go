@@ -46,6 +46,12 @@ const (
 	MetricTransportTimerFires  = "decoupling_transport_timer_fires_total"
 	MetricTransportPending     = "decoupling_transport_pending"
 	MetricTransportInboxDepth  = "decoupling_transport_inbox_depth"
+	// Real-transport fault layer: drops attributable to an injected
+	// fault plan (labeled by reason, distinct from organic wire loss),
+	// overload sheds, and writer reconnects after a broken stream.
+	MetricTransportFaultDrops = "decoupling_transport_fault_drops_total"
+	MetricTransportShed       = "decoupling_transport_shed_total"
+	MetricTransportReconnects = "decoupling_transport_reconnects_total"
 	// Loadgen live run metrics (wall-clock registry).
 	MetricLoadgenRequests = "decoupling_loadgen_requests_total"
 	MetricLoadgenErrors   = "decoupling_loadgen_errors_total"
