@@ -11,6 +11,7 @@
 //	decouple analyze                # all systems, one verdict per line
 //	decouple collude <system-id> <entity> [<entity>...]
 //	decouple audit <scenario-id>    # run a scenario, explain every tuple
+//	decouple audit -static <id|all> # derive static tuples from declared schemas
 //	decouple -explain <scenario-id> # shorthand for audit
 //	decouple replay <trace-file>    # re-execute an explorer counterexample
 //
@@ -23,6 +24,16 @@
 //
 // System ids: digitalcash, mixnet, privacypass, odns, pgpp, mpr, ppm,
 // vpn, ech. Audit scenario ids: mixnet, odns, odoh.
+//
+// `audit -static` needs no run at all: it derives each role's
+// knowledge tuple and the coalition closure purely from the declared
+// message schemas in internal/schema/catalog, rendering the evidence
+// (message.field and the flow it arrived by) behind every component.
+// A scenario whose declarations read a field declared opaque to them
+// (the planted odoh-snoop probe) is convicted with the role, message,
+// and field named, and the command exits nonzero. `-static all`
+// renders every non-probe scenario; -jsonl and -dot emit the static
+// report and declared topology.
 //
 // Audit flags (after the subcommand):
 //
@@ -60,6 +71,8 @@ import (
 	"decoupling/internal/explore"
 	"decoupling/internal/ledger"
 	"decoupling/internal/provenance"
+	"decoupling/internal/schema"
+	"decoupling/internal/schema/catalog"
 	"decoupling/internal/simnet"
 	"decoupling/internal/telemetry"
 )
@@ -161,6 +174,7 @@ func fprintUsage(w io.Writer) {
   decouple analyze                             verdicts for every system
   decouple collude <system-id> <entity>...     can this coalition re-couple?
   decouple audit [flags] <scenario-id>         run a scenario, explain every tuple
+  decouple audit -static <scenario-id|all>     derive static tuples from declared schemas
   decouple -explain <scenario-id>              shorthand for audit
   decouple replay [flags] <trace-file>         re-execute an explorer counterexample
 `)
@@ -200,6 +214,7 @@ func replay(out, errw io.Writer, args []string) error {
 func audit(out, errw io.Writer, args []string) error {
 	fs := flag.NewFlagSet("decouple audit", flag.ContinueOnError)
 	fs.SetOutput(errw)
+	static := fs.Bool("static", false, "audit declared schemas instead of a run: derive static knowledge tuples and the static coalition closure for `scenario` (or \"all\"); a schema conviction is a nonzero exit")
 	parallel := fs.Int("parallel", 1, "client goroutines; audit output is byte-identical across values")
 	faults := fs.String("faults", "", "inject a fault `plan`: a named plan ("+strings.Join(simnet.NamedFaultPlans(), ", ")+") or a spec string like \"crash:proxy@0-;loss:*>*:0.2@10ms-\"")
 	stats := fs.Bool("stats", false, "print ledger stats (per-observer observation and distinct-handle counts) to stderr")
@@ -208,6 +223,15 @@ func audit(out, errw io.Writer, args []string) error {
 	graphFile := fs.String("graphjson", "", "write the linkage graph as one JSON document to `file`")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *static {
+		if *faults != "" || *graphFile != "" || *stats {
+			return fmt.Errorf("-faults, -stats, and -graphjson need a run; they do not apply to -static")
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: decouple audit -static [flags] <scenario-id|all> (one of: %s)", strings.Join(catalog.IDs(), ", "))
+		}
+		return staticAudit(out, errw, fs.Arg(0), *jsonlFile, *dotFile)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: decouple audit [flags] <scenario-id> (one of: %s)", scenarioIDs())
@@ -263,6 +287,73 @@ func audit(out, errw io.Writer, args []string) error {
 			continue
 		}
 		if err := writeFile(f.path, a, f.write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// staticAudit derives the static knowledge tuples and coalition
+// closure for one declared scenario (or "all" non-probe scenarios)
+// and renders the deterministic report. A schema conviction — a role
+// declaring a read of a field declared opaque to it — surfaces as the
+// returned error, naming the role, message, and field, so planted
+// probes exit nonzero by construction. No network, ledger, or run is
+// involved; the output is byte-identical across invocations and any
+// -parallel setting.
+func staticAudit(out, errw io.Writer, id, jsonlFile, dotFile string) error {
+	ids := []string{id}
+	if id == "all" {
+		ids = ids[:0]
+		for _, sid := range catalog.IDs() {
+			if catalog.IsProbe(sid) {
+				fmt.Fprintf(errw, "decouple: skipping planted probe %q (convicts by design; audit it directly)\n", sid)
+				continue
+			}
+			ids = append(ids, sid)
+		}
+	}
+	var derived []*schema.Static
+	for _, sid := range ids {
+		sc, err := catalog.Get(sid)
+		if err != nil {
+			return err
+		}
+		st, err := schema.Derive(sc)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sid, err)
+		}
+		derived = append(derived, st)
+	}
+	for i, st := range derived {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if err := schema.WriteReport(out, st); err != nil {
+			return err
+		}
+	}
+	for _, f := range []struct {
+		path  string
+		write func(io.Writer, *schema.Static) error
+	}{
+		{jsonlFile, schema.WriteJSONL},
+		{dotFile, schema.WriteDOT},
+	} {
+		if f.path == "" {
+			continue
+		}
+		fh, err := os.Create(f.path)
+		if err != nil {
+			return err
+		}
+		for _, st := range derived {
+			if err := f.write(fh, st); err != nil {
+				fh.Close()
+				return err
+			}
+		}
+		if err := fh.Close(); err != nil {
 			return err
 		}
 	}

@@ -8,6 +8,19 @@
 //	experiments -parallel 1    # sequential (byte-identical output)
 //	experiments -trace t.jsonl -metrics m.prom E2 E10
 //	experiments -faults flaky E14   # extra chaos overlay on E14-E16
+//	experiments -static             # append static ⊇ measured conformance
+//	experiments -transport tcp      # socket experiments over real loopback TCP
+//
+// -static appends a per-experiment conformance section: each
+// experiment's measured knowledge tuples (derived from the run's
+// ledger) are checked against the static tuples derived from the
+// protocol's declared message schemas (internal/schema/catalog). Any
+// measured component the declarations never licensed is rendered with
+// the offending handler and field plus the run's provenance evidence
+// chain, and the exit status is nonzero. Static-minus-measured gaps
+// are flagged as declared-but-unexercised. The section is derived from
+// declarations and deterministic runs only, so its bytes are identical
+// across -parallel settings and transports.
 //
 // Experiments execute on a worker pool (-parallel N, default
 // GOMAXPROCS); results are always reported in id order, so the report
@@ -61,10 +74,12 @@ import (
 
 	"decoupling/internal/experiments"
 	"decoupling/internal/explore"
+	"decoupling/internal/nettransport"
 	"decoupling/internal/provenance"
 	"decoupling/internal/simnet"
 	"decoupling/internal/telemetry"
 	"decoupling/internal/telemetry/wiretrace"
+	"decoupling/internal/transport"
 )
 
 func main() {
@@ -81,6 +96,10 @@ func run(out, errw io.Writer, args []string) int {
 		"number of experiments to run concurrently (1 = sequential)")
 	faults := fs.String("faults", "",
 		"overlay a fault `plan` on the chaos experiments' simulators (E14-E16): a named plan or a spec string; see simnet.ParseFaultPlan")
+	doStatic := fs.Bool("static", false,
+		"append the static-conformance section: check static ⊇ measured for every experiment against its declared schemas; any violation is a nonzero exit")
+	transportName := fs.String("transport", "simnet",
+		"transport for socket-capable experiments: simnet (in-process virtual network) or tcp (real loopback sockets)")
 	traceFile := fs.String("trace", "", "write span traces as JSONL to `file`")
 	traceMode := fs.String("trace-mode", "off",
 		"wire-trace propagation policy: off, rotate (re-key the trace id at decoupling boundaries), or naive (one global id — must fail the audit)")
@@ -118,6 +137,19 @@ func run(out, errw io.Writer, args []string) int {
 	}
 	if *wirespansFile != "" && wireMode == wiretrace.ModeOff {
 		fmt.Fprintln(errw, "experiments: -wirespans needs -trace-mode rotate or naive")
+		return 2
+	}
+	var transportFactory func(seed int64) transport.Runner
+	switch *transportName {
+	case "simnet", "":
+		// nil factory: socket-capable experiments build their default
+		// in-process simnet transport.
+	case "tcp":
+		transportFactory = func(seed int64) transport.Runner {
+			return nettransport.New(nettransport.Options{Mode: nettransport.ModeTCP, Seed: seed})
+		}
+	default:
+		fmt.Fprintf(errw, "experiments: unknown -transport %q (want simnet or tcp)\n", *transportName)
 		return 2
 	}
 
@@ -168,7 +200,7 @@ func run(out, errw io.Writer, args []string) int {
 	telemetryOn := *traceFile != "" || *metricsFile != "" || *listenAddr != ""
 	// -audit also enables tracing so ledger observations join their
 	// protocol phase; the spans are only written out under -trace.
-	runner := experiments.Runner{Workers: *parallel, Trace: *traceFile != "" || *auditFile != "", WireMode: wireMode}
+	runner := experiments.Runner{Workers: *parallel, Trace: *traceFile != "" || *auditFile != "", WireMode: wireMode, Transport: transportFactory}
 	if telemetryOn {
 		runner.Metrics = telemetry.NewMetrics()
 	}
@@ -231,6 +263,17 @@ func run(out, errw io.Writer, args []string) int {
 		coupled := auditWirePlanes(errw, results)
 		if coupled > 0 {
 			fmt.Fprintf(errw, "experiments: trace plane COUPLED in %d experiment(s) — the tracing layer leaks linkage the protocol withholds\n", coupled)
+			return 1
+		}
+	}
+	if *doStatic {
+		sviol, err := experiments.RenderStatic(out, results)
+		if err != nil {
+			fmt.Fprintf(errw, "experiments: %v\n", err)
+			return 2
+		}
+		if sviol > 0 {
+			fmt.Fprintf(errw, "experiments: %d static-conformance violation(s) — a run learned knowledge its declared schemas never licensed\n", sviol)
 			return 1
 		}
 	}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestStaticConformanceSection runs a knowledge-measuring subset with
+// -static and checks the conformance rows render and the run passes.
+func TestStaticConformanceSection(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-static", "E8", "E9", "E13"}); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errw.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Static conformance (static ⊇ measured, from declared schemas):") {
+		t.Fatalf("missing static section:\n%s", s)
+	}
+	for _, row := range []string{
+		"E8   vpn            static ⊇ measured (exact)",
+		"E9   ech            static ⊇ measured (exact)",
+		"E13  tee            static ⊇ measured (exact)",
+	} {
+		if !strings.Contains(s, row) {
+			t.Errorf("missing row %q:\n%s", row, s)
+		}
+	}
+}
+
+// TestStaticSectionByteIdenticalAcrossParallel extends the CLI
+// determinism contract to the -static section.
+func TestStaticSectionByteIdenticalAcrossParallel(t *testing.T) {
+	render := func(parallel string) string {
+		var out, errw bytes.Buffer
+		args := []string{"-static", "-parallel", parallel, "E1", "E8", "E13"}
+		if code := run(&out, &errw, args); code != 0 {
+			t.Fatalf("exit = %d, stderr = %s", code, errw.String())
+		}
+		return out.String()
+	}
+	base := render("1")
+	for _, parallel := range []string{"4", "8"} {
+		if got := render(parallel); got != base {
+			t.Errorf("-static -parallel %s diverged:\n--- 1 ---\n%s\n--- %s ---\n%s", parallel, base, parallel, got)
+		}
+	}
+}
+
+// TestTransportTCPStatic runs a socket-capable experiment over real
+// loopback TCP with the static check on: the schema bound must hold on
+// the real transport too.
+func TestTransportTCPStatic(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-static", "-transport", "tcp", "E8"}); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "E8   vpn            static ⊇ measured (exact)") {
+		t.Errorf("missing conformance row over tcp:\n%s", out.String())
+	}
+}
+
+func TestTransportUnknown(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-transport", "carrier-pigeon", "E8"}); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown -transport") {
+		t.Errorf("stderr:\n%s", errw.String())
+	}
+}

@@ -1,0 +1,149 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"decoupling/internal/core"
+)
+
+// This file is the static-analysis counterpart of the observation-graph
+// coalition machinery: where LinkSubjects unions concrete observations
+// over concrete handles after a run, CloseStatic unions *declared*
+// entities over *declared* handle classes before any run exists. The
+// two must agree on every scenario — the static closure is the bound
+// the measured partitions are checked against.
+
+// StaticPartition is one connected component of the declared
+// entity/handle-class graph: the set of non-user entities that could
+// join their knowledge if all of them colluded, with the merged tuple
+// that collusion would pool.
+type StaticPartition struct {
+	// Entities are the member names, sorted.
+	Entities []string
+	// Handles are the shared handle classes connecting them, sorted.
+	Handles []string
+	// Merged is the pooled tuple, including any shared secrets whose
+	// complete holder set lies inside the partition.
+	Merged core.Tuple
+	// Coupled reports whether full collusion inside this partition
+	// re-couples a sensitive identity with sensitive (or partial) data.
+	Coupled bool
+	// Secrets names the shared secrets the partition can reconstruct.
+	Secrets []string
+}
+
+// StaticClosure is the full static coalition analysis of a declared
+// system: the per-partition worst case plus the minimum-coalition
+// verdict from the same exhaustive search the measured side uses.
+type StaticClosure struct {
+	Verdict    core.Verdict
+	Partitions []StaticPartition
+}
+
+// CloseStatic computes the static coalition closure of a declared
+// system (typically schema.Static.System()). Entities with declared
+// handle classes are grouped by handle connectivity; the merged tuple
+// per group is the upper bound on what that group's collusion yields.
+// The verdict reuses core.Analyze, so static and measured coalition
+// degrees are directly comparable.
+func CloseStatic(sys *core.System) (StaticClosure, error) {
+	verdict, err := core.Analyze(sys)
+	if err != nil {
+		return StaticClosure{}, fmt.Errorf("adversary: static closure: %w", err)
+	}
+	cl := StaticClosure{Verdict: verdict}
+
+	var members []core.Entity
+	for _, e := range sys.Entities {
+		if !e.User {
+			members = append(members, e)
+		}
+	}
+	if len(members) == 0 {
+		return cl, nil
+	}
+
+	// Union-find over declared handle classes. Unlike the conservative
+	// measured-side rule, an entity with no declared handles forms its
+	// own partition: the schema explicitly asserts it shares no join
+	// key with anyone.
+	parent := make([]int, len(members))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	byHandle := map[string][]int{}
+	for i, e := range members {
+		for _, h := range e.Links {
+			byHandle[h] = append(byHandle[h], i)
+		}
+	}
+	handleNames := make([]string, 0, len(byHandle))
+	for h := range byHandle {
+		handleNames = append(handleNames, h)
+	}
+	sort.Strings(handleNames)
+	for _, h := range handleNames {
+		owners := byHandle[h]
+		for i := 1; i < len(owners); i++ {
+			parent[find(owners[0])] = find(owners[i])
+		}
+	}
+
+	groups := map[int][]int{}
+	for i := range members {
+		root := find(i)
+		groups[root] = append(groups[root], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	// Deterministic partition order: by first member index.
+	sort.Slice(roots, func(a, b int) bool { return groups[roots[a]][0] < groups[roots[b]][0] })
+
+	for _, root := range roots {
+		idxs := groups[root]
+		p := StaticPartition{}
+		inPartition := map[string]bool{}
+		handles := map[string]bool{}
+		for _, i := range idxs {
+			p.Merged = p.Merged.Merge(members[i].Knows)
+			p.Entities = append(p.Entities, members[i].Name)
+			inPartition[members[i].Name] = true
+			for _, h := range members[i].Links {
+				handles[h] = true
+			}
+		}
+		for _, sec := range sys.SharedSecrets {
+			all := len(sec.Holders) > 0
+			for _, h := range sec.Holders {
+				if !inPartition[h] {
+					all = false
+					break
+				}
+			}
+			if all {
+				p.Merged = p.Merged.Merge(core.Tuple{sec.Yields})
+				p.Secrets = append(p.Secrets, sec.Name)
+			}
+		}
+		sort.Strings(p.Entities)
+		for h := range handles {
+			p.Handles = append(p.Handles, h)
+		}
+		sort.Strings(p.Handles)
+		sort.Strings(p.Secrets)
+		p.Coupled = p.Merged.Coupled()
+		cl.Partitions = append(cl.Partitions, p)
+	}
+	return cl, nil
+}

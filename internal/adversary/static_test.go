@@ -1,0 +1,124 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"decoupling/internal/core"
+)
+
+// closureSystem builds a declared system with two handle-connected
+// partitions, one linkless loner, and a shared secret split across the
+// connected pair.
+func closureSystem() *core.System {
+	return &core.System{
+		Name: "closure-test",
+		Entities: []core.Entity{
+			{Name: "User", User: true, Knows: core.Tuple{core.SensID(), core.SensData()}},
+			{Name: "Front", Knows: core.Tuple{core.SensID(), core.NonSensData()}, Links: []string{"conn-a"}},
+			{Name: "Middle", Knows: core.Tuple{core.NonSensID(), core.NonSensData()}, Links: []string{"conn-a", "conn-b"}},
+			{Name: "Back", Knows: core.Tuple{core.NonSensID(), core.NonSensData()}, Links: []string{"conn-b"}},
+			{Name: "Loner", Knows: core.Tuple{core.NonSensID(), core.SensData()}},
+		},
+		SharedSecrets: []core.SharedSecret{
+			{Name: "split-key", Holders: []string{"Front", "Back"}, Yields: core.SensData()},
+		},
+	}
+}
+
+func TestCloseStaticPartitions(t *testing.T) {
+	cl, err := CloseStatic(closureSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Partitions) != 2 {
+		t.Fatalf("partitions = %d, want 2 (chain + loner):\n%+v", len(cl.Partitions), cl.Partitions)
+	}
+	chain := cl.Partitions[0]
+	if strings.Join(chain.Entities, "+") != "Back+Front+Middle" {
+		t.Errorf("chain members = %v", chain.Entities)
+	}
+	if strings.Join(chain.Handles, " ") != "conn-a conn-b" {
+		t.Errorf("chain handles = %v", chain.Handles)
+	}
+	// Front(▲,⊙) + Middle(△,⊙) + Back(△,⊙) + reconstructed split-key (●)
+	// = (▲, ●): coupled under full collusion.
+	if !chain.Coupled || chain.Merged.Symbol() != "(▲, ●)" {
+		t.Errorf("chain merged = %s coupled=%v", chain.Merged.Symbol(), chain.Coupled)
+	}
+	if len(chain.Secrets) != 1 || chain.Secrets[0] != "split-key" {
+		t.Errorf("chain secrets = %v", chain.Secrets)
+	}
+
+	loner := cl.Partitions[1]
+	if len(loner.Entities) != 1 || loner.Entities[0] != "Loner" {
+		t.Errorf("loner partition = %v", loner.Entities)
+	}
+	if loner.Coupled {
+		t.Error("(△, ●) alone must not be coupled")
+	}
+	if len(loner.Secrets) != 0 {
+		t.Errorf("loner reconstructs %v", loner.Secrets)
+	}
+}
+
+// TestCloseStaticSecretNeedsAllHolders pins the threshold semantics: a
+// partition holding only some of a secret's shares reconstructs
+// nothing.
+func TestCloseStaticSecretNeedsAllHolders(t *testing.T) {
+	sys := closureSystem()
+	// Re-home the second share outside the chain partition.
+	sys.SharedSecrets[0].Holders = []string{"Front", "Loner"}
+	cl, err := CloseStatic(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := cl.Partitions[0]
+	if len(chain.Secrets) != 0 {
+		t.Errorf("partial holder set reconstructed %v", chain.Secrets)
+	}
+	if chain.Coupled {
+		t.Errorf("chain without the secret merged %s and must stay uncoupled", chain.Merged.Symbol())
+	}
+}
+
+// TestCloseStaticVerdictMatchesAnalyze pins that the closure's verdict
+// is exactly core.Analyze on the same system — static and measured
+// coalition degrees stay directly comparable.
+func TestCloseStaticVerdictMatchesAnalyze(t *testing.T) {
+	sys := closureSystem()
+	cl, err := CloseStatic(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Analyze(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Verdict.String() != want.String() {
+		t.Errorf("closure verdict %q != Analyze %q", cl.Verdict, want)
+	}
+}
+
+func TestCloseStaticDeterministicOrder(t *testing.T) {
+	base, err := CloseStatic(closureSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := CloseStatic(closureSystem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Partitions) != len(base.Partitions) {
+			t.Fatal("partition count varies")
+		}
+		for j := range again.Partitions {
+			a, b := again.Partitions[j], base.Partitions[j]
+			if strings.Join(a.Entities, "+") != strings.Join(b.Entities, "+") ||
+				strings.Join(a.Handles, " ") != strings.Join(b.Handles, " ") {
+				t.Fatalf("partition order varies: %+v vs %+v", a, b)
+			}
+		}
+	}
+}

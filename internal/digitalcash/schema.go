@@ -1,0 +1,110 @@
+package digitalcash
+
+import (
+	"decoupling/internal/core"
+	"decoupling/internal/schema"
+)
+
+// StaticSchema declares the §3.1.1 blind-signature cash protocol. The
+// signer authenticates the withdrawing account but signs only a blinded
+// serial (opaque); the verifier sees the seller and a coarse purchase
+// category at deposit (partial); the serial itself circulates as a
+// bearer pseudonym (routing). Withdrawal and deposit flows share no
+// handle, which is the whole point of the blinding.
+func StaticSchema() *schema.Scenario {
+	return &schema.Scenario{
+		Name:    "digitalcash",
+		System:  "Digital Cash (blind signatures)",
+		Section: "3.1.1",
+		Doc:     "Chaumian digital cash: the bank's signing and verifying desks see disjoint halves of every coin's life.",
+		Axes:    []schema.Axis{{Kind: core.Identity}, {Kind: core.Data}},
+		Messages: []schema.Message{
+			{
+				Name: "dc_withdrawal",
+				Doc:  "authenticated withdrawal of one blinded coin",
+				Fields: []schema.Field{
+					{Name: "account", Label: schema.Identity},
+					{Name: "blinded_serial", Label: schema.Opaque},
+				},
+			},
+			{
+				Name: "dc_blind_signature",
+				Fields: []schema.Field{
+					{Name: "blind_sig", Label: schema.Opaque},
+				},
+			},
+			{
+				Name: "dc_purchase",
+				Doc:  "anonymous spend of one unblinded coin",
+				Fields: []schema.Field{
+					// The unblinded serial is a bearer pseudonym: valid once,
+					// linkable to no withdrawal.
+					{Name: "coin_serial", Label: schema.Routing},
+					{Name: "order", Label: schema.Content},
+				},
+			},
+			{
+				Name: "dc_deposit",
+				Doc:  "the seller's deposit of a received coin",
+				Fields: []schema.Field{
+					{Name: "seller_account", Label: schema.Routing},
+					{Name: "coin_serial", Label: schema.Routing},
+					// Deposit metadata leaks coarse purchase context (the
+					// paper's ⊙/● for the verifier).
+					{Name: "category", Label: schema.Query, Partial: true},
+				},
+			},
+			{
+				Name: "dc_receipt",
+				Fields: []schema.Field{
+					{Name: "goods", Label: schema.Opaque},
+				},
+			},
+		},
+		Roles: []schema.Role{
+			{
+				Name: "Buyer", User: true,
+				Knows: core.Tuple{core.SensID(), core.SensData()},
+				Sends: []schema.Use{
+					{Message: "dc_withdrawal", Fields: []string{"account"}},
+					{Message: "dc_purchase", Fields: []string{"coin_serial", "order"}},
+				},
+				Receives: []schema.Use{
+					{Message: "dc_blind_signature"},
+					{Message: "dc_receipt"},
+				},
+			},
+			{
+				Name: SignerName,
+				Receives: []schema.Use{
+					// The blinded serial is signed, never read.
+					{Message: "dc_withdrawal", Fields: []string{"account"}},
+				},
+				Sends: []schema.Use{{Message: "dc_blind_signature"}},
+			},
+			{
+				Name: VerifierName,
+				Receives: []schema.Use{
+					{Message: "dc_deposit", Fields: []string{"seller_account", "coin_serial", "category"}},
+				},
+			},
+			{
+				Name: SellerName,
+				Receives: []schema.Use{
+					{Message: "dc_purchase", Fields: []string{"coin_serial", "order"}},
+				},
+				Sends: []schema.Use{
+					{Message: "dc_deposit", Fields: []string{"seller_account", "coin_serial", "category"}},
+					{Message: "dc_receipt"},
+				},
+			},
+		},
+		Flows: []schema.Flow{
+			{From: "Buyer", To: SignerName, Message: "dc_withdrawal", Handle: "withdrawal"},
+			{From: SignerName, To: "Buyer", Message: "dc_blind_signature", Handle: "withdrawal"},
+			{From: "Buyer", To: SellerName, Message: "dc_purchase", Handle: "purchase"},
+			{From: SellerName, To: VerifierName, Message: "dc_deposit", Handle: "deposit"},
+			{From: SellerName, To: "Buyer", Message: "dc_receipt", Handle: "purchase"},
+		},
+	}
+}

@@ -1,0 +1,64 @@
+package dns
+
+import (
+	"decoupling/internal/core"
+	"decoupling/internal/dnswire"
+	"decoupling/internal/schema"
+)
+
+// StaticSchema declares the plain-DNS baseline: a recursive resolver
+// that sees both who asks and what they ask — the coupled architecture
+// every oblivious variant in this module exists to decompose. The
+// static derivation convicts it without running anything: the Resolver
+// role reads an identity field and a query field of the same message.
+func StaticSchema() *schema.Scenario {
+	msgs := dnswire.SchemaMessages()
+	return &schema.Scenario{
+		Name:    "dns",
+		System:  "Plain DNS (baseline)",
+		Section: "3.2.2",
+		Doc:     "The undisturbed baseline: one resolver terminates the client connection and parses the plaintext QNAME.",
+		Axes:    []schema.Axis{{Kind: core.Identity}, {Kind: core.Data}},
+		Messages: append(msgs, schema.Message{
+			Name: "auth_response",
+			Doc:  "authoritative answer returned to the resolver",
+			Fields: []schema.Field{
+				{Name: "answer", Label: schema.Content},
+			},
+		}),
+		Roles: []schema.Role{
+			{
+				Name: "Client", User: true,
+				Knows: core.Tuple{core.SensID(), core.SensData()},
+				Sends: []schema.Use{{Message: dnswire.SchemaQuery, Fields: []string{"src_addr", "qname", "qtype"}}},
+				Receives: []schema.Use{
+					{Message: dnswire.SchemaResponse, Fields: []string{"answer"}},
+				},
+			},
+			{
+				Name: "Resolver",
+				Receives: []schema.Use{
+					{Message: dnswire.SchemaQuery, Fields: []string{"src_addr", "qname", "qtype"}},
+					{Message: "auth_response", Fields: []string{"answer"}},
+				},
+				Sends: []schema.Use{
+					{Message: dnswire.SchemaRecursiveQuery, Fields: []string{"src_addr", "qname", "qtype"}},
+					{Message: dnswire.SchemaResponse},
+				},
+			},
+			{
+				Name: "Origin",
+				Receives: []schema.Use{
+					{Message: dnswire.SchemaRecursiveQuery, Fields: []string{"src_addr", "qname", "qtype"}},
+				},
+				Sends: []schema.Use{{Message: "auth_response", Fields: []string{"answer"}}},
+			},
+		},
+		Flows: []schema.Flow{
+			{From: "Client", To: "Resolver", Message: dnswire.SchemaQuery, Handle: "client-conn"},
+			{From: "Resolver", To: "Origin", Message: dnswire.SchemaRecursiveQuery, Handle: "recursion"},
+			{From: "Origin", To: "Resolver", Message: "auth_response", Handle: "recursion"},
+			{From: "Resolver", To: "Client", Message: dnswire.SchemaResponse, Handle: "client-conn"},
+		},
+	}
+}

@@ -1,0 +1,54 @@
+package dnswire
+
+import "decoupling/internal/schema"
+
+// Schema message names shared by every DNS-shaped scenario (plain DNS,
+// ODNS, ODoH): the declarations below describe this package's wire
+// Message as the taint analysis sees it at each vantage.
+const (
+	// SchemaQuery is a plaintext DNS query as sent by the user: the
+	// QNAME is the user's sensitive query, the source address the
+	// user's identity.
+	SchemaQuery = "dns_query"
+	// SchemaRecursiveQuery is a plaintext query re-originated by an
+	// infrastructure resolver: the same sensitive QNAME, but the source
+	// address is the resolver's — routing metadata, not the user.
+	SchemaRecursiveQuery = "dns_recursive_query"
+	// SchemaResponse is the matching plaintext response.
+	SchemaResponse = "dns_response"
+)
+
+// SchemaMessages declares the plaintext DNS wire messages. Scenarios
+// that carry plain DNS (the baseline resolver path, the recursive leg
+// behind an oblivious target, a fail-open fallback) splice these into
+// their declarations so every vantage that parses a dnswire.Message
+// accounts for the same fields.
+func SchemaMessages() []schema.Message {
+	return []schema.Message{
+		{
+			Name: SchemaQuery,
+			Doc:  "plaintext dnswire.Message query",
+			Fields: []schema.Field{
+				{Name: "src_addr", Label: schema.Identity},
+				{Name: "qname", Label: schema.Query},
+				{Name: "qtype", Label: schema.Routing},
+			},
+		},
+		{
+			Name: SchemaRecursiveQuery,
+			Doc:  "plaintext dnswire.Message query re-originated by a resolver",
+			Fields: []schema.Field{
+				{Name: "src_addr", Label: schema.Routing},
+				{Name: "qname", Label: schema.Query},
+				{Name: "qtype", Label: schema.Routing},
+			},
+		},
+		{
+			Name: SchemaResponse,
+			Doc:  "plaintext dnswire.Message response",
+			Fields: []schema.Field{
+				{Name: "answer", Label: schema.Content},
+			},
+		},
+	}
+}

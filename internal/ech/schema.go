@@ -1,0 +1,101 @@
+package ech
+
+import (
+	"decoupling/internal/core"
+	"decoupling/internal/schema"
+)
+
+// StaticSchema declares the §3.3 Encrypted ClientHello discussion. The
+// on-path network forwards the handshake reading only the client
+// address and the public outer SNI; the inner SNI and application data
+// are sealed to the terminating server. The derivation shows both
+// halves of the paper's point: ECH blinds the network (△ data), and
+// changes nothing at the server, which remains (▲, ●).
+func StaticSchema() *schema.Scenario {
+	return &schema.Scenario{
+		Name:    "ech",
+		System:  "TLS Encrypted ClientHello",
+		Section: "3.3",
+		Doc:     "TLS ECH: the handshake's sensitive inner SNI is sealed to the client-facing server's ECH key; the network sees ciphertext, the server still sees everything.",
+		Axes:    []schema.Axis{{Kind: core.Identity}, {Kind: core.Data}},
+		Messages: []schema.Message{
+			{
+				Name: "ech_client_hello",
+				Doc:  "outer ClientHello with the ECH extension",
+				Fields: []schema.Field{
+					{Name: "client_addr", Label: schema.Identity},
+					{Name: "outer_sni", Label: schema.Routing},
+					{Name: "ech_payload", Label: schema.Opaque, Encapsulates: "ech_inner_hello", Openers: []string{ServerName}},
+				},
+			},
+			{
+				Name: "ech_inner_hello",
+				Doc:  "the encrypted inner ClientHello",
+				Fields: []schema.Field{
+					{Name: "inner_sni", Label: schema.Query},
+				},
+			},
+			{
+				Name: "ech_app_data",
+				Doc:  "post-handshake application records",
+				Fields: []schema.Field{
+					{Name: "record", Label: schema.Opaque, Encapsulates: "ech_request", Openers: []string{ServerName, "Client"}},
+				},
+			},
+			{
+				Name: "ech_request",
+				Fields: []schema.Field{
+					{Name: "body", Label: schema.Content},
+				},
+			},
+		},
+		Roles: []schema.Role{
+			{
+				Name: "Client", User: true,
+				Knows: core.Tuple{core.SensID(), core.SensData()},
+				Sends: []schema.Use{
+					{Message: "ech_client_hello", Fields: []string{"client_addr", "outer_sni"}},
+					{Message: "ech_app_data"},
+				},
+				Receives: []schema.Use{
+					{Message: "ech_app_data"},
+					{Message: "ech_request", Fields: []string{"body"}},
+				},
+			},
+			{
+				Name: NetworkName,
+				Receives: []schema.Use{
+					// The passive network reads addressing and the public
+					// outer SNI; every ECH and record byte stays opaque.
+					{Message: "ech_client_hello", Fields: []string{"client_addr", "outer_sni"}},
+					{Message: "ech_app_data"},
+				},
+				Sends: []schema.Use{
+					{Message: "ech_client_hello"},
+					{Message: "ech_app_data"},
+				},
+			},
+			{
+				Name: ServerName,
+				Receives: []schema.Use{
+					{Message: "ech_client_hello", Fields: []string{"client_addr", "outer_sni", "ech_payload"}},
+					{Message: "ech_inner_hello", Fields: []string{"inner_sni"}},
+					{Message: "ech_app_data", Fields: []string{"record"}},
+					{Message: "ech_request", Fields: []string{"body"}},
+				},
+				Sends: []schema.Use{{Message: "ech_app_data"}},
+				// The server additionally holds the session handle (resumption
+				// tickets, connection state) beyond the shared wire.
+				Handles: []string{"session"},
+			},
+		},
+		Flows: []schema.Flow{
+			{From: "Client", To: NetworkName, Message: "ech_client_hello", Handle: "wire"},
+			{From: NetworkName, To: ServerName, Message: "ech_client_hello", Handle: "wire"},
+			{From: "Client", To: NetworkName, Message: "ech_app_data", Handle: "wire"},
+			{From: NetworkName, To: ServerName, Message: "ech_app_data", Handle: "wire"},
+			{From: ServerName, To: NetworkName, Message: "ech_app_data", Handle: "wire"},
+			{From: NetworkName, To: "Client", Message: "ech_app_data", Handle: "wire"},
+		},
+	}
+}

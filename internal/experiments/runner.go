@@ -8,6 +8,7 @@ import (
 
 	"decoupling/internal/telemetry"
 	"decoupling/internal/telemetry/wiretrace"
+	"decoupling/internal/transport"
 )
 
 // Runner executes a set of experiments on a bounded worker pool and
@@ -41,6 +42,10 @@ type Runner struct {
 	// for the trace-plane audit). Per-experiment planes keep span and
 	// trace ids independent of -parallel, like the tracers.
 	WireMode wiretrace.Mode
+	// Transport, when non-nil, overrides each experiment's transport
+	// construction (the Ctx.NewRunner lever): cmd/experiments
+	// -transport tcp runs the whole sweep over real loopback sockets.
+	Transport func(seed int64) transport.Runner
 }
 
 // RunnerResult pairs one experiment's outcome with any execution error.
@@ -98,7 +103,7 @@ func (r *Runner) Run(exps []Experiment) []RunnerResult {
 				// Seeded by slot so a plane's ids depend on the input
 				// order, never on which worker picked the job up.
 				wire := wiretrace.New(r.WireMode, int64(1000+j.idx))
-				res, err := runOne(exp, tel, wire)
+				res, err := runOne(exp, tel, wire, r.Transport)
 				if res != nil {
 					res.WallElapsed = time.Since(start)
 					root.EndAt(res.VirtualElapsed)
@@ -119,13 +124,13 @@ func (r *Runner) Run(exps []Experiment) []RunnerResult {
 
 // runOne executes a single experiment, converting panics into errors so
 // one faulty experiment cannot take down a parallel run.
-func runOne(exp Experiment, tel *telemetry.Telemetry, wire *wiretrace.Plane) (res *Result, err error) {
+func runOne(exp Experiment, tel *telemetry.Telemetry, wire *wiretrace.Plane, tr func(seed int64) transport.Runner) (res *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("%s: panic: %v", exp.ID, p)
 		}
 	}()
-	return exp.Run(Ctx{Tel: tel, Wire: wire})
+	return exp.Run(Ctx{Tel: tel, Wire: wire, transport: tr})
 }
 
 // RunAll is shorthand for running every registered experiment with the

@@ -1,0 +1,131 @@
+package mixnet
+
+import (
+	"fmt"
+
+	"decoupling/internal/core"
+	"decoupling/internal/schema"
+)
+
+// StaticSchema declares the §3.1.2 three-mix cascade: each hop message
+// carries the previous hop's address and an onion whose outermost layer
+// only the next mix can open. A mix's declared read of its own layer
+// yields exactly one next-hop address — routing metadata — so every
+// tuple past Mix 1 is (△, ⊙) by derivation, not by trust.
+func StaticSchema() *schema.Scenario {
+	hop := func(i int) string { return fmt.Sprintf("mix_hop%d", i) }
+	layer := func(i int) string { return fmt.Sprintf("mix_layer%d", i) }
+	mix := func(i int) string { return fmt.Sprintf("Mix %d", i) }
+	sc := &schema.Scenario{
+		Name:    "mixnet",
+		System:  "Mix-net (3 mixes)",
+		Section: "3.1.2",
+		Doc:     "Chaum mix cascade: three mixes peel nested encryption layers; only Mix 1 sees the sender's address and only the receiver sees the message.",
+		Axes:    []schema.Axis{{Kind: core.Identity}, {Kind: core.Data}},
+		Messages: []schema.Message{
+			{
+				Name: hop(1),
+				Doc:  "the sender's submission to the first mix",
+				Fields: []schema.Field{
+					{Name: "sender_addr", Label: schema.Identity},
+					{Name: "onion", Label: schema.Opaque, Encapsulates: layer(1), Openers: []string{mix(1)}},
+				},
+			},
+			{
+				Name: layer(1),
+				Fields: []schema.Field{
+					{Name: "next_hop", Label: schema.Routing},
+					{Name: "inner", Label: schema.Opaque, Encapsulates: layer(2), Openers: []string{mix(2)}},
+				},
+			},
+			{
+				Name: hop(2),
+				Fields: []schema.Field{
+					{Name: "mix_addr", Label: schema.Routing},
+					{Name: "onion", Label: schema.Opaque, Encapsulates: layer(2), Openers: []string{mix(2)}},
+				},
+			},
+			{
+				Name: layer(2),
+				Fields: []schema.Field{
+					{Name: "next_hop", Label: schema.Routing},
+					{Name: "inner", Label: schema.Opaque, Encapsulates: layer(3), Openers: []string{mix(3)}},
+				},
+			},
+			{
+				Name: hop(3),
+				Fields: []schema.Field{
+					{Name: "mix_addr", Label: schema.Routing},
+					{Name: "onion", Label: schema.Opaque, Encapsulates: layer(3), Openers: []string{mix(3)}},
+				},
+			},
+			{
+				Name: layer(3),
+				Fields: []schema.Field{
+					{Name: "next_hop", Label: schema.Routing},
+					{Name: "inner", Label: schema.Opaque, Encapsulates: "mix_delivery", Openers: []string{"Receiver"}},
+				},
+			},
+			{
+				Name: hop(4),
+				Doc:  "the last mix's delivery to the receiver",
+				Fields: []schema.Field{
+					{Name: "mix_addr", Label: schema.Routing},
+					{Name: "onion", Label: schema.Opaque, Encapsulates: "mix_delivery", Openers: []string{"Receiver"}},
+				},
+			},
+			{
+				Name: "mix_delivery",
+				Doc:  "the innermost plaintext, visible only to the receiver",
+				Fields: []schema.Field{
+					{Name: "message", Label: schema.Content},
+				},
+			},
+		},
+		Roles: []schema.Role{
+			{
+				Name: "Sender", User: true,
+				Knows: core.Tuple{core.SensID(), core.SensData()},
+				Sends: []schema.Use{{Message: hop(1), Fields: []string{"sender_addr"}}},
+			},
+			{
+				Name: mix(1),
+				Receives: []schema.Use{
+					{Message: hop(1), Fields: []string{"sender_addr", "onion"}},
+					{Message: layer(1), Fields: []string{"next_hop"}},
+				},
+				Sends: []schema.Use{{Message: hop(2), Fields: []string{"mix_addr"}}},
+			},
+			{
+				Name: mix(2),
+				Receives: []schema.Use{
+					{Message: hop(2), Fields: []string{"mix_addr", "onion"}},
+					{Message: layer(2), Fields: []string{"next_hop"}},
+				},
+				Sends: []schema.Use{{Message: hop(3), Fields: []string{"mix_addr"}}},
+			},
+			{
+				Name: mix(3),
+				Receives: []schema.Use{
+					{Message: hop(3), Fields: []string{"mix_addr", "onion"}},
+					{Message: layer(3), Fields: []string{"next_hop"}},
+				},
+				Sends: []schema.Use{{Message: hop(4), Fields: []string{"mix_addr"}}},
+			},
+			{
+				Name: "Receiver",
+				Receives: []schema.Use{
+					{Message: hop(4), Fields: []string{"mix_addr", "onion"}},
+					{Message: "mix_delivery", Fields: []string{"message"}},
+				},
+			},
+		},
+		Flows: []schema.Flow{
+			{From: "Sender", To: mix(1), Message: hop(1), Handle: "hop1"},
+			{From: mix(1), To: mix(2), Message: hop(2), Handle: "hop2"},
+			{From: mix(2), To: mix(3), Message: hop(3), Handle: "hop3"},
+			{From: mix(3), To: "Receiver", Message: hop(4), Handle: "hop4"},
+		},
+	}
+	return sc
+}

@@ -1,0 +1,127 @@
+package mpr
+
+import (
+	"decoupling/internal/core"
+	"decoupling/internal/schema"
+)
+
+// StaticSchema declares the §3.2.4 nested-CONNECT relay. The outer
+// tunnel carries the client's address next to an inner request only the
+// second relay can open; that inner request exposes the origin FQDN
+// (partial — the paper's ⊙/● for Relay 2) next to a further layer only
+// the origin can open.
+func StaticSchema() *schema.Scenario {
+	return &schema.Scenario{
+		Name:    "mpr",
+		System:  "Multi-Party Relay",
+		Section: "3.2.4",
+		Doc:     "Multi-Party Relay: two nested CONNECT tunnels operated by distinct organizations split who-the-user-is from where-they-browse.",
+		Axes:    []schema.Axis{{Kind: core.Identity}, {Kind: core.Data}},
+		Messages: []schema.Message{
+			{
+				Name: "mpr_tunnel1",
+				Doc:  "outer CONNECT from the client to the ingress relay",
+				Fields: []schema.Field{
+					{Name: "client_addr", Label: schema.Identity},
+					{Name: "access_token", Label: schema.Opaque},
+					{Name: "inner", Label: schema.Opaque, Encapsulates: "mpr_tunnel2", Openers: []string{Relay2Name}},
+				},
+			},
+			{
+				Name: "mpr_carry1",
+				Doc:  "the ingress relay's forward of the inner tunnel",
+				Fields: []schema.Field{
+					{Name: "relay1_addr", Label: schema.Routing},
+					{Name: "inner", Label: schema.Opaque, Encapsulates: "mpr_tunnel2", Openers: []string{Relay2Name}},
+				},
+			},
+			{
+				Name: "mpr_tunnel2",
+				Doc:  "inner CONNECT, visible to the egress relay",
+				Fields: []schema.Field{
+					// The egress relay learns the origin FQDN — limited
+					// request information, the paper's ⊙/●.
+					{Name: "origin_fqdn", Label: schema.Query, Partial: true},
+					{Name: "inner", Label: schema.Opaque, Encapsulates: "mpr_request", Openers: []string{OriginName}},
+				},
+			},
+			{
+				Name: "mpr_carry2",
+				Doc:  "the egress relay's forward to the origin",
+				Fields: []schema.Field{
+					{Name: "relay2_addr", Label: schema.Routing},
+					{Name: "inner", Label: schema.Opaque, Encapsulates: "mpr_request", Openers: []string{OriginName}},
+				},
+			},
+			{
+				Name: "mpr_request",
+				Doc:  "the end-to-end encrypted request, visible only to the origin",
+				Fields: []schema.Field{
+					{Name: "path", Label: schema.Query},
+				},
+			},
+			{
+				Name: "mpr_response",
+				Fields: []schema.Field{
+					{Name: "sealed_body", Label: schema.Opaque, Encapsulates: "mpr_body", Openers: []string{"User"}},
+				},
+			},
+			{
+				Name: "mpr_body",
+				Fields: []schema.Field{
+					{Name: "body", Label: schema.Content},
+				},
+			},
+		},
+		Roles: []schema.Role{
+			{
+				Name: "User", User: true,
+				Knows: core.Tuple{core.SensID(), core.SensData()},
+				Sends: []schema.Use{{Message: "mpr_tunnel1", Fields: []string{"client_addr"}}},
+				Receives: []schema.Use{
+					{Message: "mpr_response", Fields: []string{"sealed_body"}},
+					{Message: "mpr_body", Fields: []string{"body"}},
+				},
+			},
+			{
+				Name: Relay1Name,
+				Receives: []schema.Use{
+					{Message: "mpr_tunnel1", Fields: []string{"client_addr"}},
+					{Message: "mpr_response"},
+				},
+				Sends: []schema.Use{
+					{Message: "mpr_carry1", Fields: []string{"relay1_addr"}},
+					{Message: "mpr_response"},
+				},
+			},
+			{
+				Name: Relay2Name,
+				Receives: []schema.Use{
+					{Message: "mpr_carry1", Fields: []string{"relay1_addr", "inner"}},
+					{Message: "mpr_tunnel2", Fields: []string{"origin_fqdn"}},
+					{Message: "mpr_response"},
+				},
+				Sends: []schema.Use{
+					{Message: "mpr_carry2", Fields: []string{"relay2_addr"}},
+					{Message: "mpr_response"},
+				},
+			},
+			{
+				Name: OriginName,
+				Receives: []schema.Use{
+					{Message: "mpr_carry2", Fields: []string{"relay2_addr", "inner"}},
+					{Message: "mpr_request", Fields: []string{"path"}},
+				},
+				Sends: []schema.Use{{Message: "mpr_response"}},
+			},
+		},
+		Flows: []schema.Flow{
+			{From: "User", To: Relay1Name, Message: "mpr_tunnel1", Handle: "client-conn"},
+			{From: Relay1Name, To: Relay2Name, Message: "mpr_carry1", Handle: "inner-conn"},
+			{From: Relay2Name, To: OriginName, Message: "mpr_carry2", Handle: "origin-conn"},
+			{From: OriginName, To: Relay2Name, Message: "mpr_response", Handle: "origin-conn"},
+			{From: Relay2Name, To: Relay1Name, Message: "mpr_response", Handle: "inner-conn"},
+			{From: Relay1Name, To: "User", Message: "mpr_response", Handle: "client-conn"},
+		},
+	}
+}

@@ -1,0 +1,112 @@
+package odns
+
+import (
+	"decoupling/internal/core"
+	"decoupling/internal/dnswire"
+	"decoupling/internal/schema"
+)
+
+// StaticSchema declares the ODNS wire protocol against the §3.2.2
+// table: the recursive resolver routes on the .odns suffix and the
+// client's address but the QNAME travels encrypted to the oblivious
+// resolver, which decrypts it yet sees only the resolver's address.
+// Role names match core.ObliviousDNS so the measured system checks
+// against the derivation by name.
+func StaticSchema() *schema.Scenario {
+	return &schema.Scenario{
+		Name:    "odns",
+		System:  "Oblivious DNS",
+		Section: "3.2.2",
+		Doc:     "Oblivious DNS: the query name is encrypted under the oblivious resolver's key and smuggled through the recursive resolver as an opaque label.",
+		Axes:    []schema.Axis{{Kind: core.Identity}, {Kind: core.Data}},
+		Messages: append(dnswire.SchemaMessages(),
+			schema.Message{
+				Name: "odns_query",
+				Doc:  "client query with the QNAME sealed under the .odns label",
+				Fields: []schema.Field{
+					{Name: "client_addr", Label: schema.Identity},
+					{Name: "odns_tld", Label: schema.Routing},
+					{Name: "sealed_qname", Label: schema.Opaque, Encapsulates: "odns_inner_query", Openers: []string{"Oblivious Resolver"}},
+				},
+			},
+			schema.Message{
+				Name: "odns_forward",
+				Doc:  "the recursive resolver's re-origination toward the oblivious resolver",
+				Fields: []schema.Field{
+					{Name: "resolver_addr", Label: schema.Routing},
+					{Name: "odns_tld", Label: schema.Routing},
+					{Name: "sealed_qname", Label: schema.Opaque, Encapsulates: "odns_inner_query", Openers: []string{"Oblivious Resolver"}},
+				},
+			},
+			schema.Message{
+				Name: "odns_inner_query",
+				Doc:  "the decrypted query, visible only to key holders",
+				Fields: []schema.Field{
+					{Name: "qname", Label: schema.Query},
+				},
+			},
+			schema.Message{
+				Name: "odns_response",
+				Doc:  "the answer sealed back to the client",
+				Fields: []schema.Field{
+					{Name: "sealed_answer", Label: schema.Opaque, Encapsulates: "odns_inner_answer", Openers: []string{"Client"}},
+				},
+			},
+			schema.Message{
+				Name: "odns_inner_answer",
+				Fields: []schema.Field{
+					{Name: "answer", Label: schema.Content},
+				},
+			},
+		),
+		Roles: []schema.Role{
+			{
+				Name: "Client", User: true,
+				Knows: core.Tuple{core.SensID(), core.SensData()},
+				Sends: []schema.Use{{Message: "odns_query", Fields: []string{"client_addr", "odns_tld"}}},
+				Receives: []schema.Use{
+					{Message: "odns_response", Fields: []string{"sealed_answer"}},
+					{Message: "odns_inner_answer", Fields: []string{"answer"}},
+				},
+			},
+			{
+				Name: "Resolver",
+				Receives: []schema.Use{
+					{Message: "odns_query", Fields: []string{"client_addr", "odns_tld"}},
+					{Message: "odns_response"},
+				},
+				Sends: []schema.Use{
+					{Message: "odns_forward", Fields: []string{"resolver_addr", "odns_tld"}},
+					{Message: "odns_response"},
+				},
+			},
+			{
+				Name: "Oblivious Resolver",
+				Receives: []schema.Use{
+					{Message: "odns_forward", Fields: []string{"resolver_addr", "odns_tld", "sealed_qname"}},
+					{Message: "odns_inner_query", Fields: []string{"qname"}},
+					{Message: dnswire.SchemaResponse, Fields: []string{"answer"}},
+				},
+				Sends: []schema.Use{
+					{Message: dnswire.SchemaRecursiveQuery, Fields: []string{"src_addr", "qname", "qtype"}},
+					{Message: "odns_response"},
+				},
+			},
+			{
+				Name: "Origin",
+				Receives: []schema.Use{
+					{Message: dnswire.SchemaRecursiveQuery, Fields: []string{"src_addr", "qname", "qtype"}},
+				},
+				Sends: []schema.Use{{Message: dnswire.SchemaResponse, Fields: []string{"answer"}}},
+			},
+		},
+		Flows: []schema.Flow{
+			{From: "Client", To: "Resolver", Message: "odns_query", Handle: "proxy-leg"},
+			{From: "Resolver", To: "Oblivious Resolver", Message: "odns_forward", Handle: "target-leg"},
+			{From: "Oblivious Resolver", To: "Origin", Message: dnswire.SchemaRecursiveQuery, Handle: "recursion"},
+			{From: "Origin", To: "Oblivious Resolver", Message: dnswire.SchemaResponse, Handle: "recursion"},
+			{From: "Oblivious Resolver", To: "Resolver", Message: "odns_response", Handle: "target-leg"},
+			{From: "Resolver", To: "Client", Message: "odns_response", Handle: "proxy-leg"},
+		},
+	}
+}

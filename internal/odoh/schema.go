@@ -1,0 +1,170 @@
+package odoh
+
+import (
+	"decoupling/internal/core"
+	"decoupling/internal/dnswire"
+	"decoupling/internal/schema"
+)
+
+// Schema message names for the ObliviousDoHMessage envelope as the
+// taint analysis sees it at each vantage.
+const (
+	SchemaQuery       = "odoh_query"
+	SchemaForward     = "odoh_forward"
+	SchemaPlainQuery  = "odoh_plain_query"
+	SchemaResponse    = "odoh_response"
+	SchemaPlainAnswer = "odoh_plain_answer"
+)
+
+// StaticSchema declares the RFC 9230 shape against the §3.2.2 table:
+// the proxy terminates the client connection but the query travels
+// HPKE-sealed to the target's key, and the answer comes back sealed to
+// a key only the client's HPKE context can export. Role names match
+// core.ObliviousDNS so the measured system checks against the
+// derivation by name.
+func StaticSchema() *schema.Scenario {
+	return &schema.Scenario{
+		Name:    "odoh",
+		System:  "Oblivious DNS",
+		Section: "3.2.2",
+		Doc:     "Oblivious DoH: queries are HPKE-sealed to the oblivious target's published key config and relayed through a proxy that sees only ciphertext.",
+		Axes:    []schema.Axis{{Kind: core.Identity}, {Kind: core.Data}},
+		Messages: append(dnswire.SchemaMessages(),
+			schema.Message{
+				Name: SchemaQuery,
+				Doc:  "ObliviousDoHMessage type 1 as sent by the client",
+				Fields: []schema.Field{
+					{Name: "client_addr", Label: schema.Identity},
+					{Name: "target_path", Label: schema.Routing},
+					{Name: "sealed_query", Label: schema.Opaque, Encapsulates: SchemaPlainQuery, Openers: []string{TargetName}},
+				},
+			},
+			schema.Message{
+				Name: SchemaForward,
+				Doc:  "the proxy's relay of the same envelope toward the target",
+				Fields: []schema.Field{
+					{Name: "proxy_addr", Label: schema.Routing},
+					{Name: "sealed_query", Label: schema.Opaque, Encapsulates: SchemaPlainQuery, Openers: []string{TargetName}},
+				},
+			},
+			schema.Message{
+				Name: SchemaPlainQuery,
+				Doc:  "the decrypted dnswire query, visible only to the key holder",
+				Fields: []schema.Field{
+					{Name: "qname", Label: schema.Query},
+					{Name: "qtype", Label: schema.Routing},
+				},
+			},
+			schema.Message{
+				Name: SchemaResponse,
+				Doc:  "ObliviousDoHMessage type 2: the answer AES-GCM sealed under the key exported from the query's HPKE context",
+				Fields: []schema.Field{
+					{Name: "sealed_answer", Label: schema.Opaque, Encapsulates: SchemaPlainAnswer, Openers: []string{"Client"}},
+				},
+			},
+			schema.Message{
+				Name: SchemaPlainAnswer,
+				Fields: []schema.Field{
+					{Name: "answer", Label: schema.Content},
+				},
+			},
+		),
+		Roles: []schema.Role{
+			{
+				Name: "Client", User: true,
+				Knows: core.Tuple{core.SensID(), core.SensData()},
+				Sends: []schema.Use{{Message: SchemaQuery, Fields: []string{"client_addr", "target_path"}}},
+				Receives: []schema.Use{
+					{Message: SchemaResponse, Fields: []string{"sealed_answer"}},
+					{Message: SchemaPlainAnswer, Fields: []string{"answer"}},
+				},
+			},
+			{
+				Name: ProxyName,
+				Receives: []schema.Use{
+					{Message: SchemaQuery, Fields: []string{"client_addr", "target_path"}},
+					{Message: SchemaResponse},
+				},
+				Sends: []schema.Use{
+					{Message: SchemaForward, Fields: []string{"proxy_addr"}},
+					{Message: SchemaResponse},
+				},
+			},
+			{
+				Name: TargetName,
+				Receives: []schema.Use{
+					{Message: SchemaForward, Fields: []string{"proxy_addr", "sealed_query"}},
+					{Message: SchemaPlainQuery, Fields: []string{"qname", "qtype"}},
+					{Message: dnswire.SchemaResponse, Fields: []string{"answer"}},
+				},
+				Sends: []schema.Use{
+					{Message: dnswire.SchemaRecursiveQuery, Fields: []string{"src_addr", "qname", "qtype"}},
+					{Message: SchemaResponse},
+				},
+			},
+			{
+				Name: "Origin",
+				Receives: []schema.Use{
+					{Message: dnswire.SchemaRecursiveQuery, Fields: []string{"src_addr", "qname", "qtype"}},
+				},
+				Sends: []schema.Use{{Message: dnswire.SchemaResponse, Fields: []string{"answer"}}},
+			},
+		},
+		Flows: []schema.Flow{
+			{From: "Client", To: ProxyName, Message: SchemaQuery, Handle: "proxy-leg"},
+			{From: ProxyName, To: TargetName, Message: SchemaForward, Handle: "target-leg"},
+			{From: TargetName, To: "Origin", Message: dnswire.SchemaRecursiveQuery, Handle: "recursion"},
+			{From: "Origin", To: TargetName, Message: dnswire.SchemaResponse, Handle: "recursion"},
+			{From: TargetName, To: ProxyName, Message: SchemaResponse, Handle: "target-leg"},
+			{From: ProxyName, To: "Client", Message: SchemaResponse, Handle: "proxy-leg"},
+		},
+	}
+}
+
+// FailOpenSchema declares the degraded architecture E16 measures when
+// the target outage is bridged by fail-open fallback: the proxy doubles
+// as a plain recursive resolver, so the client's plaintext dnswire
+// query legitimately reaches the role that also sees its address. The
+// static derivation predicts the coupled (▲,●) proxy tuple without
+// running the outage.
+func FailOpenSchema() *schema.Scenario {
+	sc := StaticSchema()
+	sc.Name = "odoh-failopen"
+	sc.System = "Oblivious DNS (fail-open fallback)"
+	sc.Doc = "ODoH with fail-open fallback: during a target outage the client sends plaintext DNS to the proxy, which resolves directly — the decoupling collapses by design, and the schema says so."
+	client := sc.Role("Client")
+	client.Sends = append(client.Sends,
+		schema.Use{Message: dnswire.SchemaQuery, Fields: []string{"src_addr", "qname", "qtype"}})
+	client.Receives = append(client.Receives,
+		schema.Use{Message: dnswire.SchemaResponse, Fields: []string{"answer"}})
+	proxy := sc.Role(ProxyName)
+	proxy.Receives = append(proxy.Receives,
+		schema.Use{Message: dnswire.SchemaQuery, Fields: []string{"src_addr", "qname", "qtype"}},
+		schema.Use{Message: dnswire.SchemaResponse, Fields: []string{"answer"}})
+	proxy.Sends = append(proxy.Sends,
+		schema.Use{Message: dnswire.SchemaRecursiveQuery, Fields: []string{"src_addr", "qname", "qtype"}},
+		schema.Use{Message: dnswire.SchemaResponse})
+	sc.Flows = append(sc.Flows,
+		schema.Flow{From: "Client", To: ProxyName, Message: dnswire.SchemaQuery, Handle: "proxy-leg"},
+		schema.Flow{From: ProxyName, To: "Origin", Message: dnswire.SchemaRecursiveQuery, Handle: "recursion"},
+		schema.Flow{From: "Origin", To: ProxyName, Message: dnswire.SchemaResponse, Handle: "recursion"},
+		schema.Flow{From: ProxyName, To: "Client", Message: dnswire.SchemaResponse, Handle: "proxy-leg"},
+	)
+	return sc
+}
+
+// SnoopSchema is the planted negative control: the proxy role declares
+// that it reads the sealed_query field it is supposed to forward
+// blindly. It is not an opener of that field, so Validate convicts the
+// scenario before any derivation happens — this is the declaration a
+// SnoopProxy deployment would have to write, and the check that refuses
+// it.
+func SnoopSchema() *schema.Scenario {
+	sc := StaticSchema()
+	sc.Name = "odoh-snoop"
+	sc.System = "Oblivious DNS (snooping proxy probe)"
+	sc.Doc = "Negative control: the proxy declares a read of the HPKE ciphertext it only holds the handle to. The validator must name the role, message, and field."
+	proxy := sc.Role(ProxyName)
+	proxy.Receives[0].Fields = append(proxy.Receives[0].Fields, "sealed_query")
+	return sc
+}

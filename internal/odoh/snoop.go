@@ -1,0 +1,52 @@
+package odoh
+
+import (
+	"sync"
+
+	"decoupling/internal/core"
+	"decoupling/internal/ledger"
+)
+
+// SnoopProxy is the planted negative-control handler: a proxy that
+// keeps a copy of every sealed query body it is supposed to relay
+// blindly. It cannot decrypt them — the measured ledger still shows
+// only ciphertext hashes — which is exactly why the conviction has to
+// be static: SnoopSchema declares this read, and schema.Validate
+// refuses the declaration naming (Resolver, odoh_query, sealed_query).
+// Deploying the handler without amending the schema is the
+// under-declaration the conformance check catches instead.
+type SnoopProxy struct {
+	*Proxy
+
+	mu       sync.Mutex
+	captured [][]byte
+}
+
+// NewSnoopProxy wraps a proxy with the capture tap.
+func NewSnoopProxy(p *Proxy) *SnoopProxy {
+	return &SnoopProxy{Proxy: p}
+}
+
+// Forward copies the sealed query body before relaying. The copy is
+// also recorded in the ledger under a distinct value class so the
+// provenance chain for the violation shows the snoop's observation.
+func (s *SnoopProxy) Forward(clientAddr string, raw []byte) ([]byte, error) {
+	if m, err := UnmarshalMessage(raw); err == nil {
+		s.mu.Lock()
+		s.captured = append(s.captured, append([]byte(nil), m.Body...))
+		s.mu.Unlock()
+		if s.lg != nil {
+			s.lg.Saw(s.Name, core.Data, "snooped-sealed:"+ledger.Hash(m.Body))
+		}
+	}
+	return s.Proxy.Forward(clientAddr, raw)
+}
+
+// Captured returns the sealed query bodies the snoop has copied.
+func (s *SnoopProxy) Captured() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, len(s.captured))
+	copy(out, s.captured)
+	return out
+}

@@ -1,0 +1,133 @@
+package onion
+
+import (
+	"decoupling/internal/core"
+	"decoupling/internal/schema"
+)
+
+// StaticSchema declares the three-hop low-latency circuit (§3.1.2 via
+// §4.2's degrees-of-decoupling discussion). Per-hop cells carry the
+// previous hop's address and a layered body; each relay's key opens
+// exactly one layer, which exposes the next hop — except at the exit,
+// where the innermost layer is the plaintext request and the origin
+// address. The derivation makes the Tor trade explicit: the exit relay
+// is (△, ●), and the chained circuit handles mean full collusion
+// re-couples the path.
+func StaticSchema() *schema.Scenario {
+	return &schema.Scenario{
+		Name:    "onion",
+		System:  "Onion routing (3 relays)",
+		Section: "3.1.2",
+		Doc:     "Tor-style onion routing: fixed-size cells shed one encryption layer per relay; the entry knows the client, the exit knows the request, nobody knows both.",
+		Axes:    []schema.Axis{{Kind: core.Identity}, {Kind: core.Data}},
+		Messages: []schema.Message{
+			{
+				Name: "onion_cell1",
+				Doc:  "cell on the client→entry leg",
+				Fields: []schema.Field{
+					{Name: "client_addr", Label: schema.Identity},
+					{Name: "circuit_id", Label: schema.Routing},
+					{Name: "body", Label: schema.Opaque, Encapsulates: "onion_layer1", Openers: []string{"Relay 1"}},
+				},
+			},
+			{
+				Name: "onion_layer1",
+				Fields: []schema.Field{
+					{Name: "next_hop", Label: schema.Routing},
+					{Name: "inner", Label: schema.Opaque, Encapsulates: "onion_layer2", Openers: []string{"Relay 2"}},
+				},
+			},
+			{
+				Name: "onion_cell2",
+				Fields: []schema.Field{
+					{Name: "relay_addr", Label: schema.Routing},
+					{Name: "circuit_id", Label: schema.Routing},
+					{Name: "body", Label: schema.Opaque, Encapsulates: "onion_layer2", Openers: []string{"Relay 2"}},
+				},
+			},
+			{
+				Name: "onion_layer2",
+				Fields: []schema.Field{
+					{Name: "next_hop", Label: schema.Routing},
+					{Name: "inner", Label: schema.Opaque, Encapsulates: "onion_exit", Openers: []string{"Relay 3"}},
+				},
+			},
+			{
+				Name: "onion_cell3",
+				Fields: []schema.Field{
+					{Name: "relay_addr", Label: schema.Routing},
+					{Name: "circuit_id", Label: schema.Routing},
+					{Name: "body", Label: schema.Opaque, Encapsulates: "onion_exit", Openers: []string{"Relay 3"}},
+				},
+			},
+			{
+				Name: "onion_exit",
+				Doc:  "the innermost layer: the plaintext stream the exit relays to the origin",
+				Fields: []schema.Field{
+					{Name: "origin_addr", Label: schema.Routing},
+					{Name: "request", Label: schema.Query},
+				},
+			},
+			{
+				Name: "origin_stream",
+				Doc:  "the exit's plaintext connection to the origin",
+				Fields: []schema.Field{
+					{Name: "exit_addr", Label: schema.Routing},
+					{Name: "request", Label: schema.Query},
+				},
+			},
+			{
+				Name: "origin_reply",
+				Fields: []schema.Field{
+					{Name: "body", Label: schema.Content},
+				},
+			},
+		},
+		Roles: []schema.Role{
+			{
+				Name: "Client", User: true,
+				Knows: core.Tuple{core.SensID(), core.SensData()},
+				Sends: []schema.Use{{Message: "onion_cell1", Fields: []string{"client_addr", "circuit_id"}}},
+			},
+			{
+				Name: "Relay 1",
+				Receives: []schema.Use{
+					{Message: "onion_cell1", Fields: []string{"client_addr", "circuit_id", "body"}},
+					{Message: "onion_layer1", Fields: []string{"next_hop"}},
+				},
+				Sends: []schema.Use{{Message: "onion_cell2", Fields: []string{"relay_addr", "circuit_id"}}},
+			},
+			{
+				Name: "Relay 2",
+				Receives: []schema.Use{
+					{Message: "onion_cell2", Fields: []string{"relay_addr", "circuit_id", "body"}},
+					{Message: "onion_layer2", Fields: []string{"next_hop"}},
+				},
+				Sends: []schema.Use{{Message: "onion_cell3", Fields: []string{"relay_addr", "circuit_id"}}},
+			},
+			{
+				Name: "Relay 3",
+				Receives: []schema.Use{
+					{Message: "onion_cell3", Fields: []string{"relay_addr", "circuit_id", "body"}},
+					{Message: "onion_exit", Fields: []string{"origin_addr", "request"}},
+					{Message: "origin_reply", Fields: []string{"body"}},
+				},
+				Sends: []schema.Use{{Message: "origin_stream", Fields: []string{"exit_addr", "request"}}},
+			},
+			{
+				Name: "Origin",
+				Receives: []schema.Use{
+					{Message: "origin_stream", Fields: []string{"exit_addr", "request"}},
+				},
+				Sends: []schema.Use{{Message: "origin_reply", Fields: []string{"body"}}},
+			},
+		},
+		Flows: []schema.Flow{
+			{From: "Client", To: "Relay 1", Message: "onion_cell1", Handle: "hop1"},
+			{From: "Relay 1", To: "Relay 2", Message: "onion_cell2", Handle: "hop2"},
+			{From: "Relay 2", To: "Relay 3", Message: "onion_cell3", Handle: "hop3"},
+			{From: "Relay 3", To: "Origin", Message: "origin_stream", Handle: "origin-conn"},
+			{From: "Origin", To: "Relay 3", Message: "origin_reply", Handle: "origin-conn"},
+		},
+	}
+}

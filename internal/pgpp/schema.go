@@ -1,0 +1,95 @@
+package pgpp
+
+import (
+	"decoupling/internal/core"
+	"decoupling/internal/schema"
+)
+
+// StaticSchema declares the §3.2.3 split across the two identity axes:
+// the gateway's billing flow carries the human identity (axis H) next
+// to a blinded auth token, while the core's attach flow carries a
+// shuffled network identity (axis N, non-sensitive by construction)
+// next to mobility events. The blind token is the only thing crossing
+// between them, and it is opaque on both sides.
+func StaticSchema() *schema.Scenario {
+	return &schema.Scenario{
+		Name:    "pgpp",
+		System:  "Pretty Good Phone Privacy",
+		Section: "3.2.3",
+		Doc:     "PGPP: billing/authentication (who pays) decoupled from connectivity (where a device is) via blind-token attach credentials and shuffled IMSIs.",
+		Axes: []schema.Axis{
+			{Kind: core.Identity, Label: "H"},
+			{Kind: core.Identity, Label: "N"},
+			{Kind: core.Data},
+		},
+		Messages: []schema.Message{
+			{
+				Name: "pgpp_token_request",
+				Doc:  "authenticated billing request for attach tokens",
+				Fields: []schema.Field{
+					{Name: "account", Label: schema.Identity, Axis: "H"},
+					{Name: "blinded_token", Label: schema.Opaque},
+				},
+			},
+			{
+				Name: "pgpp_token_response",
+				Fields: []schema.Field{
+					{Name: "blind_sig", Label: schema.Opaque},
+				},
+			},
+			{
+				Name: "pgpp_attach",
+				Doc:  "network attach: shuffled identity, blind credential, mobility event",
+				Fields: []schema.Field{
+					{Name: "shuffled_imsi", Label: schema.Routing, Axis: "N"},
+					{Name: "attach_token", Label: schema.Opaque},
+					{Name: "location_event", Label: schema.Content},
+				},
+			},
+			{
+				Name: "pgpp_attach_accept",
+				Fields: []schema.Field{
+					{Name: "bearer", Label: schema.Opaque},
+				},
+			},
+		},
+		Roles: []schema.Role{
+			{
+				Name: "User", User: true,
+				Knows: core.Tuple{core.SensID("H"), core.SensID("N"), core.SensData()},
+				Sends: []schema.Use{
+					{Message: "pgpp_token_request", Fields: []string{"account"}},
+					{Message: "pgpp_attach", Fields: []string{"shuffled_imsi", "location_event"}},
+				},
+				Receives: []schema.Use{
+					{Message: "pgpp_token_response"},
+					{Message: "pgpp_attach_accept"},
+				},
+			},
+			{
+				Name: GatewayName,
+				Receives: []schema.Use{
+					// The blinded token is signed, never read; no mobility
+					// data ever reaches the gateway.
+					{Message: "pgpp_token_request", Fields: []string{"account"}},
+				},
+				Sends: []schema.Use{{Message: "pgpp_token_response"}},
+			},
+			{
+				Name: CoreName,
+				Receives: []schema.Use{
+					// The attach token is verified blindly; the shuffled IMSI
+					// is routing metadata on the network-identity axis.
+					{Message: "pgpp_attach", Fields: []string{"shuffled_imsi", "location_event"}},
+				},
+				Sends: []schema.Use{{Message: "pgpp_attach_accept"}},
+			},
+		},
+		Flows: []schema.Flow{
+			{From: "User", To: GatewayName, Message: "pgpp_token_request", Handle: "billing"},
+			{From: GatewayName, To: "User", Message: "pgpp_token_response", Handle: "billing"},
+			{From: "User", To: CoreName, Message: "pgpp_attach", Handle: "attach"},
+			{From: CoreName, To: "User", Message: "pgpp_attach_accept", Handle: "attach"},
+		},
+	}
+}

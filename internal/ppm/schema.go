@@ -1,0 +1,102 @@
+package ppm
+
+import (
+	"decoupling/internal/core"
+	"decoupling/internal/schema"
+)
+
+// StaticSchema declares the §3.2.5 two-aggregator measurement system.
+// Each aggregator's upload carries the client's identity next to one
+// secret share — individually uniform, so opaque. That the shares
+// jointly reconstruct the input is not expressible as any single read:
+// it is declared as a SharedSecret over both aggregators, which the
+// static coalition closure (and core.Analyze) reconstructs exactly when
+// both holders collude. The collector combines partial aggregates whose
+// sum is non-sensitive by design, so it reads nothing labeled.
+func StaticSchema() *schema.Scenario {
+	agg1, agg2 := "Aggregator 1", "Aggregator 2"
+	return &schema.Scenario{
+		Name:    "ppm",
+		System:  "Private Aggregate Statistics (2 aggregators)",
+		Section: "3.2.5",
+		Doc:     "PPM/Prio-style aggregate statistics: clients split inputs into additive shares across non-colluding aggregators; only the sum ever reassembles.",
+		Axes:    []schema.Axis{{Kind: core.Identity}, {Kind: core.Data}},
+		Messages: []schema.Message{
+			{
+				Name: "ppm_upload",
+				Doc:  "one client's report share to one aggregator",
+				Fields: []schema.Field{
+					{Name: "client_addr", Label: schema.Identity},
+					{Name: "input_share", Label: schema.Opaque},
+					{Name: "proof_share", Label: schema.Opaque},
+				},
+			},
+			{
+				Name: "ppm_verify",
+				Doc:  "aggregator-to-aggregator validity exchange (reveals only a verdict)",
+				Fields: []schema.Field{
+					{Name: "report_id", Label: schema.Routing},
+					{Name: "verify_word", Label: schema.Opaque},
+				},
+			},
+			{
+				Name: "ppm_aggregate_share",
+				Doc:  "one aggregator's partial sum; only the combined total is meaningful, and it is non-sensitive by design",
+				Fields: []schema.Field{
+					{Name: "agg_name", Label: schema.Routing},
+					{Name: "partial_sum", Label: schema.Opaque},
+				},
+			},
+		},
+		Roles: []schema.Role{
+			{
+				Name: "Client", User: true,
+				Knows: core.Tuple{core.SensID(), core.SensData()},
+				Sends: []schema.Use{{Message: "ppm_upload", Fields: []string{"client_addr"}}},
+			},
+			{
+				Name: agg1,
+				Receives: []schema.Use{
+					// Shares and proofs are processed, never read: each is
+					// uniform without the other aggregator's half.
+					{Message: "ppm_upload", Fields: []string{"client_addr"}},
+					{Message: "ppm_verify", Fields: []string{"report_id"}},
+				},
+				Sends: []schema.Use{
+					{Message: "ppm_verify", Fields: []string{"report_id"}},
+					{Message: "ppm_aggregate_share", Fields: []string{"agg_name"}},
+				},
+			},
+			{
+				Name: agg2,
+				Receives: []schema.Use{
+					{Message: "ppm_upload", Fields: []string{"client_addr"}},
+					{Message: "ppm_verify", Fields: []string{"report_id"}},
+				},
+				Sends: []schema.Use{
+					{Message: "ppm_verify", Fields: []string{"report_id"}},
+					{Message: "ppm_aggregate_share", Fields: []string{"agg_name"}},
+				},
+			},
+			{
+				Name: "Collector",
+				Receives: []schema.Use{
+					{Message: "ppm_aggregate_share", Fields: []string{"agg_name"}},
+				},
+			},
+		},
+		Flows: []schema.Flow{
+			{From: "Client", To: agg1, Message: "ppm_upload", Handle: "upload"},
+			{From: "Client", To: agg2, Message: "ppm_upload", Handle: "upload"},
+			{From: agg1, To: agg2, Message: "ppm_verify", Handle: "upload"},
+			{From: agg2, To: agg1, Message: "ppm_verify", Handle: "upload"},
+			{From: agg1, To: "Collector", Message: "ppm_aggregate_share", Handle: "aggregate"},
+			{From: agg2, To: "Collector", Message: "ppm_aggregate_share", Handle: "aggregate"},
+		},
+		SharedSecrets: []core.SharedSecret{{
+			Name:    "input shares",
+			Holders: []string{agg1, agg2},
+			Yields:  core.SensData(),
+		}},
+	}
+}

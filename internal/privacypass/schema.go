@@ -1,0 +1,89 @@
+package privacypass
+
+import (
+	"decoupling/internal/core"
+	"decoupling/internal/schema"
+)
+
+// StaticSchema declares the §3.2.1 token protocol. The decoupling is
+// visible in the declarations alone: the issuance flow carries the
+// client's account next to a blinded token (opaque — the issuer signs
+// it without reading it), the redemption flow carries the request next
+// to an unblinded one-time token that works as a pseudonym (routing),
+// and the two flows share no linkage handle.
+func StaticSchema() *schema.Scenario {
+	return &schema.Scenario{
+		Name:    "privacypass",
+		System:  "Privacy Pass",
+		Section: "3.2.1",
+		Doc:     "Privacy Pass: blind-signed tokens transfer trust from an identified issuance to an anonymous redemption with no shared join key.",
+		Axes:    []schema.Axis{{Kind: core.Identity}, {Kind: core.Data}},
+		Messages: []schema.Message{
+			{
+				Name: "pp_token_request",
+				Doc:  "authenticated issuance request",
+				Fields: []schema.Field{
+					{Name: "client_account", Label: schema.Identity},
+					{Name: "blinded_token", Label: schema.Opaque},
+				},
+			},
+			{
+				Name: "pp_token_response",
+				Fields: []schema.Field{
+					{Name: "blind_sig", Label: schema.Opaque},
+				},
+			},
+			{
+				Name: "pp_redemption",
+				Doc:  "anonymous request spending one token",
+				Fields: []schema.Field{
+					// The unblinded token is a one-shot pseudonym: the origin
+					// verifies it and learns only "some issued client".
+					{Name: "token", Label: schema.Routing},
+					{Name: "resource", Label: schema.Query},
+				},
+			},
+			{
+				Name: "pp_response",
+				Fields: []schema.Field{
+					{Name: "body", Label: schema.Content},
+				},
+			},
+		},
+		Roles: []schema.Role{
+			{
+				Name: "Client", User: true,
+				Knows: core.Tuple{core.SensID(), core.SensData()},
+				Sends: []schema.Use{
+					{Message: "pp_token_request", Fields: []string{"client_account"}},
+					{Message: "pp_redemption", Fields: []string{"token", "resource"}},
+				},
+				Receives: []schema.Use{
+					{Message: "pp_token_response"},
+					{Message: "pp_response", Fields: []string{"body"}},
+				},
+			},
+			{
+				Name: IssuerName,
+				Receives: []schema.Use{
+					// The blinded token is processed (signed) but never read.
+					{Message: "pp_token_request", Fields: []string{"client_account"}},
+				},
+				Sends: []schema.Use{{Message: "pp_token_response"}},
+			},
+			{
+				Name: OriginName,
+				Receives: []schema.Use{
+					{Message: "pp_redemption", Fields: []string{"token", "resource"}},
+				},
+				Sends: []schema.Use{{Message: "pp_response", Fields: []string{"body"}}},
+			},
+		},
+		Flows: []schema.Flow{
+			{From: "Client", To: IssuerName, Message: "pp_token_request", Handle: "issuance"},
+			{From: IssuerName, To: "Client", Message: "pp_token_response", Handle: "issuance"},
+			{From: "Client", To: OriginName, Message: "pp_redemption", Handle: "redemption"},
+			{From: OriginName, To: "Client", Message: "pp_response", Handle: "redemption"},
+		},
+	}
+}

@@ -1,0 +1,30 @@
+package provenance
+
+import "decoupling/internal/core"
+
+// ExplainComponent returns the rendered evidence lines behind one
+// measured tuple component of one entity — the provenance chain a
+// static-conformance violation attaches so the report answers not just
+// "the schema never licensed this" but "here is the run observing it".
+// Lines use the same canonical ordering and formatting as the audit
+// report, so they are byte-stable across runs of the same seed and any
+// -parallel setting. Nil when the entity or component has no recorded
+// evidence (e.g. a modeled user tuple).
+func (a *Audit) ExplainComponent(entity string, kind core.Kind, label string) []string {
+	for _, e := range a.Entities {
+		if e.Name != entity {
+			continue
+		}
+		for _, c := range e.Components {
+			if c.Kind != kind.String() || c.Label != label {
+				continue
+			}
+			var out []string
+			for _, id := range c.Evidence {
+				out = append(out, a.evidenceLine(id))
+			}
+			return out
+		}
+	}
+	return nil
+}

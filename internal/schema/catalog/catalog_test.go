@@ -1,0 +1,187 @@
+package catalog
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"decoupling/internal/core"
+	"decoupling/internal/schema"
+)
+
+var update = flag.Bool("update", false, "rewrite golden static reports")
+
+// TestGoldenStaticReports pins the full static report bytes for every
+// non-probe scenario. The reports are derived from declarations alone,
+// so any diff is an intentional schema change — refresh with:
+// go test ./internal/schema/catalog -update
+func TestGoldenStaticReports(t *testing.T) {
+	for _, id := range IDs() {
+		if IsProbe(id) {
+			continue
+		}
+		id := id
+		t.Run(id, func(t *testing.T) {
+			sc, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := schema.Derive(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := schema.WriteReport(&buf, st); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "static_"+id+".golden")
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if buf.String() != string(want) {
+				t.Errorf("static report diverged from %s (rerun with -update if intended):\n%s",
+					path, firstDiffLine(string(want), buf.String()))
+			}
+		})
+	}
+}
+
+func firstDiffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, al[i], bl[i])
+		}
+	}
+	return "line counts differ"
+}
+
+// TestStaticMatchesPublishedTables cross-checks every scenario that has
+// a published core.Registry table: the declarations must license the
+// whole table (CoversExpected), and the static coalition verdict —
+// decoupled or not, degree, minimum coalition — must equal the verdict
+// of the paper's own table, entity by entity.
+func TestStaticMatchesPublishedTables(t *testing.T) {
+	reg := core.Registry()
+	matched := 0
+	for _, id := range IDs() {
+		if IsProbe(id) {
+			continue
+		}
+		expected, ok := reg[id]
+		if !ok {
+			continue
+		}
+		matched++
+		sc, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := schema.Derive(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, v := range st.CoversExpected(expected) {
+			t.Errorf("%s: schema does not license the published table: %s", id, v)
+		}
+		staticVerdict, err := core.Analyze(st.System())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		expectedVerdict, err := core.Analyze(expected)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if staticVerdict.String() != expectedVerdict.String() {
+			t.Errorf("%s: static verdict %q != published verdict %q", id, staticVerdict, expectedVerdict)
+		}
+		// Exact tuple agreement, not just coverage: the declarations are
+		// meant to predict the table, not over-approximate it.
+		for _, ee := range expected.Entities {
+			if ee.User {
+				continue
+			}
+			se := st.Entity(ee.Name)
+			if se == nil {
+				t.Errorf("%s: schema has no role %q", id, ee.Name)
+				continue
+			}
+			if se.Tuple.Symbol() != ee.Knows.Symbol() {
+				t.Errorf("%s/%s: static %s != published %s", id, ee.Name, se.Tuple.Symbol(), ee.Knows.Symbol())
+			}
+		}
+	}
+	if matched != 9 {
+		t.Errorf("cross-checked %d published tables, want 9", matched)
+	}
+}
+
+// TestPlantedProbeConvicted pins the negative control end to end: the
+// odoh-snoop scenario must be convicted at derivation time with the
+// handler, message, and field named.
+func TestPlantedProbeConvicted(t *testing.T) {
+	if !IsProbe("odoh-snoop") {
+		t.Fatal("odoh-snoop is not registered as a probe")
+	}
+	sc, err := Get("odoh-snoop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = schema.Derive(sc)
+	if err == nil {
+		t.Fatal("planted probe derived cleanly")
+	}
+	var conv *schema.OpaqueReadError
+	if !errors.As(err, &conv) {
+		t.Fatalf("probe error is not a conviction: %v", err)
+	}
+	if conv.Role != "Resolver" || conv.Message != "odoh_query" || conv.Field != "sealed_query" {
+		t.Errorf("conviction names (%s, %s, %s), want (Resolver, odoh_query, sealed_query)",
+			conv.Role, conv.Message, conv.Field)
+	}
+}
+
+func TestCatalogShape(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 16 {
+		t.Errorf("catalog has %d scenarios, want 16: %v", len(ids), ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Errorf("IDs() not sorted: %v", ids)
+		}
+	}
+	for _, id := range ids {
+		sc, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Name != id {
+			t.Errorf("scenario %q declares name %q", id, sc.Name)
+		}
+		// Every Get returns a fresh value: mutating one must not leak
+		// into the next (the probe builders mutate their base).
+		sc.Name = "mutated"
+		sc2, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc2.Name != id {
+			t.Errorf("Get(%q) returned a shared scenario", id)
+		}
+	}
+	if _, err := Get("nope"); err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("Get(nope) = %v", err)
+	}
+}

@@ -1,0 +1,214 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"decoupling/internal/core"
+)
+
+// Violation is one breach of the static ⊇ measured invariant: a
+// runtime-measured tuple component the declared schema does not
+// license. It names the offending entity and axis; callers holding the
+// run's ledger attach the provenance evidence chain for the component.
+type Violation struct {
+	Entity string
+	// Component is the measured component the schema does not license.
+	Component core.Component
+	// StaticLevel is the level the declarations license on that axis.
+	StaticLevel core.Level
+	// Licensed lists the static field reads on the axis (empty when no
+	// declaration touches it — the usual case for a violation).
+	Licensed []FieldRef
+	// Evidence is the provenance chain for the measured component,
+	// attached by callers with access to the run's ledger.
+	Evidence []string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("entity %q measured %s on axis %s but the schema licenses only %s",
+		v.Entity, v.Component.Symbol(), Axis{Kind: v.Component.Kind, Label: v.Component.Label},
+		core.Component{Kind: v.Component.Kind, Label: v.Component.Label, Level: v.StaticLevel}.Symbol())
+}
+
+// Gap is the opposite direction (static ⊋ measured): knowledge the
+// declarations license but no observation in this run exercised —
+// either a missing test or a documented waiver.
+type Gap struct {
+	Entity        string
+	Axis          Axis
+	StaticLevel   core.Level
+	MeasuredLevel core.Level
+	Waived        bool
+	Reason        string
+}
+
+func (g Gap) String() string {
+	state := "unexercised — worth a test"
+	if g.Waived {
+		state = "waived: " + g.Reason
+	}
+	return fmt.Sprintf("entity %q: schema licenses %s on axis %s, run measured %s (%s)",
+		g.Entity,
+		core.Component{Kind: g.Axis.Kind, Label: g.Axis.Label, Level: g.StaticLevel}.Symbol(),
+		g.Axis,
+		core.Component{Kind: g.Axis.Kind, Label: g.Axis.Label, Level: g.MeasuredLevel}.Symbol(),
+		state)
+}
+
+// Conformance is the result of checking one measured system against
+// one static derivation.
+type Conformance struct {
+	Scenario   string
+	System     string
+	Violations []Violation
+	Gaps       []Gap
+}
+
+// OK reports whether static ⊇ measured held (gaps do not fail it).
+func (c *Conformance) OK() bool { return len(c.Violations) == 0 }
+
+// Summary renders a one-line verdict.
+func (c *Conformance) Summary() string {
+	if !c.OK() {
+		return fmt.Sprintf("VIOLATED (%d measured component(s) unlicensed)", len(c.Violations))
+	}
+	unwaived := 0
+	for _, g := range c.Gaps {
+		if !g.Waived {
+			unwaived++
+		}
+	}
+	switch {
+	case len(c.Gaps) == 0:
+		return "static ⊇ measured (exact)"
+	case unwaived == 0:
+		return fmt.Sprintf("static ⊇ measured (%d waived gap(s))", len(c.Gaps))
+	default:
+		return fmt.Sprintf("static ⊇ measured (%d gap(s), %d unexercised)", len(c.Gaps), unwaived)
+	}
+}
+
+// Check asserts static ⊇ measured: every measured non-user tuple
+// component above NonSensitive must be licensed at ≥ its level by the
+// static derivation, and every static license above the measured level
+// is reported as a gap. Measured entities absent from the schema are
+// violations on every sensitive component they hold.
+func (st *Static) Check(measured *core.System) (*Conformance, error) {
+	if measured == nil {
+		return nil, fmt.Errorf("schema: no measured system to check against scenario %q", st.Scenario.Name)
+	}
+	c := &Conformance{Scenario: st.Scenario.Name, System: measured.Name}
+	for _, me := range measured.Entities {
+		if me.User {
+			continue // the user's tuple is modeled on both sides
+		}
+		se := st.Entity(me.Name)
+		measuredLevels := map[Axis]core.Level{}
+		for _, comp := range me.Knows {
+			axis := Axis{Kind: comp.Kind, Label: comp.Label}
+			if comp.Level > measuredLevels[axis] {
+				measuredLevels[axis] = comp.Level
+			}
+			if comp.Level == core.NonSensitive {
+				continue // △/⊙ need no license
+			}
+			staticLevel := core.NonSensitive
+			var licensed []FieldRef
+			if se != nil {
+				if lvl, ok := se.MaxLevel[axis]; ok {
+					staticLevel = lvl
+				}
+				licensed = se.Evidence[axis]
+			}
+			if staticLevel < comp.Level {
+				c.Violations = append(c.Violations, Violation{
+					Entity:      me.Name,
+					Component:   comp,
+					StaticLevel: staticLevel,
+					Licensed:    append([]FieldRef(nil), licensed...),
+				})
+			}
+		}
+		if se == nil || se.User {
+			continue
+		}
+		for _, a := range axesOf(se) {
+			lvl := se.MaxLevel[a]
+			if lvl == core.NonSensitive {
+				continue
+			}
+			if m := measuredLevels[a]; m < lvl {
+				g := Gap{Entity: me.Name, Axis: a, StaticLevel: lvl, MeasuredLevel: m}
+				if w := st.Scenario.Waived(me.Name, a); w != nil {
+					g.Waived, g.Reason = true, w.Reason
+				}
+				c.Gaps = append(c.Gaps, g)
+			}
+		}
+	}
+	return c, nil
+}
+
+// axesOf returns the entity's axes in tuple (declaration) order.
+func axesOf(se *StaticEntity) []Axis {
+	out := make([]Axis, 0, len(se.Tuple))
+	for _, comp := range se.Tuple {
+		out = append(out, Axis{Kind: comp.Kind, Label: comp.Label})
+	}
+	return out
+}
+
+// CoversExpected asserts the schema licenses everything the paper's
+// published table asserts: for every non-user entity of the expected
+// model, each component above NonSensitive must be statically licensed
+// at ≥ its level. This catches an under-declared schema with no run at
+// all — the declarations must be at least as strong as the table they
+// claim to predict.
+func (st *Static) CoversExpected(expected *core.System) []Violation {
+	var out []Violation
+	for _, ee := range expected.Entities {
+		if ee.User {
+			continue
+		}
+		se := st.Entity(ee.Name)
+		for _, comp := range ee.Knows {
+			if comp.Level == core.NonSensitive {
+				continue
+			}
+			axis := Axis{Kind: comp.Kind, Label: comp.Label}
+			staticLevel := core.NonSensitive
+			if se != nil {
+				if lvl, ok := se.MaxLevel[axis]; ok {
+					staticLevel = lvl
+				}
+			}
+			if staticLevel < comp.Level {
+				out = append(out, Violation{Entity: ee.Name, Component: comp, StaticLevel: staticLevel})
+			}
+		}
+	}
+	return out
+}
+
+// RenderViolation renders one violation with its provenance evidence
+// chain, for hard-failure output.
+func RenderViolation(v Violation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "static ⊇ measured VIOLATED: %s\n", v)
+	if len(v.Licensed) > 0 {
+		b.WriteString("  schema licenses on this axis:\n")
+		for _, r := range v.Licensed {
+			fmt.Fprintf(&b, "    %s\n", r)
+		}
+	} else {
+		b.WriteString("  the schema licenses nothing above △/⊙ on this axis — the offending handler reads a field it never declared\n")
+	}
+	if len(v.Evidence) > 0 {
+		b.WriteString("  measured provenance chain:\n")
+		for _, line := range v.Evidence {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,246 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"decoupling/internal/core"
+)
+
+// FieldRef is one piece of static evidence: a declared field read (or
+// write) that licenses a tuple component, with the path it arrived by.
+type FieldRef struct {
+	Message string `json:"message"`
+	Field   string `json:"field"`
+	// Via describes how the role saw the message: "A→B" for a direct
+	// flow, with " ▸ open <field>" appended per encapsulation layer the
+	// role's key opened.
+	Via string `json:"via"`
+}
+
+func (r FieldRef) String() string {
+	return fmt.Sprintf("%s.%s (%s)", r.Message, r.Field, r.Via)
+}
+
+// StaticEntity is one role's derived static knowledge.
+type StaticEntity struct {
+	Role string
+	User bool
+	// Tuple holds the scenario's declared axes in declaration order at
+	// the maximum statically licensed level (plus any extra axes the
+	// declarations reach, appended in sorted order).
+	Tuple core.Tuple
+	// Evidence maps each axis to the sorted field reads licensing its
+	// level. User roles carry no evidence (their tuple is modeled).
+	Evidence map[Axis][]FieldRef
+	// MaxLevel is the licensed level per axis (NonSensitive for axes no
+	// declaration touches).
+	MaxLevel map[Axis]core.Level
+	// Handles is the role's sorted linkage-handle classes: those of its
+	// incident flows plus any declared extras.
+	Handles []string
+}
+
+// Static is a full derivation: the scenario plus one StaticEntity per
+// role, in role-declaration order.
+type Static struct {
+	Scenario *Scenario
+	Entities []StaticEntity
+}
+
+// Entity returns the derivation for the named role, or nil.
+func (st *Static) Entity(role string) *StaticEntity {
+	for i := range st.Entities {
+		if st.Entities[i].Role == role {
+			return &st.Entities[i]
+		}
+	}
+	return nil
+}
+
+// System converts the derivation to a core.System so the whole
+// measured-side toolchain (Analyze, CompareTuples, the coalition
+// machinery) applies verbatim to the static bound.
+func (st *Static) System() *core.System {
+	s := &core.System{
+		Name:    st.Scenario.System,
+		Section: st.Scenario.Section,
+		Notes:   st.Scenario.Doc,
+	}
+	if s.Name == "" {
+		s.Name = st.Scenario.Name
+	}
+	for _, e := range st.Entities {
+		s.Entities = append(s.Entities, core.Entity{
+			Name:  e.Role,
+			User:  e.User,
+			Knows: append(core.Tuple(nil), e.Tuple...),
+			Links: append([]string(nil), e.Handles...),
+		})
+	}
+	for _, sec := range st.Scenario.SharedSecrets {
+		s.SharedSecrets = append(s.SharedSecrets, sec)
+	}
+	return s
+}
+
+// Derive validates the scenario and computes every role's static
+// knowledge tuple by propagating field labels along the flows.
+//
+// The propagation is a pure union over a finite monotone lattice
+// (per-axis max of levels), so it terminates on any topology, is
+// independent of declaration order, and never narrows when flows or
+// reads are added — the properties FuzzStaticDerive asserts.
+func Derive(sc *Scenario) (*Static, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	st := &Static{Scenario: sc}
+	for i := range sc.Roles {
+		st.Entities = append(st.Entities, deriveRole(sc, &sc.Roles[i]))
+	}
+	return st, nil
+}
+
+func deriveRole(sc *Scenario, r *Role) StaticEntity {
+	e := StaticEntity{
+		Role:     r.Name,
+		User:     r.User,
+		Evidence: map[Axis][]FieldRef{},
+		MaxLevel: map[Axis]core.Level{},
+	}
+	for _, a := range sc.Axes {
+		e.MaxLevel[a] = core.NonSensitive
+	}
+
+	handles := map[string]bool{}
+	for _, h := range r.Handles {
+		handles[h] = true
+	}
+	for _, fl := range sc.Flows {
+		if fl.From != r.Name && fl.To != r.Name {
+			continue
+		}
+		if fl.Handle != "" {
+			handles[fl.Handle] = true
+		}
+		if r.User {
+			continue // user tuples are modeled, not derived
+		}
+		via := fl.From + "→" + fl.To
+		if fl.To == r.Name {
+			if u := r.use(r.Receives, fl.Message); u != nil {
+				absorbUse(sc, r, &e, *u, via, map[string]bool{fl.Message: true})
+			}
+		}
+		if fl.From == r.Name {
+			// A sender knows what it originates: writes contribute at
+			// the same level as reads. Fields it merely forwards are
+			// not listed in the Sends use and contribute nothing.
+			if u := r.use(r.Sends, fl.Message); u != nil {
+				absorbUse(sc, r, &e, *u, via, map[string]bool{fl.Message: true})
+			}
+		}
+	}
+	e.Handles = sortedKeys(handles)
+
+	if r.User {
+		e.Tuple = append(core.Tuple(nil), r.Knows...)
+		return e
+	}
+
+	// Assemble the tuple: declared axes in declaration order, then any
+	// extra axes the declarations licensed, sorted.
+	var extras []Axis
+	for a := range e.MaxLevel {
+		declared := false
+		for _, da := range sc.Axes {
+			if da == a {
+				declared = true
+				break
+			}
+		}
+		if !declared {
+			extras = append(extras, a)
+		}
+	}
+	sort.Slice(extras, func(i, j int) bool {
+		if extras[i].Kind != extras[j].Kind {
+			return extras[i].Kind < extras[j].Kind
+		}
+		return extras[i].Label < extras[j].Label
+	})
+	for _, a := range append(append([]Axis(nil), sc.Axes...), extras...) {
+		e.Tuple = append(e.Tuple, core.Component{Kind: a.Kind, Label: a.Label, Level: e.MaxLevel[a]})
+	}
+	for a := range e.Evidence {
+		refs := e.Evidence[a]
+		sort.Slice(refs, func(i, j int) bool {
+			if refs[i].Message != refs[j].Message {
+				return refs[i].Message < refs[j].Message
+			}
+			if refs[i].Field != refs[j].Field {
+				return refs[i].Field < refs[j].Field
+			}
+			return refs[i].Via < refs[j].Via
+		})
+		e.Evidence[a] = dedupeRefs(refs)
+	}
+	return e
+}
+
+// absorbUse folds one declared use of a message into the role's
+// knowledge: every read field contributes its component, and reading
+// an encapsulating field the role can open recurses into the role's
+// declared use of the inner message. visited guards encapsulation
+// cycles (a message reachable twice on one path contributes once).
+func absorbUse(sc *Scenario, r *Role, e *StaticEntity, u Use, via string, visited map[string]bool) {
+	m := sc.Message(u.Message)
+	if m == nil {
+		return
+	}
+	for _, fn := range u.Fields {
+		f := m.Field(fn)
+		if f == nil {
+			continue
+		}
+		if c, ok := f.Component(); ok {
+			axis := Axis{Kind: c.Kind, Label: c.Label}
+			if lvl, seen := e.MaxLevel[axis]; !seen || c.Level > lvl {
+				e.MaxLevel[axis] = c.Level
+			}
+			if c.Level > core.NonSensitive || f.Label == Routing {
+				e.Evidence[axis] = append(e.Evidence[axis], FieldRef{Message: m.Name, Field: fn, Via: via})
+			}
+			continue
+		}
+		// Opaque field: if the role holds the key, it sees the inner
+		// message and its declared reads of it apply.
+		if f.Encapsulates != "" && isOpener(f, r.Name) && !visited[f.Encapsulates] {
+			visited[f.Encapsulates] = true
+			if inner := r.use(r.Receives, f.Encapsulates); inner != nil {
+				absorbUse(sc, r, e, *inner, via+" ▸ open "+fn, visited)
+			}
+			visited[f.Encapsulates] = false
+		}
+	}
+}
+
+func dedupeRefs(refs []FieldRef) []FieldRef {
+	out := refs[:0]
+	for i, r := range refs {
+		if i == 0 || refs[i-1] != r {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,223 @@
+package schema_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"decoupling/internal/adversary"
+	"decoupling/internal/core"
+	"decoupling/internal/schema"
+	"decoupling/internal/schema/catalog"
+)
+
+// seedCorpus feeds every declared catalog scenario (probes included —
+// the fuzzer should explore the conviction path too) plus the unit-test
+// relay topology into the fuzz target.
+func seedCorpus(f *testing.F, add func([]byte)) {
+	f.Helper()
+	for _, id := range catalog.IDs() {
+		sc, err := catalog.Get(id)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := schema.EncodeScenario(sc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		add(data)
+	}
+	data, err := schema.EncodeScenario(relayScenario())
+	if err != nil {
+		f.Fatal(err)
+	}
+	add(data)
+}
+
+// FuzzSchemaDecl sweeps the parse-then-validate pipeline with arbitrary
+// bytes: the decoder must never panic, validation must be stable across
+// calls, and a scenario that validates must survive an encode/decode
+// round trip with a byte-identical static report.
+func FuzzSchemaDecl(f *testing.F) {
+	seedCorpus(f, func(data []byte) { f.Add(data) })
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := schema.DecodeScenario(data)
+		if err != nil {
+			return
+		}
+		verr := sc.Validate()
+		if verr2 := sc.Validate(); (verr == nil) != (verr2 == nil) ||
+			(verr != nil && verr.Error() != verr2.Error()) {
+			t.Fatalf("Validate is not stable: %v vs %v", verr, verr2)
+		}
+		if verr != nil {
+			if _, derr := schema.Derive(sc); derr == nil {
+				t.Fatal("Derive accepted a scenario Validate rejects")
+			}
+			return
+		}
+		st1, err := schema.Derive(sc)
+		if err != nil {
+			t.Fatalf("validated scenario failed to derive: %v", err)
+		}
+		st2, err := schema.Derive(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r1, r2 bytes.Buffer
+		if err := schema.WriteReport(&r1, st1); err != nil {
+			t.Fatal(err)
+		}
+		if err := schema.WriteReport(&r2, st2); err != nil {
+			t.Fatal(err)
+		}
+		if r1.String() != r2.String() {
+			t.Fatal("Derive is not deterministic for a fixed scenario")
+		}
+		encoded, err := schema.EncodeScenario(sc)
+		if err != nil {
+			t.Fatalf("validated scenario failed to encode: %v", err)
+		}
+		back, err := schema.DecodeScenario(encoded)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		st3, err := schema.Derive(back)
+		if err != nil {
+			t.Fatalf("round-tripped scenario failed to derive: %v", err)
+		}
+		var r3 bytes.Buffer
+		if err := schema.WriteReport(&r3, st3); err != nil {
+			t.Fatal(err)
+		}
+		if r1.String() != r3.String() {
+			t.Fatal("static report changed across an encode/decode round trip")
+		}
+	})
+}
+
+// entitySummary flattens one derivation into comparable per-role facts
+// that do not depend on declaration order.
+func entitySummary(st *schema.Static) map[string]string {
+	out := map[string]string{}
+	for _, e := range st.Entities {
+		var evidence []string
+		for axis, refs := range e.Evidence {
+			for _, r := range refs {
+				evidence = append(evidence, axis.String()+":"+r.String())
+			}
+		}
+		// Evidence map iteration order is random; canonicalize.
+		sortStrings(evidence)
+		out[e.Role] = e.Tuple.Symbol() + " handles=" + strings.Join(e.Handles, ",") +
+			" ev=" + strings.Join(evidence, ";")
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// FuzzStaticDerive asserts the propagation's lattice properties on
+// arbitrary valid scenarios: it terminates (every call returns),
+// per-role results are independent of declaration order, adding a flow
+// never narrows any role's knowledge, and the static coalition closure
+// merges exactly the per-axis maximum of its members (no widening
+// beyond reconstructed shared secrets).
+func FuzzStaticDerive(f *testing.F) {
+	seedCorpus(f, func(data []byte) { f.Add(data, uint64(7)) })
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		sc, err := schema.DecodeScenario(data)
+		if err != nil || sc.Validate() != nil {
+			return
+		}
+		base, err := schema.Derive(sc)
+		if err != nil {
+			t.Fatalf("validated scenario failed to derive: %v", err)
+		}
+		baseFacts := entitySummary(base)
+
+		// Order independence: shuffle every declaration list with a
+		// deterministic RNG and compare per-role facts.
+		shuffled, err := schema.DecodeScenario(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		rng.Shuffle(len(shuffled.Roles), func(i, j int) {
+			shuffled.Roles[i], shuffled.Roles[j] = shuffled.Roles[j], shuffled.Roles[i]
+		})
+		rng.Shuffle(len(shuffled.Messages), func(i, j int) {
+			shuffled.Messages[i], shuffled.Messages[j] = shuffled.Messages[j], shuffled.Messages[i]
+		})
+		rng.Shuffle(len(shuffled.Flows), func(i, j int) {
+			shuffled.Flows[i], shuffled.Flows[j] = shuffled.Flows[j], shuffled.Flows[i]
+		})
+		st2, err := schema.Derive(shuffled)
+		if err != nil {
+			t.Fatalf("shuffled scenario failed to derive: %v", err)
+		}
+		for role, facts := range entitySummary(st2) {
+			if baseFacts[role] != facts {
+				t.Fatalf("role %q derives differently after shuffling declarations:\n  base:     %s\n  shuffled: %s",
+					role, baseFacts[role], facts)
+			}
+		}
+
+		// Monotonicity: duplicating an existing flow must never lower any
+		// role's licensed level on any axis.
+		if len(sc.Flows) > 0 {
+			wider, err := schema.DecodeScenario(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wider.Flows = append(wider.Flows, wider.Flows[int(seed)%len(wider.Flows)])
+			st3, err := schema.Derive(wider)
+			if err != nil {
+				t.Fatalf("widened scenario failed to derive: %v", err)
+			}
+			for _, e := range base.Entities {
+				w := st3.Entity(e.Role)
+				if w == nil {
+					t.Fatalf("role %q vanished after adding a flow", e.Role)
+				}
+				for axis, lvl := range e.MaxLevel {
+					if w.MaxLevel[axis] < lvl {
+						t.Fatalf("role %q narrowed on %s after adding a flow: %v -> %v",
+							e.Role, axis, lvl, w.MaxLevel[axis])
+					}
+				}
+			}
+		}
+
+		// Coalition merge widens to exactly the per-axis max of member
+		// tuples plus fully-held shared secrets — nothing more.
+		closure, err := adversary.CloseStatic(base.System())
+		if err != nil {
+			return // e.g. multiple user roles; Analyze rejects, fine
+		}
+		for _, p := range closure.Partitions {
+			var want core.Tuple
+			for _, name := range p.Entities {
+				want = want.Merge(base.Entity(name).Tuple)
+			}
+			for _, name := range p.Secrets {
+				for _, sec := range sc.SharedSecrets {
+					if sec.Name == name {
+						want = want.Merge(core.Tuple{sec.Yields})
+					}
+				}
+			}
+			if p.Merged.Symbol() != want.Symbol() {
+				t.Fatalf("partition %v merged %s, want per-axis max %s",
+					p.Entities, p.Merged.Symbol(), want.Symbol())
+			}
+		}
+	})
+}

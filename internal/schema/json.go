@@ -1,0 +1,59 @@
+package schema
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Scenarios have a canonical JSON form (labels as their declaration
+// names, unknown fields rejected) so declarations can be exchanged,
+// diffed, and — crucially — fuzzed: FuzzSchemaDecl drives the decoder
+// and validator with arbitrary bytes.
+
+// MarshalJSON renders the label as its declaration name.
+func (l Label) MarshalJSON() ([]byte, error) {
+	name, ok := labelNames[l]
+	if !ok {
+		return nil, fmt.Errorf("schema: cannot marshal unknown label %d", int(l))
+	}
+	return json.Marshal(name)
+}
+
+// UnmarshalJSON parses a declaration-name label.
+func (l *Label) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseLabel(s)
+	if err != nil {
+		return err
+	}
+	*l = parsed
+	return nil
+}
+
+// EncodeScenario renders the scenario in canonical indented JSON.
+func EncodeScenario(sc *Scenario) ([]byte, error) {
+	return json.MarshalIndent(sc, "", "  ")
+}
+
+// DecodeScenario parses a JSON scenario declaration strictly: unknown
+// fields are rejected, trailing garbage is an error. The result is NOT
+// validated — callers run Validate (or Derive, which validates) next,
+// which is exactly the parse-then-validate pipeline the fuzzer sweeps.
+func DecodeScenario(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("schema: decode scenario: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("schema: trailing data after scenario declaration")
+	}
+	return &sc, nil
+}

@@ -1,0 +1,223 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"decoupling/internal/adversary"
+	"decoupling/internal/core"
+)
+
+// The renderers below follow internal/provenance's canonical-ordering
+// contract: every line is derived from declaration content only —
+// sorted handle classes, declaration-ordered roles and messages, sorted
+// evidence — so the bytes are identical across runs, machines, and any
+// -parallel setting by construction (there is no run-dependent input to
+// begin with; the CI job cmp's the output across worker counts to pin
+// that promise).
+
+// WriteReport renders the static audit as a deterministic text report.
+func WriteReport(w io.Writer, st *Static) error {
+	bw := &errWriter{w: w}
+	sc := st.Scenario
+	title := sc.System
+	if title == "" {
+		title = sc.Name
+	}
+	bw.printf("Static audit: %s — %s", sc.Name, title)
+	if sc.Section != "" {
+		bw.printf(" (paper §%s)", sc.Section)
+	}
+	bw.printf("\n")
+	bw.printf("derived from declared schemas alone: no network, no ledger, no run\n\n")
+	if sc.Doc != "" {
+		bw.printf("%s\n\n", sc.Doc)
+	}
+
+	bw.printf("messages:\n")
+	for _, m := range sc.Messages {
+		bw.printf("  %s:\n", m.Name)
+		for _, f := range m.Fields {
+			bw.printf("    %-16s %s", f.Name, fieldLabel(f))
+			bw.printf("\n")
+		}
+	}
+	bw.printf("\n")
+
+	bw.printf("static knowledge tuples:\n")
+	for _, e := range st.Entities {
+		suffix := ""
+		if e.User {
+			suffix = "  user (modeled)"
+		} else if len(e.Handles) > 0 {
+			suffix = fmt.Sprintf("  handles=[%s]", strings.Join(e.Handles, " "))
+		}
+		bw.printf("  %-20s %s%s\n", e.Role, e.Tuple.Symbol(), suffix)
+		if e.User {
+			continue
+		}
+		for _, axis := range axesOf(&e) {
+			for _, ref := range e.Evidence[axis] {
+				sym := core.Component{Kind: axis.Kind, Label: axis.Label, Level: e.MaxLevel[axis]}.Symbol()
+				bw.printf("    %s %s ← %s\n", sym, axis, ref)
+			}
+		}
+	}
+	bw.printf("\n")
+
+	closure, err := adversary.CloseStatic(st.System())
+	if err != nil {
+		return err
+	}
+	bw.printf("static coalition closure:\n")
+	for i, p := range closure.Partitions {
+		status := "uncoupled"
+		if p.Coupled {
+			status = "COUPLED under full collusion"
+		}
+		bw.printf("  partition %d (%s): %s; handles=[%s]; merged=%s",
+			i+1, status, strings.Join(p.Entities, "+"), strings.Join(p.Handles, " "), p.Merged.Symbol())
+		if len(p.Secrets) > 0 {
+			bw.printf("; reconstructs %s", strings.Join(p.Secrets, "+"))
+		}
+		bw.printf("\n")
+	}
+	bw.printf("  verdict: %s\n", closure.Verdict.String())
+
+	if len(sc.Waivers) > 0 {
+		bw.printf("\nwaivers (declared-but-unexercised knowledge):\n")
+		for _, wv := range sc.Waivers {
+			bw.printf("  %s on %s: %s\n", wv.Role, wv.Axis, wv.Reason)
+		}
+	}
+	return bw.err
+}
+
+func fieldLabel(f Field) string {
+	s := f.Label.String()
+	if f.Partial {
+		s += " (partial ⊙/●)"
+	}
+	if f.Axis != "" {
+		s += " axis=" + f.Axis
+	}
+	if f.Encapsulates != "" {
+		s += fmt.Sprintf(" → %s (openers: %s)", f.Encapsulates, strings.Join(f.Openers, ", "))
+	}
+	return s
+}
+
+// WriteJSONL emits the static audit as strict JSONL: one "static"
+// header line, one "static_entity" line per role, one
+// "static_partition" line per closure partition.
+func WriteJSONL(w io.Writer, st *Static) error {
+	enc := json.NewEncoder(w)
+	sc := st.Scenario
+	closure, err := adversary.CloseStatic(st.System())
+	if err != nil {
+		return err
+	}
+	header := map[string]any{
+		"type":     "static",
+		"scenario": sc.Name,
+		"system":   sc.System,
+		"section":  sc.Section,
+		"verdict":  closure.Verdict.String(),
+		"roles":    len(st.Entities),
+		"messages": len(sc.Messages),
+		"flows":    len(sc.Flows),
+	}
+	if err := enc.Encode(header); err != nil {
+		return err
+	}
+	for _, e := range st.Entities {
+		line := map[string]any{
+			"type":  "static_entity",
+			"role":  e.Role,
+			"tuple": e.Tuple.Symbol(),
+		}
+		if e.User {
+			line["user"] = true
+		}
+		if len(e.Handles) > 0 {
+			line["handles"] = e.Handles
+		}
+		var ev []map[string]any
+		for _, axis := range axesOf(&e) {
+			for _, ref := range e.Evidence[axis] {
+				ev = append(ev, map[string]any{
+					"axis": axis.String(), "message": ref.Message, "field": ref.Field, "via": ref.Via,
+				})
+			}
+		}
+		if len(ev) > 0 {
+			line["evidence"] = ev
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	for i, p := range closure.Partitions {
+		line := map[string]any{
+			"type":     "static_partition",
+			"id":       i + 1,
+			"entities": p.Entities,
+			"handles":  p.Handles,
+			"merged":   p.Merged.Symbol(),
+			"coupled":  p.Coupled,
+		}
+		if len(p.Secrets) > 0 {
+			line["secrets"] = p.Secrets
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDOT renders the declared topology as a Graphviz digraph: roles
+// as nodes (the user double-circled, statically coupled roles filled),
+// flows as edges labeled with message and handle class.
+func WriteDOT(w io.Writer, st *Static) error {
+	bw := &errWriter{w: w}
+	bw.printf("digraph static {\n")
+	bw.printf("  label=%q;\n", "static: "+st.Scenario.Name)
+	bw.printf("  rankdir=LR;\n")
+	for _, e := range st.Entities {
+		attrs := []string{fmt.Sprintf("label=%q", e.Role+"\\n"+e.Tuple.Symbol())}
+		if e.User {
+			attrs = append(attrs, "shape=doublecircle")
+		} else {
+			attrs = append(attrs, "shape=box")
+			if e.Tuple.Coupled() {
+				attrs = append(attrs, `style=filled`, `fillcolor="#ffcccc"`)
+			}
+		}
+		bw.printf("  %q [%s];\n", e.Role, strings.Join(attrs, ", "))
+	}
+	for _, fl := range st.Scenario.Flows {
+		label := fl.Message
+		if fl.Handle != "" {
+			label += "\\n[" + fl.Handle + "]"
+		}
+		bw.printf("  %q -> %q [label=%q];\n", fl.From, fl.To, label)
+	}
+	bw.printf("}\n")
+	return bw.err
+}
+
+// errWriter mirrors internal/provenance's sticky-error writer idiom.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

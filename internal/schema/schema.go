@@ -1,0 +1,269 @@
+// Package schema is the static counterpart of the measurement ledger:
+// a declarative message-schema layer from which each entity's knowledge
+// tuple is derived with no network, no ledger, and no run.
+//
+// Every protocol message type declares its fields with one of five
+// taint labels; every handler role declares which messages it sends and
+// receives and which fields it reads (everything else is forwarded
+// opaque); flows wire roles into the scenario topology. From those
+// declarations alone the engine in derive.go propagates labels and
+// produces each role's *static* knowledge tuple — an upper bound that
+// the runtime-measured tuple must stay inside (`static ⊇ measured`,
+// checked by check.go for every experiment). A handler that reads a
+// field its schema declares opaque is convicted by the validator before
+// anything runs (validate.go).
+//
+// The label lattice maps onto the paper's component notation:
+//
+//	identity → (Identity, Sensitive)        ▲   who the user is
+//	routing  → (Identity, NonSensitive)     △   addresses, pseudonyms,
+//	                                            infrastructure metadata
+//	query    → (Data, Sensitive)            ●   what the user asks for
+//	content  → (Data, Sensitive)            ●   what the user sends/reads
+//	opaque   → nothing                          ciphertext and blinded
+//	                                            values; conveys nothing
+//
+// query/content fields may additionally be marked Partial (the paper's
+// ⊙/● — e.g. MPR's second relay learning the origin FQDN), and opaque
+// fields may Encapsulate an inner message that only declared opener
+// roles (key holders) can read into.
+package schema
+
+import (
+	"fmt"
+
+	"decoupling/internal/core"
+)
+
+// Label is the taint class of one declared message field.
+type Label int
+
+const (
+	// Opaque marks ciphertext, blinded values, and signatures: bytes a
+	// role may carry, sign, or forward but that convey nothing. Reading
+	// an Opaque field is a schema violation unless the field
+	// encapsulates an inner message and the reader is a declared opener.
+	Opaque Label = iota
+	// Routing marks addressing and infrastructure metadata: network
+	// addresses of intermediaries, pseudonymous session ids, target
+	// names. Maps to a non-sensitive identity component (△).
+	Routing
+	// Identity marks a sensitive user identity (▲): the user's own
+	// network address, account name, or IMSI.
+	Identity
+	// Query marks sensitive user data of the "what they ask for" kind
+	// (●): DNS names, URLs, resource paths.
+	Query
+	// Content marks sensitive user data of the "what they send or read"
+	// kind (●): message bodies, location events, TLS payloads.
+	Content
+)
+
+var labelNames = map[Label]string{
+	Opaque:   "opaque",
+	Routing:  "routing",
+	Identity: "identity",
+	Query:    "query",
+	Content:  "content",
+}
+
+// String returns the declaration-syntax name of the label.
+func (l Label) String() string {
+	if s, ok := labelNames[l]; ok {
+		return s
+	}
+	return fmt.Sprintf("Label(%d)", int(l))
+}
+
+// ParseLabel is the inverse of String.
+func ParseLabel(s string) (Label, error) {
+	for l, name := range labelNames {
+		if name == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("schema: unknown label %q", s)
+}
+
+// Axis names one knowledge-tuple axis: the (kind, label) pair tuples
+// are merged over (e.g. PGPP's human identity axis is {Identity, "H"}).
+type Axis struct {
+	Kind  core.Kind `json:"kind"`
+	Label string    `json:"label,omitempty"`
+}
+
+// String renders "identity", "identity_H", "data", ...
+func (a Axis) String() string {
+	if a.Label == "" {
+		return a.Kind.String()
+	}
+	return a.Kind.String() + "_" + a.Label
+}
+
+// Field is one declared field of a protocol message.
+type Field struct {
+	Name  string `json:"name"`
+	Label Label  `json:"label"`
+	// Axis assigns the field to a labeled tuple axis (e.g. "H"/"N" in
+	// PGPP); empty is the default unlabeled axis.
+	Axis string `json:"axis,omitempty"`
+	// Partial downgrades a Query/Content field to the paper's ⊙/●:
+	// some sensitive detail leaks without the full sensitive item.
+	Partial bool `json:"partial,omitempty"`
+	// Encapsulates names an inner message carried encrypted inside this
+	// field (Opaque fields only). Only roles listed in Openers hold the
+	// key; a declared read by anyone else is a static violation.
+	Encapsulates string `json:"encapsulates,omitempty"`
+	// Openers lists the roles holding the decryption key for an
+	// encapsulating field.
+	Openers []string `json:"openers,omitempty"`
+}
+
+// Component maps the field's label to the tuple component a reader
+// learns; ok is false for Opaque fields (reading ciphertext — even
+// legitimately, to open it — conveys nothing by itself).
+func (f Field) Component() (core.Component, bool) {
+	switch f.Label {
+	case Identity:
+		return core.Component{Kind: core.Identity, Label: f.Axis, Level: core.Sensitive}, true
+	case Routing:
+		return core.Component{Kind: core.Identity, Label: f.Axis, Level: core.NonSensitive}, true
+	case Query, Content:
+		lvl := core.Sensitive
+		if f.Partial {
+			lvl = core.Partial
+		}
+		return core.Component{Kind: core.Data, Label: f.Axis, Level: lvl}, true
+	default:
+		return core.Component{}, false
+	}
+}
+
+// Message is one declared protocol message type.
+type Message struct {
+	Name   string  `json:"name"`
+	Doc    string  `json:"doc,omitempty"`
+	Fields []Field `json:"fields"`
+}
+
+// Field returns the named field, or nil.
+func (m *Message) Field(name string) *Field {
+	for i := range m.Fields {
+		if m.Fields[i].Name == name {
+			return &m.Fields[i]
+		}
+	}
+	return nil
+}
+
+// Use declares one role's relationship to one message type: on a
+// receive, Fields lists what the role reads in plaintext (all other
+// fields are forwarded or held opaque); on a send, Fields lists what
+// the role originates from plaintext it knows (fields it merely copies
+// from an incoming message are not listed).
+type Use struct {
+	Message string   `json:"message"`
+	Fields  []string `json:"fields,omitempty"`
+}
+
+// Role is one handler in the scenario: the user, a service, or an
+// infrastructure actor.
+type Role struct {
+	Name string `json:"name"`
+	User bool   `json:"user,omitempty"`
+	// Knows is the modeled self-knowledge of a user role (the paper
+	// never derives the user's own tuple). Non-user roles must leave it
+	// empty: their knowledge is derived, never asserted.
+	Knows core.Tuple `json:"knows,omitempty"`
+	// Sends/Receives declare every message the role originates or
+	// accepts. Flows are validated against them: each flow's sender
+	// must declare a Sends use and its receiver a Receives use.
+	Sends    []Use `json:"sends,omitempty"`
+	Receives []Use `json:"receives,omitempty"`
+	// Handles lists extra linkage-handle classes the role holds beyond
+	// those of its incident flows (e.g. a session cookie only it sees).
+	Handles []string `json:"handles,omitempty"`
+}
+
+func (r *Role) use(uses []Use, message string) *Use {
+	for i := range uses {
+		if uses[i].Message == message {
+			return &uses[i]
+		}
+	}
+	return nil
+}
+
+// Flow is one topology edge: From sends Message to To. Handle names
+// the linkage-handle class both ends observe (the connection, the
+// ciphertext bytes); empty means the boundary is blind — re-encrypted
+// or anonymized such that the two ends share no join key.
+type Flow struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Message string `json:"message"`
+	Handle  string `json:"handle,omitempty"`
+}
+
+// Waiver documents one declared-but-unexercised knowledge axis: the
+// static derivation licenses it, no current experiment measures it,
+// and the gap is understood rather than a missing test.
+type Waiver struct {
+	Role   string `json:"role"`
+	Axis   Axis   `json:"axis"`
+	Reason string `json:"reason"`
+}
+
+// Scenario is one complete declared system: messages, roles, flows,
+// and the tuple axes its table is published over.
+type Scenario struct {
+	Name string `json:"name"`
+	// System is the matching core.System name (and Section the paper
+	// section), for report headers and measured-system cross-checks.
+	System  string `json:"system,omitempty"`
+	Section string `json:"section,omitempty"`
+	Doc     string `json:"doc,omitempty"`
+	// Axes lists the published table's tuple axes in render order;
+	// every derived tuple carries exactly these axes (plus any extra
+	// axis the declarations license, appended sorted).
+	Axes     []Axis    `json:"axes"`
+	Messages []Message `json:"messages"`
+	Roles    []Role    `json:"roles"`
+	Flows    []Flow    `json:"flows"`
+	// SharedSecrets mirrors core.SharedSecret: threshold structures
+	// (PPM's input shares) that are opaque at each holder but yield a
+	// component when every holder colludes.
+	SharedSecrets []core.SharedSecret `json:"shared_secrets,omitempty"`
+	// Waivers documents known static ⊋ measured gaps.
+	Waivers []Waiver `json:"waivers,omitempty"`
+}
+
+// Message returns the named message, or nil.
+func (s *Scenario) Message(name string) *Message {
+	for i := range s.Messages {
+		if s.Messages[i].Name == name {
+			return &s.Messages[i]
+		}
+	}
+	return nil
+}
+
+// Role returns the named role, or nil.
+func (s *Scenario) Role(name string) *Role {
+	for i := range s.Roles {
+		if s.Roles[i].Name == name {
+			return &s.Roles[i]
+		}
+	}
+	return nil
+}
+
+// Waived returns the waiver covering (role, axis), or nil.
+func (s *Scenario) Waived(role string, axis Axis) *Waiver {
+	for i := range s.Waivers {
+		if s.Waivers[i].Role == role && s.Waivers[i].Axis == axis {
+			return &s.Waivers[i]
+		}
+	}
+	return nil
+}

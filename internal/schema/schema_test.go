@@ -1,0 +1,298 @@
+package schema_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"decoupling/internal/core"
+	"decoupling/internal/schema"
+)
+
+// relayScenario is the minimal decoupled topology: the user's identity
+// stops at a relay, the payload travels sealed to a server that never
+// sees who sent it.
+func relayScenario() *schema.Scenario {
+	return &schema.Scenario{
+		Name: "relay",
+		Axes: []schema.Axis{{Kind: core.Identity}, {Kind: core.Data}},
+		Messages: []schema.Message{
+			{Name: "outer", Fields: []schema.Field{
+				{Name: "src", Label: schema.Identity},
+				{Name: "sealed", Label: schema.Opaque, Encapsulates: "inner", Openers: []string{"Server"}},
+			}},
+			{Name: "carried", Fields: []schema.Field{
+				{Name: "relay_addr", Label: schema.Routing},
+				{Name: "sealed", Label: schema.Opaque, Encapsulates: "inner", Openers: []string{"Server"}},
+			}},
+			{Name: "inner", Fields: []schema.Field{
+				{Name: "body", Label: schema.Content},
+			}},
+		},
+		Roles: []schema.Role{
+			{Name: "User", User: true,
+				Knows: core.Tuple{core.SensID(), core.SensData()},
+				Sends: []schema.Use{{Message: "outer", Fields: []string{"src"}}}},
+			{Name: "Relay",
+				Receives: []schema.Use{{Message: "outer", Fields: []string{"src"}}},
+				Sends:    []schema.Use{{Message: "carried", Fields: []string{"relay_addr"}}}},
+			{Name: "Server",
+				Receives: []schema.Use{
+					{Message: "carried", Fields: []string{"relay_addr", "sealed"}},
+					{Message: "inner", Fields: []string{"body"}},
+				}},
+		},
+		Flows: []schema.Flow{
+			{From: "User", To: "Relay", Message: "outer", Handle: "client-conn"},
+			{From: "Relay", To: "Server", Message: "carried", Handle: "relay-conn"},
+		},
+	}
+}
+
+func TestDeriveRelay(t *testing.T) {
+	st, err := schema.Derive(relayScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := st.Entity("Relay")
+	if got := relay.Tuple.Symbol(); got != "(▲, ⊙)" {
+		t.Errorf("relay tuple = %s, want (▲, ⊙)", got)
+	}
+	if got := strings.Join(relay.Handles, " "); got != "client-conn relay-conn" {
+		t.Errorf("relay handles = %q", got)
+	}
+	server := st.Entity("Server")
+	if got := server.Tuple.Symbol(); got != "(△, ●)" {
+		t.Errorf("server tuple = %s, want (△, ●)", got)
+	}
+	// The server's data evidence must show the encapsulation path: it
+	// reached the body by opening the sealed field.
+	refs := server.Evidence[schema.Axis{Kind: core.Data}]
+	if len(refs) != 1 || refs[0].Message != "inner" || refs[0].Field != "body" ||
+		!strings.Contains(refs[0].Via, "▸ open sealed") {
+		t.Errorf("server data evidence = %v", refs)
+	}
+	user := st.Entity("User")
+	if !user.User || user.Tuple.Symbol() != "(▲, ●)" {
+		t.Errorf("user tuple = %s (user=%v)", user.Tuple.Symbol(), user.User)
+	}
+}
+
+// TestOpaqueReadConviction pins the negative control at the unit level:
+// a role declaring a read of a field declared opaque to it must be
+// convicted by Validate with the role, message, and field named.
+func TestOpaqueReadConviction(t *testing.T) {
+	sc := relayScenario()
+	relay := sc.Role("Relay")
+	relay.Receives[0].Fields = append(relay.Receives[0].Fields, "sealed")
+	err := sc.Validate()
+	if err == nil {
+		t.Fatal("snooping declaration validated")
+	}
+	var conv *schema.OpaqueReadError
+	if !errors.As(err, &conv) {
+		t.Fatalf("error is not an OpaqueReadError: %v", err)
+	}
+	if conv.Role != "Relay" || conv.Message != "outer" || conv.Field != "sealed" {
+		t.Errorf("conviction names (%s, %s, %s)", conv.Role, conv.Message, conv.Field)
+	}
+	if len(conv.Openers) != 1 || conv.Openers[0] != "Server" {
+		t.Errorf("conviction openers = %v", conv.Openers)
+	}
+	if _, err := schema.Derive(sc); err == nil {
+		t.Error("Derive accepted a convicted scenario")
+	}
+}
+
+func TestOpenerReadAllowed(t *testing.T) {
+	// The server reads the sealed field it holds the key for: legal.
+	if err := relayScenario().Validate(); err != nil {
+		t.Fatalf("legal scenario convicted: %v", err)
+	}
+}
+
+func TestValidateStructuralErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*schema.Scenario)
+		want   string
+	}{
+		{"no axes", func(sc *schema.Scenario) { sc.Axes = nil }, "no tuple axes"},
+		{"unknown flow role", func(sc *schema.Scenario) {
+			sc.Flows[0].From = "Nobody"
+		}, `unknown sender role "Nobody"`},
+		{"undeclared receive", func(sc *schema.Scenario) {
+			sc.Role("Relay").Receives = nil
+		}, `does not declare receiving "outer"`},
+		{"unknown field read", func(sc *schema.Scenario) {
+			sc.Role("Relay").Receives[0].Fields = []string{"nope"}
+		}, "unknown field outer.nope"},
+		{"non-user knows", func(sc *schema.Scenario) {
+			sc.Role("Relay").Knows = core.Tuple{core.SensID()}
+		}, "is not the user"},
+		{"openers without encapsulates", func(sc *schema.Scenario) {
+			sc.Messages[0].Fields[0].Openers = []string{"Server"}
+		}, "Openers without Encapsulates"},
+		{"dangling encapsulation", func(sc *schema.Scenario) {
+			sc.Messages[0].Fields[1].Encapsulates = "ghost"
+		}, `undeclared message "ghost"`},
+		{"waiver without reason", func(sc *schema.Scenario) {
+			sc.Waivers = []schema.Waiver{{Role: "Relay", Axis: schema.Axis{Kind: core.Data}}}
+		}, "no reason"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := relayScenario()
+			tc.mutate(sc)
+			err := sc.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate() = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckViolationAndGap drives both directions of the conformance
+// check against hand-made measured systems.
+func TestCheckViolationAndGap(t *testing.T) {
+	st, err := schema.Derive(relayScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A run where the relay somehow measured sensitive data: violation.
+	over := &core.System{Name: "relay (overreaching run)", Entities: []core.Entity{
+		{Name: "User", User: true, Knows: core.Tuple{core.SensID(), core.SensData()}},
+		{Name: "Relay", Knows: core.Tuple{core.SensID(), core.SensData()}},
+		{Name: "Server", Knows: core.Tuple{core.NonSensID(), core.SensData()}},
+	}}
+	conf, err := st.Check(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.OK() || len(conf.Violations) != 1 {
+		t.Fatalf("violations = %v", conf.Violations)
+	}
+	v := conf.Violations[0]
+	if v.Entity != "Relay" || v.Component.Kind != core.Data || v.StaticLevel != core.NonSensitive {
+		t.Errorf("violation = %+v", v)
+	}
+	if !strings.Contains(conf.Summary(), "VIOLATED") {
+		t.Errorf("summary = %q", conf.Summary())
+	}
+	if got := schema.RenderViolation(v); !strings.Contains(got, "never declared") {
+		t.Errorf("render = %q", got)
+	}
+
+	// A run that never exercised the server's data read: gap.
+	under := &core.System{Name: "relay (reduced run)", Entities: []core.Entity{
+		{Name: "User", User: true, Knows: core.Tuple{core.SensID(), core.SensData()}},
+		{Name: "Relay", Knows: core.Tuple{core.SensID(), core.NonSensData()}},
+		{Name: "Server", Knows: core.Tuple{core.NonSensID(), core.NonSensData()}},
+	}}
+	conf, err = st.Check(under)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conf.OK() || len(conf.Gaps) != 1 {
+		t.Fatalf("conf = %+v", conf)
+	}
+	g := conf.Gaps[0]
+	if g.Entity != "Server" || g.Waived || g.StaticLevel != core.Sensitive {
+		t.Errorf("gap = %+v", g)
+	}
+
+	// A measured entity the schema never declared: every sensitive
+	// component it holds is a violation.
+	ghost := &core.System{Name: "relay (ghost entity)", Entities: []core.Entity{
+		{Name: "User", User: true, Knows: core.Tuple{core.SensID(), core.SensData()}},
+		{Name: "Interloper", Knows: core.Tuple{core.SensID(), core.SensData()}},
+	}}
+	conf, err = st.Check(ghost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conf.Violations) != 2 {
+		t.Errorf("undeclared entity violations = %v", conf.Violations)
+	}
+	if _, err := st.Check(nil); err == nil {
+		t.Error("Check(nil) did not error")
+	}
+}
+
+func TestCoversExpected(t *testing.T) {
+	st, err := schema.Derive(relayScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := &core.System{Name: "relay", Entities: []core.Entity{
+		{Name: "User", User: true, Knows: core.Tuple{core.SensID(), core.SensData()}},
+		{Name: "Relay", Knows: core.Tuple{core.SensID(), core.NonSensData()}},
+		{Name: "Server", Knows: core.Tuple{core.NonSensID(), core.SensData()}},
+	}}
+	if viols := st.CoversExpected(expected); len(viols) != 0 {
+		t.Errorf("schema does not cover its own table: %v", viols)
+	}
+	// Strengthen the table beyond the declarations: must be caught with
+	// no run at all.
+	expected.Entities[1].Knows = core.Tuple{core.SensID(), core.SensData()}
+	viols := st.CoversExpected(expected)
+	if len(viols) != 1 || viols[0].Entity != "Relay" {
+		t.Errorf("under-declaration not caught: %v", viols)
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := relayScenario()
+	sc.Waivers = []schema.Waiver{{Role: "Server", Axis: schema.Axis{Kind: core.Data}, Reason: "doc"}}
+	data, err := schema.EncodeScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := schema.DecodeScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := schema.Derive(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := schema.Derive(back)
+	if err != nil {
+		t.Fatalf("decoded scenario does not derive: %v", err)
+	}
+	var r1, r2 bytes.Buffer
+	if err := schema.WriteReport(&r1, st1); err != nil {
+		t.Fatal(err)
+	}
+	if err := schema.WriteReport(&r2, st2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.String() != r2.String() {
+		t.Errorf("report changed across JSON round trip:\n--- orig ---\n%s\n--- back ---\n%s", r1.String(), r2.String())
+	}
+}
+
+func TestDecodeScenarioStrict(t *testing.T) {
+	if _, err := schema.DecodeScenario([]byte(`{"name":"x","bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := schema.DecodeScenario([]byte(`{"name":"x"} trailing`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+	if _, err := schema.DecodeScenario([]byte(`{"messages":[{"name":"m","fields":[{"name":"f","label":"nope"}]}]}`)); err == nil {
+		t.Error("unknown label accepted")
+	}
+}
+
+func TestLabelParseRoundTrip(t *testing.T) {
+	for _, l := range []schema.Label{schema.Opaque, schema.Routing, schema.Identity, schema.Query, schema.Content} {
+		got, err := schema.ParseLabel(l.String())
+		if err != nil || got != l {
+			t.Errorf("ParseLabel(%s) = %v, %v", l, got, err)
+		}
+	}
+	if _, err := schema.ParseLabel("sensitive"); err == nil {
+		t.Error("bad label parsed")
+	}
+}

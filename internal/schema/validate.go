@@ -1,0 +1,226 @@
+package schema
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OpaqueReadError is the static conviction: a role declared a read of a
+// field the schema declares opaque. Either the field encapsulates
+// nothing readable (ciphertext, blinded value) or the role is not among
+// its declared key holders. This is a validation-time failure — the
+// offending handler is named before any runtime ledger exists.
+type OpaqueReadError struct {
+	Role    string
+	Message string
+	Field   string
+	Openers []string
+}
+
+func (e *OpaqueReadError) Error() string {
+	if len(e.Openers) == 0 {
+		return fmt.Sprintf("schema: role %q reads field %s.%s declared opaque (nothing inside is readable by anyone)",
+			e.Role, e.Message, e.Field)
+	}
+	return fmt.Sprintf("schema: role %q reads field %s.%s declared opaque without holding the key (openers: %v)",
+		e.Role, e.Message, e.Field, e.Openers)
+}
+
+// Validate checks the scenario's structural well-formedness and
+// statically convicts opaque-field reads. All problems are reported,
+// joined into one error; use errors.As with *OpaqueReadError to detect
+// convictions.
+func (s *Scenario) Validate() error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("schema: "+format, args...))
+	}
+
+	if s.Name == "" {
+		fail("scenario has no name")
+	}
+	if len(s.Axes) == 0 {
+		fail("scenario %q declares no tuple axes", s.Name)
+	}
+	seenAxis := map[Axis]bool{}
+	for _, a := range s.Axes {
+		if seenAxis[a] {
+			fail("scenario %q declares duplicate axis %s", s.Name, a)
+		}
+		seenAxis[a] = true
+	}
+
+	// Messages: unique names, unique fields, label consistency.
+	msgs := map[string]*Message{}
+	for i := range s.Messages {
+		m := &s.Messages[i]
+		if m.Name == "" {
+			fail("scenario %q has an unnamed message", s.Name)
+			continue
+		}
+		if msgs[m.Name] != nil {
+			fail("duplicate message %q", m.Name)
+			continue
+		}
+		msgs[m.Name] = m
+		seen := map[string]bool{}
+		for _, f := range m.Fields {
+			if f.Name == "" {
+				fail("message %q has an unnamed field", m.Name)
+				continue
+			}
+			if seen[f.Name] {
+				fail("message %q declares field %q twice", m.Name, f.Name)
+			}
+			seen[f.Name] = true
+			if f.Partial && f.Label != Query && f.Label != Content {
+				fail("field %s.%s: Partial is only meaningful on query/content labels, not %s", m.Name, f.Name, f.Label)
+			}
+			if f.Label == Identity && f.Partial {
+				fail("field %s.%s: identity fields cannot be Partial", m.Name, f.Name)
+			}
+			if f.Encapsulates != "" && f.Label != Opaque {
+				fail("field %s.%s: only opaque fields may encapsulate a message (label is %s)", m.Name, f.Name, f.Label)
+			}
+			if len(f.Openers) > 0 && f.Encapsulates == "" {
+				fail("field %s.%s: Openers without Encapsulates", m.Name, f.Name)
+			}
+		}
+	}
+	// Encapsulation targets resolve (second pass: order-independent).
+	for _, m := range s.Messages {
+		for _, f := range m.Fields {
+			if f.Encapsulates != "" && msgs[f.Encapsulates] == nil {
+				fail("field %s.%s encapsulates undeclared message %q", m.Name, f.Name, f.Encapsulates)
+			}
+		}
+	}
+
+	// Roles: unique names, exactly the user roles carry modeled tuples.
+	roles := map[string]*Role{}
+	users := 0
+	for i := range s.Roles {
+		r := &s.Roles[i]
+		if r.Name == "" {
+			fail("scenario %q has an unnamed role", s.Name)
+			continue
+		}
+		if roles[r.Name] != nil {
+			fail("duplicate role %q", r.Name)
+			continue
+		}
+		roles[r.Name] = r
+		if r.User {
+			users++
+			if len(r.Knows) == 0 {
+				fail("user role %q declares no modeled tuple", r.Name)
+			}
+		} else if len(r.Knows) > 0 {
+			fail("role %q asserts a Knows tuple but is not the user; non-user knowledge is derived, never declared", r.Name)
+		}
+	}
+	if users == 0 {
+		fail("scenario %q has no user role", s.Name)
+	}
+
+	// Openers resolve to roles.
+	for _, m := range s.Messages {
+		for _, f := range m.Fields {
+			for _, o := range f.Openers {
+				if roles[o] == nil {
+					fail("field %s.%s names unknown opener role %q", m.Name, f.Name, o)
+				}
+			}
+		}
+	}
+
+	// Uses: message and field names resolve; reads of opaque fields are
+	// convicted unless the reader is a declared opener.
+	checkUse := func(role *Role, u Use, reads bool) {
+		m := msgs[u.Message]
+		if m == nil {
+			fail("role %q uses undeclared message %q", role.Name, u.Message)
+			return
+		}
+		seen := map[string]bool{}
+		for _, fn := range u.Fields {
+			f := m.Field(fn)
+			if f == nil {
+				fail("role %q reads unknown field %s.%s", role.Name, m.Name, fn)
+				continue
+			}
+			if seen[fn] {
+				fail("role %q lists field %s.%s twice", role.Name, m.Name, fn)
+			}
+			seen[fn] = true
+			if reads && f.Label == Opaque && !isOpener(f, role.Name) {
+				errs = append(errs, &OpaqueReadError{
+					Role: role.Name, Message: m.Name, Field: fn,
+					Openers: append([]string(nil), f.Openers...),
+				})
+			}
+		}
+	}
+	for i := range s.Roles {
+		r := &s.Roles[i]
+		for _, u := range r.Sends {
+			checkUse(r, u, false)
+		}
+		for _, u := range r.Receives {
+			checkUse(r, u, true)
+		}
+	}
+
+	// Flows: endpoints and messages resolve, and both ends declared
+	// the use (dangling role refs are errors, not silent no-ops).
+	for _, fl := range s.Flows {
+		from, to := roles[fl.From], roles[fl.To]
+		if from == nil {
+			fail("flow %s→%s: unknown sender role %q", fl.From, fl.To, fl.From)
+		}
+		if to == nil {
+			fail("flow %s→%s: unknown receiver role %q", fl.From, fl.To, fl.To)
+		}
+		if msgs[fl.Message] == nil {
+			fail("flow %s→%s carries undeclared message %q", fl.From, fl.To, fl.Message)
+			continue
+		}
+		if from != nil && from.use(from.Sends, fl.Message) == nil {
+			fail("flow %s→%s: role %q does not declare sending %q", fl.From, fl.To, fl.From, fl.Message)
+		}
+		if to != nil && to.use(to.Receives, fl.Message) == nil {
+			fail("flow %s→%s: role %q does not declare receiving %q", fl.From, fl.To, fl.To, fl.Message)
+		}
+	}
+
+	// Shared secrets and waivers reference real roles.
+	for _, sec := range s.SharedSecrets {
+		for _, h := range sec.Holders {
+			if roles[h] == nil {
+				fail("shared secret %q names unknown holder %q", sec.Name, h)
+			}
+		}
+	}
+	for _, w := range s.Waivers {
+		if roles[w.Role] == nil {
+			fail("waiver names unknown role %q", w.Role)
+		}
+		if w.Reason == "" {
+			fail("waiver for role %q axis %s has no reason", w.Role, w.Axis)
+		}
+	}
+
+	return errors.Join(errs...)
+}
+
+func isOpener(f *Field, role string) bool {
+	if f.Encapsulates == "" {
+		return false
+	}
+	for _, o := range f.Openers {
+		if o == role {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package tee
+
+import (
+	"decoupling/internal/core"
+	"decoupling/internal/schema"
+)
+
+// StaticSchema declares the §4.3 Phoenix keyless-CDN shape. The CDN
+// operator terminates the reader's connection (identity) but every
+// request byte is sealed to the enclave's attested key — the operator's
+// own machine holds data its operator cannot read. The enclave opens
+// requests and provisioned content; the static tuples show the trust
+// shift: (▲, ⊙) at the operator, with sensitive data confined to
+// hardware the vendor vouches for.
+func StaticSchema() *schema.Scenario {
+	return &schema.Scenario{
+		Name:    "tee",
+		System:  "TEE keyless CDN (Phoenix)",
+		Section: "4.3",
+		Doc:     "Phoenix keyless CDN: readers' requests are sealed to an attested enclave on the CDN's own host; the operator serves content it cannot decrypt.",
+		Axes:    []schema.Axis{{Kind: core.Identity}, {Kind: core.Data}},
+		Messages: []schema.Message{
+			{
+				Name: "phoenix_request",
+				Doc:  "reader request to the CDN edge",
+				Fields: []schema.Field{
+					{Name: "reader_addr", Label: schema.Identity},
+					{Name: "sealed_request", Label: schema.Opaque, Encapsulates: "phoenix_inner_request", Openers: []string{"Enclave"}},
+				},
+			},
+			{
+				Name: "phoenix_enclave_call",
+				Doc:  "the host's Invoke into the enclave: ciphertext in, ciphertext out",
+				Fields: []schema.Field{
+					{Name: "sealed_request", Label: schema.Opaque, Encapsulates: "phoenix_inner_request", Openers: []string{"Enclave"}},
+				},
+			},
+			{
+				Name: "phoenix_inner_request",
+				Fields: []schema.Field{
+					{Name: "path", Label: schema.Query},
+				},
+			},
+			{
+				Name: "phoenix_provision",
+				Doc:  "publisher content sealed to the attested enclave measurement",
+				Fields: []schema.Field{
+					{Name: "publisher_name", Label: schema.Routing},
+					{Name: "sealed_content", Label: schema.Opaque, Encapsulates: "phoenix_article", Openers: []string{"Enclave"}},
+				},
+			},
+			{
+				Name: "phoenix_article",
+				Fields: []schema.Field{
+					{Name: "body", Label: schema.Content},
+				},
+			},
+			{
+				Name: "phoenix_response",
+				Fields: []schema.Field{
+					{Name: "sealed_body", Label: schema.Opaque, Encapsulates: "phoenix_article", Openers: []string{"Reader"}},
+				},
+			},
+		},
+		Roles: []schema.Role{
+			{
+				Name: "Reader", User: true,
+				Knows: core.Tuple{core.SensID(), core.SensData()},
+				Sends: []schema.Use{{Message: "phoenix_request", Fields: []string{"reader_addr"}}},
+				Receives: []schema.Use{
+					{Message: "phoenix_response", Fields: []string{"sealed_body"}},
+					{Message: "phoenix_article", Fields: []string{"body"}},
+				},
+			},
+			{
+				Name: "CDN Operator",
+				Receives: []schema.Use{
+					{Message: "phoenix_request", Fields: []string{"reader_addr"}},
+					{Message: "phoenix_response"},
+				},
+				Sends: []schema.Use{
+					{Message: "phoenix_enclave_call"},
+					{Message: "phoenix_response"},
+				},
+			},
+			{
+				Name: "Enclave",
+				Receives: []schema.Use{
+					{Message: "phoenix_enclave_call", Fields: []string{"sealed_request"}},
+					{Message: "phoenix_inner_request", Fields: []string{"path"}},
+					{Message: "phoenix_provision", Fields: []string{"publisher_name", "sealed_content"}},
+					{Message: "phoenix_article", Fields: []string{"body"}},
+				},
+				Sends: []schema.Use{{Message: "phoenix_response"}},
+			},
+			{
+				Name: "Publisher",
+				Sends: []schema.Use{
+					{Message: "phoenix_provision", Fields: []string{"publisher_name"}},
+				},
+			},
+		},
+		Flows: []schema.Flow{
+			{From: "Reader", To: "CDN Operator", Message: "phoenix_request", Handle: "cdn-conn"},
+			{From: "CDN Operator", To: "Enclave", Message: "phoenix_enclave_call", Handle: "enclave-call"},
+			{From: "Publisher", To: "Enclave", Message: "phoenix_provision", Handle: "provision"},
+			{From: "Enclave", To: "CDN Operator", Message: "phoenix_response", Handle: "enclave-call"},
+			{From: "CDN Operator", To: "Reader", Message: "phoenix_response", Handle: "cdn-conn"},
+		},
+	}
+}

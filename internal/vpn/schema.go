@@ -1,0 +1,85 @@
+package vpn
+
+import (
+	"decoupling/internal/core"
+	"decoupling/internal/schema"
+)
+
+// StaticSchema declares the §3.3 cautionary tale. There is nothing
+// subtle to derive: the tunnel terminates at one server that reads both
+// the client's address and the plaintext request, so the static tuple
+// is coupled (▲, ●) straight from the declarations — the schema layer's
+// way of saying a centralized VPN is a rendezvous, not a decoupling.
+func StaticSchema() *schema.Scenario {
+	return &schema.Scenario{
+		Name:    "vpn",
+		System:  "Centralized VPN",
+		Section: "3.3",
+		Doc:     "Centralized VPN: a single trusted intermediary terminates the tunnel and originates every request — one locus observes identity and data together.",
+		Axes:    []schema.Axis{{Kind: core.Identity}, {Kind: core.Data}},
+		Messages: []schema.Message{
+			{
+				Name: "vpn_request",
+				Doc:  "tunneled request, decrypted at the server",
+				Fields: []schema.Field{
+					{Name: "client_addr", Label: schema.Identity},
+					{Name: "url", Label: schema.Query},
+				},
+			},
+			{
+				Name: "vpn_fetch",
+				Doc:  "the server's re-originated request to the origin",
+				Fields: []schema.Field{
+					{Name: "server_addr", Label: schema.Routing},
+					{Name: "url", Label: schema.Query},
+				},
+			},
+			{
+				Name: "vpn_fetch_response",
+				Fields: []schema.Field{
+					{Name: "body", Label: schema.Content},
+				},
+			},
+			{
+				Name: "vpn_response",
+				Fields: []schema.Field{
+					{Name: "body", Label: schema.Content},
+				},
+			},
+		},
+		Roles: []schema.Role{
+			{
+				Name: "Client", User: true,
+				Knows: core.Tuple{core.SensID(), core.SensData()},
+				Sends: []schema.Use{{Message: "vpn_request", Fields: []string{"client_addr", "url"}}},
+				Receives: []schema.Use{
+					{Message: "vpn_response", Fields: []string{"body"}},
+				},
+			},
+			{
+				Name: ServerName,
+				Receives: []schema.Use{
+					{Message: "vpn_request", Fields: []string{"client_addr", "url"}},
+					{Message: "vpn_fetch_response", Fields: []string{"body"}},
+				},
+				Sends: []schema.Use{
+					{Message: "vpn_fetch", Fields: []string{"server_addr", "url"}},
+					{Message: "vpn_response", Fields: []string{"body"}},
+				},
+			},
+			{
+				Name: OriginName,
+				Receives: []schema.Use{
+					{Message: "vpn_fetch", Fields: []string{"server_addr", "url"}},
+				},
+				Sends: []schema.Use{{Message: "vpn_fetch_response", Fields: []string{"body"}}},
+			},
+		},
+		Flows: []schema.Flow{
+			{From: "Client", To: ServerName, Message: "vpn_request", Handle: "client-conn"},
+			{From: ServerName, To: OriginName, Message: "vpn_fetch", Handle: "origin-conn"},
+			{From: OriginName, To: ServerName, Message: "vpn_fetch_response", Handle: "origin-conn"},
+			{From: ServerName, To: "Client", Message: "vpn_response", Handle: "client-conn"},
+		},
+	}
+}
